@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see the
+per-experiment index in DESIGN.md) and saves the paper-style text output
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference concrete
+numbers from the last run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Write one experiment's rendered output to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single timed round.
+
+    The experiment functions sweep whole parameter grids (seconds each);
+    statistical repetition comes from the sweep itself, so one round per
+    benchmark keeps ``pytest benchmarks/`` under a minute while still
+    recording wall-clock per experiment.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,60 @@
+"""Ablation — multistage-network effects beyond the section model.
+
+The paper notes that a refined network model [ST91] would be needed for
+its version-(c) anomaly; this bench takes the refinement one step
+further: an Omega network reproduces the classic *internal-link*
+congestion (bit-reversal traffic) that even the section model cannot see
+— destination banks perfectly balanced, network saturated anyway.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.simulator import (
+    simulate_scatter,
+    simulate_scatter_butterfly,
+    toy_machine,
+)
+from repro.workloads import uniform_random
+
+
+def bitrev(v, bits):
+    out = np.zeros_like(v)
+    for i in range(bits):
+        out |= ((v >> i) & 1) << (bits - 1 - i)
+    return out
+
+
+def _ablate():
+    m = toy_machine(p=64, x=1, d=1)
+    n = 64 * 512
+    proc_of = np.arange(n) % 64
+    patterns = [
+        ("identity perm", proc_of.astype(np.int64)),
+        ("bit-reversal perm", bitrev(proc_of, 6).astype(np.int64)),
+        ("uniform random", uniform_random(n, 1 << 20, seed=0)),
+    ]
+    rows = []
+    for name, addr in patterns:
+        bank_only = simulate_scatter(m, addr).time
+        butterfly = simulate_scatter_butterfly(m, addr).time
+        rows.append((name, bank_only, butterfly, butterfly / bank_only))
+    return rows
+
+
+def test_butterfly_congestion(benchmark, save_result):
+    rows = run_once(benchmark, _ablate)
+    by = {r[0]: r[3] for r in rows}
+    # The bank-only model and the butterfly agree on benign traffic but
+    # diverge hugely on the internal-congestion worst case.
+    assert by["identity perm"] < 1.5
+    assert by["uniform random"] < 2.0
+    assert by["bit-reversal perm"] > 5.0
+    save_result(
+        "ablation_butterfly",
+        format_table(
+            ("pattern", "bank-only", "butterfly", "ratio"),
+            rows, title="ablation: multistage-network internal congestion",
+        ),
+    )

@@ -1,0 +1,43 @@
+"""Ablation — dart-throwing destination size (slots factor).
+
+A larger per-round destination region lowers the collision probability
+(fewer rounds) at the cost of address space; the paper's algorithm uses
+factor 1.  The simulated time is nearly flat: the extra rounds at factor
+1 touch geometrically fewer elements.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.algorithms import qrqw_random_permutation
+from repro.analysis import compare_program
+from repro.experiments.common import j90
+from repro.workloads import TraceRecorder
+
+N = 32 * 1024
+
+
+def _ablate():
+    rows = []
+    for factor in (1.0, 2.0, 4.0):
+        rec = TraceRecorder()
+        _, stats = qrqw_random_permutation(
+            N, slots_factor=factor, seed=11, recorder=rec
+        )
+        cmp = compare_program(j90(), rec.program)
+        rows.append((factor, stats.rounds, stats.total_darts,
+                     cmp.simulated_time))
+    return rows
+
+
+def test_dart_slots_factor(benchmark, save_result):
+    rows = run_once(benchmark, _ablate)
+    rounds = [r[1] for r in rows]
+    times = [r[3] for r in rows]
+    assert rounds[0] > rounds[-1]          # bigger regions, fewer rounds
+    assert times[-1] < times[0] * 1.3      # ...but time roughly flat
+    save_result(
+        "ablation_dart_slots",
+        format_table(("slots factor", "rounds", "total darts", "simulated"),
+                     rows, title="ablation: dart-throw destination size"),
+    )

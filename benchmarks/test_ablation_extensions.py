@@ -1,0 +1,57 @@
+"""Ablation — mechanisms beyond the (d,x)-BSP: combining networks [Ran91]
+and cached-DRAM banks [HS93].
+
+The paper names both as effects its model deliberately does not capture
+(footnote 1; Section 7).  This bench quantifies how much each mechanism
+would change the paper's headline hot-spot experiment — i.e. how much
+model error a machine WITH these features would exhibit.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import predict_scatter_dxbsp
+from repro.experiments.common import j90
+from repro.simulator import simulate_scatter
+from repro.workloads import hotspot
+
+N = 64 * 1024
+
+
+def _ablate():
+    base = j90()
+    variants = [
+        ("baseline", base),
+        ("combining", base.with_(combining=True)),
+        ("cached d_hit=2", base.with_(cache_hit_delay=2.0)),
+    ]
+    rows = []
+    for k in [64, 4096, 65536]:
+        addr = hotspot(N, k, 1 << 24, seed=k)
+        pred = predict_scatter_dxbsp(base.params(), addr)
+        for name, machine in variants:
+            sim = simulate_scatter(machine, addr).time
+            rows.append((k, name, pred, sim, sim / pred))
+    return rows
+
+
+def test_extension_ablation(benchmark, save_result):
+    rows = run_once(benchmark, _ablate)
+    by = {(k, name): ratio for k, name, _, _, ratio in rows}
+    # Baseline: the model is accurate.
+    for k in (64, 4096, 65536):
+        assert 0.9 < by[(k, "baseline")] < 1.1
+    # Combining erases hot-spot serialization entirely at high k.
+    assert by[(65536, "combining")] < 0.05
+    # Bank caching divides the hot-location cost by ~d/d_hit.
+    assert by[(65536, "cached d_hit=2")] < 0.25
+    save_result(
+        "ablation_extensions",
+        format_table(
+            ("contention k", "machine", "dxbsp pred", "simulated",
+             "sim/pred"),
+            rows,
+            title="ablation: combining networks & cached banks "
+                  "(mechanisms outside the (d,x)-BSP)",
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Ablation — tournament fan-in for QRQW maximum finding.
+
+The queue rule prices a fan-in-f reduction at f per round for log_f n
+rounds; on the (d,x)-BSP the round cost is max(g·ceil(m/p), d·f).  The
+sweep exposes the U-shape: tiny fan-in wastes rounds, huge fan-in
+serializes at the group cells.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.algorithms import qrqw_maximum, tournament_rounds
+from repro.analysis import compare_program, format_table
+from repro.experiments.common import j90
+from repro.workloads import TraceRecorder
+
+N = 64 * 1024
+
+
+def _ablate():
+    rows = []
+    values = np.arange(N, dtype=np.int64)
+    for fan_in in (2, 4, 8, 32, 256, 4096):
+        rec = TraceRecorder()
+        result = qrqw_maximum(values, fan_in=fan_in, recorder=rec)
+        assert result == N - 1
+        cmp = compare_program(j90(), rec.program)
+        rows.append((
+            fan_in,
+            tournament_rounds(N, fan_in),
+            cmp.contention,
+            cmp.simulated_time,
+        ))
+    return rows
+
+
+def test_fanin_tradeoff(benchmark, save_result):
+    rows = run_once(benchmark, _ablate)
+    times = {f: t for f, _, _, t in rows}
+    best = min(times.values())
+    # U-shape: both extremes are beaten by a moderate fan-in.
+    assert times[2] > best
+    assert times[4096] > best
+    assert min(times[4], times[8], times[32]) == best
+    save_result(
+        "ablation_fanin",
+        format_table(
+            ("fan-in", "rounds", "max contention", "simulated"),
+            rows, title="ablation: tournament fan-in (QRQW maximum)",
+        ),
+    )

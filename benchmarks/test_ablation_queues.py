@@ -1,0 +1,66 @@
+"""Ablation 1 (DESIGN.md) — unbounded vs bounded bank queues.
+
+The (d,x)-BSP (and the fast simulator) assume unbounded queues with no
+back-pressure; real machines stall the issue pipeline when queues fill.
+This bench quantifies what the abstraction gives away, and benchmarks the
+two simulator implementations against each other on identical inputs.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.simulator import simulate_scatter, simulate_scatter_cycle, toy_machine
+from repro.workloads import hotspot
+
+MACHINE = toy_machine(p=8, x=8, d=14)
+N = 8192
+
+
+def _ablate():
+    rows = []
+    for k in [1, 64, 1024, 8192]:
+        addr = hotspot(N, k, 1 << 22, seed=k)
+        unbounded = simulate_scatter_cycle(MACHINE, addr)
+        for cap in (8, 2):
+            bounded = simulate_scatter_cycle(
+                MACHINE.with_(queue_capacity=cap), addr
+            )
+            rows.append((
+                k, cap, unbounded.time, bounded.time,
+                bounded.time / unbounded.time, bounded.stalled_cycles,
+            ))
+    return rows
+
+
+def test_bounded_queue_ablation(benchmark, save_result):
+    rows = run_once(benchmark, _ablate)
+    for _, _, unb, bnd, ratio, _ in rows:
+        assert bnd >= unb  # back-pressure can only slow things down
+        assert ratio < 3.0  # ...but not catastrophically: the model holds
+    save_result(
+        "ablation_queues",
+        format_table(
+            ("contention k", "capacity", "unbounded", "bounded",
+             "bounded/unbounded", "stall cycles"),
+            rows,
+            title="ablation: bank-queue back-pressure",
+        ),
+    )
+
+
+def test_perf_vectorized_simulator(benchmark):
+    addr = hotspot(1 << 18, 4096, 1 << 24, seed=0)
+    res = benchmark(simulate_scatter, MACHINE, addr)
+    assert res.n == 1 << 18
+
+
+def test_perf_cycle_simulator(benchmark):
+    # The reference simulator is orders of magnitude slower — that's the
+    # cost the segmented-cummax vectorization buys back (pytest-benchmark
+    # output shows both for comparison).
+    addr = hotspot(2048, 128, 1 << 16, seed=0)
+    res = benchmark.pedantic(
+        simulate_scatter_cycle, args=(MACHINE, addr),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert res.n == 2048

@@ -1,0 +1,49 @@
+"""Ablation — replication target in the QRQW binary search.
+
+The replication schedule aims for expected per-copy contention tau; the
+sweep shows the trade: tiny tau wastes memory and gather spread, huge tau
+recreates the hot root.
+"""
+
+from conftest import run_once
+
+from repro.analysis import compare_program, format_table
+from repro.algorithms import build_implicit_tree, qrqw_binary_search
+from repro.experiments.common import j90
+from repro.workloads import TraceRecorder
+
+import numpy as np
+
+M = 16 * 1024
+N_QUERIES = 32 * 1024
+
+
+def _ablate():
+    rng = np.random.default_rng(1995)
+    keys = np.sort(rng.integers(0, 1 << 30, size=M, dtype=np.int64))
+    tree = build_implicit_tree(keys)
+    queries = rng.integers(0, 1 << 30, size=N_QUERIES, dtype=np.int64)
+    rows = []
+    for tau in (2, 8, 64, 1024, N_QUERIES):
+        rec = TraceRecorder()
+        qrqw_binary_search(tree, queries, target_contention=tau, seed=tau,
+                           recorder=rec)
+        cmp = compare_program(j90(), rec.program)
+        worst = max(
+            s.stats().max_location_contention for s in rec.program
+        )
+        rows.append((tau, worst, cmp.simulated_time))
+    return rows
+
+
+def test_replication_target(benchmark, save_result):
+    rows = run_once(benchmark, _ablate)
+    times = {tau: t for tau, _, t in rows}
+    # No replication (tau = n) leaves the root hot and is far slower than
+    # modest replication.
+    assert times[N_QUERIES] > 3 * times[8]
+    save_result(
+        "ablation_replication",
+        format_table(("target tau", "worst step contention", "simulated"),
+                     rows, title="ablation: search-tree replication"),
+    )

@@ -1,0 +1,47 @@
+"""Ablation — parallel slackness and work preservation (Section 5).
+
+Emulates one QRQW program (written for 64 virtual processors) on
+physically smaller machines at fixed (d, x): work preservation predicts
+near-constant efficiency once slack amortizes the superstep overhead.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.emulation import QRQWPram, slackness_sweep
+from repro.simulator import toy_machine
+from repro.workloads import hotspot
+
+P_VIRTUAL = 64
+
+
+def _ablate():
+    pram = QRQWPram(p=P_VIRTUAL, memory_size=1 << 24)
+    for s in range(4):
+        addr = hotspot(32 * 1024, 4, 1 << 24, seed=1995 + s)
+        pram.write(addr, np.arange(addr.size), label=f"s{s}")
+    template = toy_machine(p=P_VIRTUAL, x=16, d=14, L=1000)
+    points = slackness_sweep(pram, template, sigmas=[1, 2, 4, 8, 16, 32])
+    return [
+        (pt.sigma, pt.machine_p, pt.emulated_time, pt.ideal_time,
+         pt.efficiency)
+        for pt in points
+    ]
+
+
+def test_slackness_work_preservation(benchmark, save_result):
+    rows = run_once(benchmark, _ablate)
+    effs = [r[4] for r in rows]
+    # Efficiency improves with slack and plateaus (work preservation):
+    assert effs[-1] > effs[0]
+    assert abs(effs[-1] - effs[-2]) < 0.1
+    assert effs[-1] > 0.5
+    save_result(
+        "ablation_slackness",
+        format_table(
+            ("sigma", "machine p", "emulated", "ideal (g*sigma*t_qrqw)",
+             "efficiency"),
+            rows, title="ablation: slackness & work preservation",
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Cross-machine checks — "cray C90 results are qualitatively similar".
+
+The paper ran its experiments on the J90 and reports the C90 as
+qualitatively similar; here the similarity is quantitative: the same
+sweeps on both presets must differ, in the serialized regime, by the
+ratio of their bank delays (14/6), and the estimator must recover each
+machine's d from its own measured curve.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis import estimate_bank_delay, format_table, measure_contention_curve
+from repro.experiments import exp1_hotspot, fig12_spmv
+from repro.experiments.common import c90, j90
+
+
+def _sweep_both():
+    n = 32 * 1024
+    s_j = exp1_hotspot.run(machine=j90(), n=n,
+                           contentions=[1, 256, 4096, 32768])
+    s_c = exp1_hotspot.run(machine=c90(), n=n,
+                           contentions=[1, 256, 4096, 32768])
+    return s_j, s_c
+
+
+def test_qualitative_similarity(benchmark, save_result):
+    s_j, s_c = run_once(benchmark, _sweep_both)
+    sim_j = s_j.columns["simulated"]
+    sim_c = s_c.columns["simulated"]
+    # Serialized regime (k = 32768): ratio = d_J90 / d_C90 = 14/6.
+    assert sim_j[-1] / sim_c[-1] == pytest.approx(14 / 6, rel=0.1)
+    # Throughput regime (k = 1): ratio = p_C90 / p_J90 = 2 (C90 has 16p).
+    assert sim_c[0] / sim_j[0] == pytest.approx(0.5, rel=0.15)
+    rows = [
+        (int(k), tj, tc, tj / tc)
+        for k, tj, tc in zip(s_j.x, sim_j, sim_c)
+    ]
+    save_result(
+        "cross_machine",
+        format_table(("contention k", "J90", "C90", "J90/C90"), rows,
+                     title="cross-machine: J90 vs C90 hot-spot sweep"),
+    )
+
+
+def test_delay_estimator_separates_machines(benchmark):
+    def _estimate():
+        out = {}
+        for name, m in (("j90", j90()), ("c90", c90())):
+            ks, ts = measure_contention_curve(m, n=16 * 1024, seed=7)
+            out[name] = estimate_bank_delay(ks, ts).d
+        return out
+
+    est = run_once(benchmark, _estimate)
+    assert est["j90"] == pytest.approx(14.0, rel=0.08)
+    assert est["c90"] == pytest.approx(6.0, rel=0.08)
+
+
+def test_fig12_shape_on_c90(benchmark, save_result):
+    series = run_once(benchmark, fig12_spmv.run, machine=c90(),
+                      n_rows=8192, n_cols=8192)
+    sim = series.columns["simulated"]
+    dx = series.columns["dxbsp"]
+    assert sim[-1] > 2 * sim[0]
+    assert np.allclose(dx, sim, rtol=0.25)
+    save_result("fig12_spmv_c90", series.format())

@@ -1,0 +1,40 @@
+"""Bench E1 — regenerate Experiment 1 (time vs single-location
+contention) on both the J90 and C90 presets."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import crossover_contention
+from repro.experiments import exp1_hotspot
+from repro.experiments.common import c90, j90
+
+
+def _check(series, machine, n):
+    bsp = series.columns["bsp"]
+    dx = series.columns["dxbsp"]
+    sim = series.columns["simulated"]
+    knee = crossover_contention(machine.params(), n)
+    ks = series.x
+    # Flat region below the knee, slope-d region above it.
+    below = ks < knee / 2
+    above = ks > knee * 4
+    if below.any():
+        assert np.allclose(dx[below], bsp[below])
+    if above.any():
+        ratio = dx[above][-1] / bsp[above][-1]
+        assert ratio > machine.d / machine.g * 0.5
+    assert np.allclose(dx, sim, rtol=0.3)
+
+
+def test_exp1_hotspot_j90(benchmark, save_result):
+    n = 64 * 1024
+    series = run_once(benchmark, exp1_hotspot.run, machine=j90(), n=n)
+    _check(series, j90(), n)
+    save_result("exp1_hotspot_j90", series.format())
+
+
+def test_exp1_hotspot_c90(benchmark, save_result):
+    n = 64 * 1024
+    series = run_once(benchmark, exp1_hotspot.run, machine=c90(), n=n)
+    _check(series, c90(), n)
+    save_result("exp1_hotspot_c90", series.format())

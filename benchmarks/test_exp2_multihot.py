@@ -1,0 +1,23 @@
+"""Bench E2 — regenerate Experiment 2 (multiple hot locations)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import exp2_multihot
+
+
+def test_exp2_vs_nhot(benchmark, save_result):
+    series = run_once(benchmark, exp2_multihot.run_vs_nhot, n=64 * 1024)
+    sim = series.columns["simulated"]
+    # Spreading the hot traffic over more locations recovers throughput.
+    assert sim[0] > sim[-1]
+    assert np.allclose(series.columns["dxbsp"], sim, rtol=0.35)
+    save_result("exp2_multihot_vs_nhot", series.format())
+
+
+def test_exp2_vs_fraction(benchmark, save_result):
+    series = run_once(benchmark, exp2_multihot.run_vs_fraction, n=64 * 1024)
+    sim = series.columns["simulated"]
+    assert sim[-1] > sim[0]
+    assert np.allclose(series.columns["dxbsp"], sim, rtol=0.35)
+    save_result("exp2_multihot_vs_fraction", series.format())

@@ -1,0 +1,20 @@
+"""Bench E3 — regenerate Experiment 3 (Thearling–Smith entropy family)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import exp3_entropy
+
+
+def test_exp3_entropy(benchmark, save_result):
+    series = run_once(benchmark, exp3_entropy.run, n=64 * 1024)
+    ent = series.columns["entropy_bits"]
+    sim = series.columns["simulated"]
+    dx = series.columns["dxbsp"]
+    # Entropy decreases monotonically with AND rounds; time rises once the
+    # contention overtakes the throughput bound; the model tracks the
+    # simulation across the whole continuum of distribution shapes.
+    assert (np.diff(ent) <= 0.15).all()
+    assert sim[-1] > 2 * sim[0]
+    assert np.allclose(dx, sim, rtol=0.35)
+    save_result("exp3_entropy", series.format())

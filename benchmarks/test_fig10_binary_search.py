@@ -1,0 +1,15 @@
+"""Bench F10 — regenerate the QRQW-vs-EREW binary search comparison."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_binary_search
+
+
+def test_fig10_binary_search(benchmark, save_result):
+    series = run_once(benchmark, fig10_binary_search.run, m=64 * 1024)
+    q = series.columns["qrqw_simulated"]
+    e = series.columns["erew_simulated"]
+    # The replicated-tree QRQW search wins over a wide range of n (the
+    # sort-based EREW search amortizes only at very large n).
+    assert (q[:-1] < e[:-1]).all()
+    save_result("fig10_binary_search", series.format())

@@ -1,0 +1,19 @@
+"""Bench F11 — regenerate Figure 11 (random permutation generation)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig11_random_perm
+
+
+def test_fig11_random_perm(benchmark, save_result):
+    series = run_once(benchmark, fig11_random_perm.run)
+    q = series.columns["qrqw_simulated"]
+    e = series.columns["erew_simulated"]
+    # The dart thrower beats the radix-sort-based EREW algorithm across
+    # the whole sweep (the paper: "better over a wider range of problem
+    # sizes"), and its round count grows only logarithmically.
+    assert (q < e).all()
+    rounds = series.columns["dart_rounds"]
+    assert rounds[-1] <= 2.5 * np.log2(series.x[-1])
+    save_result("fig11_random_perm", series.format())

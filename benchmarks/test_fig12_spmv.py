@@ -1,0 +1,19 @@
+"""Bench F12 — regenerate Figure 12 (SpMV vs dense-column length)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig12_spmv
+
+
+def test_fig12_spmv(benchmark, save_result):
+    series = run_once(benchmark, fig12_spmv.run)
+    sim = series.columns["simulated"]
+    bsp = series.columns["bsp"]
+    dx = series.columns["dxbsp"]
+    # Dense column drives measured time up; BSP misses it; the (d,x)-BSP
+    # tracks the measurement across the sweep.
+    assert sim[-1] > 3 * sim[0]
+    assert bsp[-1] < 0.5 * sim[-1]
+    assert np.allclose(dx, sim, rtol=0.25)
+    save_result("fig12_spmv", series.format())

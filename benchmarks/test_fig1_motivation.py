@@ -1,0 +1,21 @@
+"""Bench F1 — regenerate Figure 1 (motivating discrepancy, CC traces)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig1_motivation
+
+
+def test_fig1_motivation(benchmark, save_result):
+    series = run_once(
+        benchmark, fig1_motivation.run,
+        n_vertices=8192, star_sizes=[4, 64, 1024, 8192],
+        n_random_edges=8192,
+    )
+    sim = series.columns["simulated"]
+    bsp = series.columns["bsp"]
+    # The paper's point: at high contention the bank-oblivious prediction
+    # is off by a large factor while the (d,x)-BSP stays close.
+    assert sim[-1] / bsp[-1] > 3
+    assert np.allclose(series.columns["dxbsp"], sim, rtol=0.3)
+    save_result("fig1_motivation", series.format())

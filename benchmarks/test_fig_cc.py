@@ -1,0 +1,32 @@
+"""Bench FC — regenerate the connected-components contention study."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import fig_connected_components
+
+
+def test_fig_connected_components(benchmark, save_result):
+    rows = run_once(benchmark, fig_connected_components.run, n=16 * 1024)
+    by_name = {r.graph: r for r in rows}
+    star = by_name["star"]
+    grid = by_name["grid"]
+    # The star's single hook round concentrates traffic at one vertex;
+    # the grid's hooks are spread thin (its cost lives in the many
+    # shortcut rounds instead — which also converge onto hot roots, the
+    # reason BSP under-predicts every graph here).
+    assert star.max_contention > 1000
+    assert star.phase_times["hook"] > 5 * grid.phase_times["hook"]
+    for r in rows:
+        assert r.simulated_time / r.bsp_time > 2, r.graph
+        assert abs(r.dxbsp_time - r.simulated_time) / r.simulated_time < 0.3
+    parts = [format_table(fig_connected_components.HEADERS,
+                          [r.row() for r in rows],
+                          title="connected components")]
+    for r in rows:
+        parts.append(format_table(
+            ("phase", "simulated cycles"),
+            sorted(r.phase_times.items(), key=lambda kv: -kv[1]),
+            title=f"phases: {r.graph}",
+        ))
+    save_result("fig_connected_components", "\n\n".join(parts))

@@ -1,0 +1,33 @@
+"""Bench TH — regenerate the QRQW emulation slowdown curves (Theorems
+5.1/5.2)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig_emulation
+from repro.experiments.common import j90
+from repro.simulator import toy_machine
+
+
+def test_fig_emulation_j90_delay(benchmark, save_result):
+    series = run_once(benchmark, fig_emulation.run, machine=j90(),
+                      n_ops=32 * 1024)
+    bound = series.columns["overhead_bound"]
+    floor = series.columns["inevitable_d_over_gx"]
+    measured = series.columns["measured"]
+    # Slowdown bound: nonlinear, decreasing in x, always above the
+    # inevitable d/(gx) floor; measurement sits below the bound.
+    assert (np.diff(bound) <= 1e-9).all()
+    assert (bound >= floor - 1e-9).all()
+    assert (measured <= bound * 1.1).all()
+    # x <= d regime rides the floor: at x=1 the bound is ~d/g-dominated.
+    assert bound[0] >= floor[0]
+    save_result("fig_emulation_j90", series.format())
+
+
+def test_fig_emulation_c90_delay(benchmark, save_result):
+    machine = toy_machine(p=8, x=1, d=6.0)
+    series = run_once(benchmark, fig_emulation.run, machine=machine,
+                      n_ops=32 * 1024)
+    assert (np.diff(series.columns["overhead_bound"]) <= 1e-9).all()
+    save_result("fig_emulation_c90", series.format())

@@ -1,0 +1,38 @@
+"""Bench FX — regenerate the expansion figure (more banks than d·p still
+helps) for the J90's and C90's bank delays."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig_expansion
+from repro.experiments.common import j90
+from repro.simulator import toy_machine
+
+
+def test_fig_expansion_j90_delay(benchmark, save_result):
+    series = run_once(benchmark, fig_expansion.run, machine=j90(), n=64 * 1024)
+    sim = series.columns["simulated"]
+    xs = series.x
+    d = j90().d
+    # Time improves up to x = d ...
+    below = np.flatnonzero(xs <= d)
+    assert sim[below[-1]] < sim[below[0]]
+    # ... and keeps improving beyond x = d (the paper's second result).
+    past = np.flatnonzero(xs >= d)
+    assert sim[past[-1]] < sim[past[0]]
+    # The limit of the remedy: location contention (hot k = 4096) floors
+    # the hot pattern at ~d*k regardless of expansion, while the
+    # spreadable pattern keeps dropping to the throughput bound.
+    hot = series.columns["hotspot_simulated"]
+    assert hot[-1] >= d * 4096
+    assert hot[-1] > 5 * sim[-1]
+    save_result("fig_expansion_j90", series.format())
+
+
+def test_fig_expansion_c90_delay(benchmark, save_result):
+    machine = toy_machine(p=16, x=1, d=6.0)  # C90's d, expansion swept
+    series = run_once(benchmark, fig_expansion.run, machine=machine,
+                      n=64 * 1024)
+    sim = series.columns["simulated"]
+    assert sim[-1] < sim[0]
+    save_result("fig_expansion_c90", series.format())

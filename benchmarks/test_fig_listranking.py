@@ -1,0 +1,30 @@
+"""Bench LR — list-ranking contention study (paper future work)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig_listranking
+
+
+def test_fig_listranking_totals(benchmark, save_result):
+    series = run_once(benchmark, fig_listranking.run)
+    sim = series.columns["simulated"]
+    bsp = series.columns["bsp"]
+    dx = series.columns["dxbsp"]
+    # The hot tail makes pointer jumping bank-bound: BSP far under,
+    # (d,x)-BSP tracks.
+    assert (sim > 4 * bsp).all()
+    assert np.allclose(dx, sim, rtol=0.25)
+    save_result("fig_listranking", series.format())
+
+
+def test_fig_listranking_rounds(benchmark, save_result):
+    series = run_once(benchmark, fig_listranking.run_round_profile,
+                      n=32 * 1024)
+    cont = series.columns["tail_contention"]
+    times = series.columns["round_simulated"]
+    # Contention doubles per round; the last round costs ~d*n.
+    ratios = cont[1:] / cont[:-1]
+    assert (ratios > 1.4).all() and (ratios < 2.6).all()
+    assert times[-1] > 20 * times[0]
+    save_result("fig_listranking_rounds", series.format())

@@ -1,0 +1,18 @@
+"""Bench MP — multiprefix contention study (paper future work)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig_multiprefix
+
+
+def test_fig_multiprefix(benchmark, save_result):
+    series = run_once(benchmark, fig_multiprefix.run, n=32 * 1024)
+    direct = series.columns["direct_simulated"]
+    sorted_ = series.columns["sorted_simulated"]
+    # Direct queued-write multiprefix wins once keys spread (low
+    # multiplicity) and loses at extreme concentration — the Figure-11
+    # trade replayed.
+    assert direct[-1] < sorted_[-1] / 3
+    assert direct[0] > sorted_[0]
+    save_result("fig_multiprefix", series.format())

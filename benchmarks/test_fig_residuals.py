@@ -1,0 +1,26 @@
+"""Bench RE — model residuals over random patterns from every family."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import fig_residuals
+
+
+def test_fig_residuals(benchmark, save_result):
+    rows = run_once(benchmark, fig_residuals.run, n=32 * 1024, trials=6)
+    for name, _, dx_mean, dx_worst, bsp_mean, bsp_worst in rows:
+        # The headline claim, as a statistic: the (d,x)-BSP accounts for
+        # every family within a few percent...
+        assert abs(dx_worst) < 0.05, name
+    # ...while the bank-oblivious BSP collapses on contended families.
+    by = {r[0]: r for r in rows}
+    assert by["hotspot"][5] < -0.5
+    assert by["ts-and2"][5] < -0.5
+    # and is *also* fine on throughput-bound ones (the regime where the
+    # two models coincide).
+    assert abs(by["uniform"][5]) < 0.05
+    save_result(
+        "fig_residuals",
+        format_table(fig_residuals.HEADERS, rows,
+                     title="model residuals over random patterns"),
+    )

@@ -1,0 +1,26 @@
+"""Bench SB — radix sort vs key distribution (NAS-IS tie-in)."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import fig_sortbench
+
+
+def test_fig_sortbench(benchmark, save_result):
+    rows = run_once(benchmark, fig_sortbench.run)
+    by_name = {r[0]: r for r in rows}
+    # BSP is blind to the distribution (same prediction for all families);
+    # the simulator and (d,x)-BSP resolve them.
+    bsps = {r[2] for r in rows}
+    assert len(bsps) == 1
+    # Skew ordering: uniform < nas-is < ts-and in simulated time.
+    assert by_name["uniform"][4] < by_name["nas-is"][4] \
+        < by_name["ts-and r=2"][4]
+    # (d,x)-BSP tracks simulation for every family.
+    for r in rows:
+        assert abs(r[3] - r[4]) / r[4] < 0.25, r[0]
+    save_result(
+        "fig_sortbench",
+        format_table(fig_sortbench.HEADERS, rows,
+                     title="radix sort vs key distribution"),
+    )

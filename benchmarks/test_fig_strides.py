@@ -1,0 +1,20 @@
+"""Bench ST — constant-stride bank conflicts and the hashing remedy."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig_strides
+
+
+def test_fig_strides(benchmark, save_result):
+    series = run_once(benchmark, fig_strides.run, n=32 * 1024)
+    pred = series.columns["predicted"]
+    il = series.columns["interleaved_sim"]
+    hashed = series.columns["hashed_sim"]
+    # The closed form matches the simulator at every stride.
+    assert np.allclose(pred, il, rtol=0.05)
+    # Interleaving collapses at the largest power-of-two stride; hashing
+    # stays flat within a small module-map factor of the unit-stride time.
+    assert il[-1] > 20 * il[0]
+    assert hashed.max() < 1.5 * hashed.min()
+    save_result("fig_strides", series.format())

@@ -1,0 +1,18 @@
+"""Bench T1 — regenerate Table 1 (machine bank expansion)."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import table1_machines
+
+
+def test_table1_machines(benchmark, save_result):
+    rows = run_once(benchmark, table1_machines.run)
+    assert len(rows) >= 5
+    for _, p, banks, x, d, _ in rows:
+        assert x > 1  # every listed machine has more banks than processors
+    save_result(
+        "table1_machines",
+        format_table(table1_machines.HEADERS, rows,
+                     title="Table 1: bank expansion in real machines"),
+    )

@@ -1,0 +1,51 @@
+"""Bench T3 — regenerate Table 3 (hash evaluation cost per element).
+
+This is the one experiment where wall-clock IS the artifact, so the hash
+evaluations themselves are timed by pytest-benchmark (rather than via the
+experiment module's perf_counter loop).
+"""
+
+import numpy as np
+import pytest
+from conftest import RESULTS_DIR
+
+from repro.analysis import format_table
+from repro.mapping import cubic_hash, hash_flop_count, linear_hash, quadratic_hash
+from repro.workloads import uniform_random
+
+N = 1 << 22
+KEYS = uniform_random(N, 1 << 40, seed=1995)
+FAMILIES = {
+    "h1": linear_hash(1995),
+    "h2": quadratic_hash(1995),
+    "h3": cubic_hash(1995),
+}
+_timings = {}
+
+
+def _mean_seconds(benchmark) -> float:
+    stats = benchmark.stats
+    stats = getattr(stats, "stats", stats)  # Metadata wraps Stats
+    return float(stats.mean)
+
+
+@pytest.mark.parametrize("name", ["h1", "h2", "h3"])
+def test_table3_hash_eval(benchmark, name, save_result):
+    mapping = FAMILIES[name]
+    out = benchmark(mapping, KEYS, 512)
+    assert out.min() >= 0 and out.max() < 512
+    _timings[name] = _mean_seconds(benchmark) / N * 1e9
+    if len(_timings) == 3:  # last family timed: assemble the table
+        base = _timings["h1"]
+        rows = [
+            (fam, i + 1, hash_flop_count(i + 1), _timings[fam],
+             _timings[fam] / base)
+            for i, fam in enumerate(["h1", "h2", "h3"])
+        ]
+        # Shape assertion: cost grows with polynomial degree.
+        assert _timings["h3"] > _timings["h1"]
+        save_result(
+            "table3_hashcost",
+            format_table(("hash", "degree", "int ops/elem", "ns/elem", "rel."),
+                         rows, title="Table 3: hash evaluation cost"),
+        )

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Scenario: what machine am I on?  Recovering d from measurements.
+
+The paper validated its model with parameters read off hardware manuals.
+This example closes the loop the other way: treat a machine as a black
+box, measure a contention sweep, and *estimate* its bank delay and
+throughput floor from the curve — then compare against the truth.
+
+Run:  python examples/identify_machine.py
+"""
+
+from repro.analysis import estimate_bank_delay, measure_contention_curve
+from repro.simulator import CRAY_C90, CRAY_J90, toy_machine
+
+MYSTERY_MACHINES = [
+    CRAY_J90,
+    CRAY_C90,
+    toy_machine(p=8, x=32, d=21).with_(name="mystery DRAM box"),
+]
+
+
+def main() -> None:
+    n = 32 * 1024
+    print(f"contention sweep of n={n} per machine; estimating d "
+          f"from the measured curve\n")
+    header = (f"{'machine':<18} {'true d':>7} {'estimated d':>11} "
+              f"{'floor':>8} {'knee k*':>8}")
+    print(header)
+    print("-" * len(header))
+    for machine in MYSTERY_MACHINES:
+        ks, ts = measure_contention_curve(machine, n=n, seed=42)
+        est = estimate_bank_delay(ks, ts)
+        print(f"{machine.name:<18} {machine.d:>7.0f} {est.d:>11.2f} "
+              f"{est.floor:>8.0f} {est.knee:>8.0f}")
+    print("\nThe slope of time-vs-contention above the knee IS the bank "
+          "delay: two regimes, two machine parameters, recoverable from "
+          "a dozen scatters.  On real hardware, replace "
+          "measure_contention_curve with wall-clock timings of the same "
+          "hot-spot patterns (repro.workloads.hotspot).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Scenario: how many banks does a machine need?
+
+A machine designer's question, straight from the paper's Section 3: with
+processors this fast and DRAM banks this slow (delay d), is the "natural"
+d banks per processor enough?  The sweep below sizes a J90-class memory
+system against an irregular workload and shows the paper's answer —
+bandwidth parity at x = d/g is NOT the end of the story; random-mapping
+imbalance keeps improving past it.
+
+Run:  python examples/size_the_memory_system.py
+"""
+
+from repro.core import per_processor_load
+from repro.mapping import RandomMap, max_load_whp
+from repro.simulator import MachineConfig, simulate_scatter
+from repro.workloads import uniform_random
+
+P = 8            # processors
+D = 14           # DRAM bank delay, cycles (J90's)
+N = 64 * 1024    # requests per superstep
+SEED = 1995
+
+
+def main() -> None:
+    addr = uniform_random(N, 1 << 24, seed=SEED)
+    # RandomMap works for any bank count (the polynomial hash families
+    # need a power of two); the sweep includes x = d = 14 for the parity
+    # marker, so use the idealized random mapping throughout.
+    mapping = RandomMap(SEED)
+    ideal = per_processor_load(N, P)  # g*n/p floor, g=1
+    print(f"p={P}, d={D}, irregular scatter of n={N}"
+          f"  (pipeline floor: {ideal} cycles)\n")
+    header = (f"{'x':>5}  {'banks':>6}  {'whp max load':>12}  "
+              f"{'simulated':>10}  {'vs floor':>8}")
+    print(header)
+    print("-" * len(header))
+    for x in [1, 2, 4, 8, 14, 16, 32, 64, 128]:
+        banks = x * P
+        machine = MachineConfig(name=f"x={x}", p=P, n_banks=banks, d=D)
+        sim = simulate_scatter(machine, addr, mapping).time
+        whp = max_load_whp(N, banks, failure_prob=1e-3)
+        marker = "  <- bandwidth parity (x = d/g)" if x == D else ""
+        print(f"{x:>5}  {banks:>6}  {whp:>12}  {sim:>10.0f}  "
+              f"{sim / ideal:>7.2f}x{marker}")
+    print("\nPast x = d/g the aggregate bandwidth already matches the "
+          "processors, yet time keeps dropping: more banks = more bins = "
+          "a flatter maximum bank load under random mapping.  That is the "
+          "paper's case for the C90's 64 banks per processor.")
+
+
+if __name__ == "__main__":
+    main()

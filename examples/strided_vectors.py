@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Scenario: the vector programmer's classic — strides and their cure.
+
+Before worrying about irregular patterns, every vector-machine programmer
+met the strided pathology: a power-of-two stride maps onto a handful of
+banks under low-order interleaving, serializing at the bank delay.  This
+walk-through reproduces the classical curve on the J90 preset, then
+applies the paper's Section-4 remedy (a pseudo-random multiplicative-hash
+bank map) and shows the trade: strides flatten to uniform speed, at a
+small module-map premium on the strides interleaving served perfectly.
+
+Run:  python examples/strided_vectors.py
+"""
+
+from repro.analysis import banks_touched, predict_strided_time
+from repro.mapping import linear_hash
+from repro.simulator import CRAY_J90, simulate_scatter
+from repro.workloads import strided
+
+N = 64 * 1024
+SEED = 1995
+
+
+def main() -> None:
+    machine = CRAY_J90
+    mapping = linear_hash(SEED)
+    print(f"stride-s scatter of n={N} on {machine.name} "
+          f"({machine.n_banks} banks, d={machine.d:.0f})\n")
+    header = (f"{'stride':>7}  {'banks hit':>9}  {'predicted':>10}  "
+              f"{'interleaved':>11}  {'hashed':>8}")
+    print(header)
+    print("-" * len(header))
+    for stride in [1, 2, 3, 7, 8, 32, 128, 512, 1000]:
+        addr = strided(N, stride)
+        pred = predict_strided_time(machine, N, stride)
+        t_il = simulate_scatter(machine, addr).time
+        t_h = simulate_scatter(machine, addr, mapping).time
+        print(f"{stride:>7}  {banks_touched(stride, machine.n_banks):>9}  "
+              f"{pred:>10.0f}  {t_il:>11.0f}  {t_h:>8.0f}")
+    print("\nOdd strides are free (coprime with the bank count); "
+          "power-of-two strides collapse onto few banks and pay "
+          "d-per-element.  Hashing the bank map makes every stride run "
+          "at (near) unit-stride speed — which is why the paper can then "
+          "treat *location* contention as the one remaining enemy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Tutorial: writing your own program against the VectorMachine API.
+
+`repro.VectorMachine` is the front door for studying *your* algorithm's
+bank behaviour: write it as bulk gathers/scatters/scans, get real results
+plus a live (d,x)-BSP bill, then simulate the exact trace.
+
+The program below builds a histogram two ways — a direct queued scatter
+versus a privatized (per-processor) layout — the core dilemma behind the
+paper's radix sort baseline [ZB91].
+
+Run:  python examples/vm_programming.py
+"""
+
+import numpy as np
+
+from repro import VectorMachine
+from repro.simulator import CRAY_J90
+from repro.workloads import zipf_pattern
+
+N = 64 * 1024
+BUCKETS = 512
+
+
+def direct_histogram(vm: VectorMachine, keys: np.ndarray) -> None:
+    """Every element updates its bucket — queued writes, contention =
+    bucket popularity."""
+    hist = vm.empty(BUCKETS, name="hist")
+    vm.scatter(hist, keys, np.ones(N, dtype=np.int64), label="hist/update")
+
+
+def privatized_histogram(
+    vm: VectorMachine, keys: np.ndarray, p: int, staggered: bool
+) -> None:
+    """Each virtual processor owns a private histogram (the [ZB91]
+    trick), cutting *location* contention to per-processor counts.
+
+    The memory layout decides whether that helps: row-major
+    (``proc*BUCKETS + key``) keeps every copy of a hot bucket at
+    addresses congruent mod the power-of-two bucket count — i.e. on ONE
+    bank under interleaving, so the bank is exactly as hot as before.
+    The staggered layout (``key*p + proc``) spreads the copies over ``p``
+    banks, which is the point of privatizing.
+    """
+    priv = vm.empty(p * BUCKETS, name="private")
+    proc = np.arange(N, dtype=np.int64) % p
+    idx = keys * p + proc if staggered else proc * BUCKETS + keys
+    vm.scatter(priv, idx, np.ones(N, dtype=np.int64),
+               label="hist/private-update")
+    merged = vm.scan(priv, label="hist/merge")  # the merge pass
+    assert merged.size == p * BUCKETS
+
+
+def main() -> None:
+    rng = np.random.default_rng(1995)
+    for name, keys in [
+        ("uniform keys", rng.integers(0, BUCKETS, size=N).astype(np.int64)),
+        ("zipf keys (skewed)", zipf_pattern(N, BUCKETS, alpha=1.3, seed=7)),
+    ]:
+        print(f"== {name} "
+              f"(max bucket {np.bincount(keys, minlength=BUCKETS).max()})")
+        vm = VectorMachine(CRAY_J90)
+        direct_histogram(vm, keys)
+        t_direct = vm.simulate().total_time
+
+        times = {}
+        for staggered in (False, True):
+            vm = VectorMachine(CRAY_J90)
+            privatized_histogram(vm, keys, p=CRAY_J90.p, staggered=staggered)
+            times[staggered] = vm.simulate().total_time
+
+        print(f"   direct scatter          : {t_direct:>10,.0f} cycles")
+        print(f"   privatized, row-major   : {times[False]:>10,.0f} cycles"
+              f"   (hot copies share a bank!)")
+        print(f"   privatized, staggered   : {times[True]:>10,.0f} cycles\n")
+    print("Uniform keys: contention is tiny and privatization pays its "
+          "merge for nothing.  Skewed keys: the hot bucket serializes at "
+          "d per update; privatization only helps if the layout actually "
+          "spreads the private copies across banks — location contention, "
+          "module-map contention and layout interact, and the model+"
+          "simulator let you see all three before writing vector code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline editable
+installs via `python setup.py develop`); all metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — reproduction of "Accounting for Memory Bank Contention and
+Delay in High-Bandwidth Multiprocessors" (Blelloch, Gibbons, Matias,
+Zagha; SPAA 1995).
+
+The package provides, as importable subsystems:
+
+* :mod:`repro.core` — the (d,x)-BSP model: parameters, superstep cost
+  laws, contention statistics, program-level accounting.
+* :mod:`repro.simulator` — a cycle-level memory-bank simulator standing in
+  for the paper's Cray C90/J90 testbed (vectorized fast path + a
+  cycle-accurate bounded-queue reference).
+* :mod:`repro.mapping` — interleaved / random / polynomial-universal-hash
+  bank mappings, module-map contention analysis, tail bounds.
+* :mod:`repro.emulation` — EREW/CRCW/QRQW PRAMs and the QRQW → (d,x)-BSP
+  work-preserving emulation (Theorems 5.1/5.2).
+* :mod:`repro.algorithms` — instrumented binary search, random
+  permutation, SpMV, connected components, radix sort, scans,
+  multiprefix, list ranking.
+* :mod:`repro.workloads` — hot-spot / entropy / section-confined pattern
+  generators and trace capture.
+* :mod:`repro.analysis` — predicted-vs-measured comparison and reporting.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.core import crossover_contention
+    from repro.simulator import CRAY_J90, simulate_scatter
+    from repro.workloads import hotspot
+    from repro.analysis import compare_scatter
+
+    addr = hotspot(n=512 * 1024, k=4096, space=1 << 24, seed=0)
+    cmp = compare_scatter(CRAY_J90, addr)
+    print(cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time)
+"""
+
+from . import algorithms, analysis, core, emulation, mapping, simulator, workloads
+from .vm import VectorMachine, VMArray
+from .errors import (
+    ContentionRuleError,
+    MappingError,
+    ParameterError,
+    PatternError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "simulator",
+    "mapping",
+    "emulation",
+    "algorithms",
+    "workloads",
+    "analysis",
+    "VectorMachine",
+    "VMArray",
+    "ReproError",
+    "ParameterError",
+    "PatternError",
+    "SimulationError",
+    "MappingError",
+    "ContentionRuleError",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Instrumented parallel algorithms from the paper's Section 6 (plus the
+future-work extensions its conclusion names), with the scan / radix-sort
+substrates they build on."""
+
+from ._arena import Arena
+from .compaction import erew_compact, qrqw_compact
+from .maximum import erew_maximum, qrqw_maximum, tournament_rounds
+from .merge import merge_sorted
+from .binary_search import (
+    MIN_SENTINEL,
+    build_implicit_tree,
+    erew_binary_search,
+    qrqw_binary_search,
+    replication_schedule,
+)
+from .connected_components import (
+    CCStats,
+    connected_components,
+    grid_edges,
+    random_graph_edges,
+    star_edges,
+)
+from .list_ranking import list_rank, random_list
+from .multiprefix import multiprefix, multiprefix_direct
+from .radix_sort import RadixSortStats, radix_sort
+from .random_permutation import (
+    DartStats,
+    erew_random_permutation,
+    qrqw_random_permutation,
+)
+from .scan import (
+    exclusive_scan,
+    inclusive_scan,
+    segment_ids_from_flags,
+    segmented_exclusive_scan,
+    segmented_inclusive_scan,
+    segmented_max,
+    segmented_sum,
+)
+from .spmv import CSRMatrix, dense_column_csr, random_csr, spmv
+
+__all__ = [
+    "Arena",
+    "exclusive_scan",
+    "inclusive_scan",
+    "segment_ids_from_flags",
+    "segmented_inclusive_scan",
+    "segmented_exclusive_scan",
+    "segmented_sum",
+    "segmented_max",
+    "radix_sort",
+    "RadixSortStats",
+    "build_implicit_tree",
+    "replication_schedule",
+    "qrqw_binary_search",
+    "erew_binary_search",
+    "MIN_SENTINEL",
+    "qrqw_random_permutation",
+    "erew_random_permutation",
+    "DartStats",
+    "CSRMatrix",
+    "random_csr",
+    "dense_column_csr",
+    "spmv",
+    "connected_components",
+    "CCStats",
+    "random_graph_edges",
+    "star_edges",
+    "grid_edges",
+    "multiprefix",
+    "multiprefix_direct",
+    "list_rank",
+    "random_list",
+    "qrqw_compact",
+    "erew_compact",
+    "qrqw_maximum",
+    "erew_maximum",
+    "tournament_rounds",
+    "merge_sorted",
+]

@@ -1,0 +1,47 @@
+"""A trivial bump allocator for trace addresses.
+
+Instrumented algorithms need each logical array to occupy a distinct
+region of the simulated address space so their recorded patterns have
+realistic bank footprints.  :class:`Arena` hands out disjoint base
+addresses; nothing is ever freed (traces are short-lived).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+__all__ = ["Arena"]
+
+
+class Arena:
+    """Bump allocator over the simulated word-addressed memory."""
+
+    def __init__(self, base: int = 0, align: int = 64) -> None:
+        if base < 0:
+            raise ParameterError(f"base must be >= 0, got {base}")
+        if align < 1:
+            raise ParameterError(f"align must be >= 1, got {align}")
+        self._next = int(base)
+        self._align = int(align)
+        self._regions: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, size: int, name: str = "") -> int:
+        """Reserve ``size`` words; returns the region's base address."""
+        if size < 0:
+            raise ParameterError(f"size must be >= 0, got {size}")
+        # Round the base up so regions start on an alignment boundary;
+        # keeps region→bank phase effects independent across arrays.
+        base = -(-self._next // self._align) * self._align
+        self._next = base + int(size)
+        if name:
+            self._regions[name] = (base, int(size))
+        return base
+
+    def region(self, name: str) -> tuple[int, int]:
+        """(base, size) of a named region."""
+        return self._regions[name]
+
+    @property
+    def used(self) -> int:
+        """One past the highest address handed out."""
+        return self._next

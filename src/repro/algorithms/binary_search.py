@@ -1,0 +1,228 @@
+"""QRQW vs EREW parallel binary search [GMR94a] (paper Section 6).
+
+``n`` independent keys are looked up in a balanced binary search tree of
+``m`` keys.
+
+**QRQW algorithm** — search the (implicit, heap-ordered) tree directly,
+but *replicate* the nodes of the top levels: level ``l`` holds ``c_l``
+copies of each node and every searcher picks a copy at random.  Without
+replication every search visits the root — contention ``n``; with
+``c_l ~ n / (2^l * tau)`` copies the expected contention at any copy is
+about ``tau`` per level, a *well-accounted* amount of contention that the
+QRQW model (and the (d,x)-BSP underneath) charges honestly.
+
+**EREW baseline** — avoids contention altogether by sorting the query
+keys (radix sort, itself EREW) and then merging the sorted queries with
+the tree keys, a contention-free two-sequence merge.  The sort dominates
+its cost, which is why the QRQW version wins over a wide range of ``n``.
+
+Both return, for each query, the *predecessor value*: the largest tree
+key ``<=`` the query (or ``MIN_SENTINEL`` when none), verified in tests
+against :func:`numpy.searchsorted`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import as_rng
+from ..errors import ParameterError, PatternError
+from ..workloads.traces import TraceRecorder, maybe_record
+from ._arena import Arena
+from .radix_sort import radix_sort
+
+__all__ = [
+    "MIN_SENTINEL",
+    "build_implicit_tree",
+    "replication_schedule",
+    "qrqw_binary_search",
+    "erew_binary_search",
+]
+
+#: Value returned when a query precedes every tree key.
+MIN_SENTINEL = np.int64(np.iinfo(np.int64).min)
+
+#: Internal padding key (larger than any real key) for non-full trees.
+_MAX_PAD = np.int64(np.iinfo(np.int64).max)
+
+
+def build_implicit_tree(sorted_keys) -> np.ndarray:
+    """Lay out sorted keys as an implicit heap-ordered balanced BST.
+
+    Node 0 is the root; node ``i`` has children ``2i+1`` / ``2i+2``.  The
+    array is padded to ``2^depth - 1`` slots with ``+inf`` sentinels (they
+    compare greater than every query, steering searches left, so padding
+    never changes a predecessor).
+    """
+    keys = np.asarray(sorted_keys)
+    if keys.ndim != 1:
+        raise PatternError(f"sorted_keys must be 1-D, got shape {keys.shape}")
+    if keys.size and (np.diff(keys) < 0).any():
+        raise PatternError("keys must be sorted ascending")
+    m = keys.size
+    depth = max(1, int(m).bit_length() if m else 1)
+    if (1 << depth) - 1 < m:
+        depth += 1
+    size = (1 << depth) - 1
+    tree = np.full(size, _MAX_PAD, dtype=np.int64)
+    # Level-wise construction: each node covers a key interval [lo, hi);
+    # it stores the interval's middle key and splits it for its children.
+    los = np.array([0], dtype=np.int64)
+    his = np.array([m], dtype=np.int64)
+    node0 = 0
+    for level in range(depth):
+        width = 1 << level
+        mids = (los + his) // 2
+        valid = los < his
+        idx = node0 + np.arange(width)
+        tree[idx[valid]] = keys[mids[valid]]
+        # Children intervals (invalid nodes propagate empty intervals).
+        new_los = np.empty(2 * width, dtype=np.int64)
+        new_his = np.empty(2 * width, dtype=np.int64)
+        new_los[0::2], new_his[0::2] = los, np.where(valid, mids, los)
+        new_los[1::2], new_his[1::2] = np.where(valid, mids + 1, his), his
+        los, his = new_los, new_his
+        node0 += width
+    return tree
+
+
+def replication_schedule(
+    n_queries: int, depth: int, target_contention: int = 8
+) -> np.ndarray:
+    """Copies per node at each level: ``c_l = max(1, n / (2^l * tau))``.
+
+    Enough copies that the *expected* contention per copy is about
+    ``tau`` (= ``target_contention``) when queries spread uniformly.
+    """
+    if n_queries < 0 or depth < 1:
+        raise ParameterError("need n_queries >= 0 and depth >= 1")
+    if target_contention < 1:
+        raise ParameterError(
+            f"target_contention must be >= 1, got {target_contention}"
+        )
+    levels = np.arange(depth, dtype=np.int64)
+    nodes = np.int64(1) << levels
+    copies = np.maximum(1, n_queries // (nodes * target_contention))
+    return copies.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class _TreeLayout:
+    """Address layout of the replicated tree: per-level bases and copy
+    counts, used only for trace realism."""
+
+    level_base: np.ndarray
+    copies: np.ndarray
+
+
+def _layout(depth: int, copies: np.ndarray, arena: Arena) -> _TreeLayout:
+    bases = np.empty(depth, dtype=np.int64)
+    for level in range(depth):
+        n_nodes = 1 << level
+        bases[level] = arena.alloc(int(n_nodes * copies[level]), f"tree/L{level}")
+    return _TreeLayout(level_base=bases, copies=copies)
+
+
+def qrqw_binary_search(
+    tree: np.ndarray,
+    queries,
+    target_contention: int = 8,
+    seed=None,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """Search every query in the replicated implicit tree.
+
+    Returns the predecessor value of each query (largest tree key <=
+    query, ``MIN_SENTINEL`` if none).  When ``recorder`` is given, each
+    level's gather — with its randomized replica choice — is recorded as
+    one superstep, so the trace's per-step contention is ~``tau`` whp
+    instead of ``n``.
+    """
+    q = np.asarray(queries, dtype=np.int64)
+    if q.ndim != 1:
+        raise PatternError(f"queries must be 1-D, got shape {q.shape}")
+    size = tree.size
+    depth = int(size + 1).bit_length() - 1
+    if (1 << depth) - 1 != size:
+        raise PatternError("tree size must be 2^depth - 1 (use build_implicit_tree)")
+    rng = as_rng(seed)
+    copies = replication_schedule(q.size, depth, target_contention)
+    layout = _layout(depth, copies, arena or Arena()) if recorder is not None else None
+
+    pos = np.zeros(q.size, dtype=np.int64)  # current node (implicit index)
+    best = np.full(q.size, MIN_SENTINEL, dtype=np.int64)
+    node0 = 0
+    for level in range(depth):
+        local = pos - node0  # node index within the level
+        node_keys = tree[pos]
+        if recorder is not None:
+            replica = rng.integers(0, copies[level], size=q.size, dtype=np.int64)
+            addr = layout.level_base[level] + local * copies[level] + replica
+            maybe_record(
+                recorder, addr, kind="gather", label=f"qrqw-search/level{level}"
+            )
+        go_right = node_keys <= q
+        best = np.where(go_right, node_keys, best)
+        pos = node0 + (1 << level) + 2 * local + go_right.astype(np.int64)
+        node0 += 1 << level
+    # Padding sentinels never update `best` (they exceed every query).
+    return best
+
+
+def erew_binary_search(
+    sorted_keys,
+    queries,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """EREW baseline: radix-sort the queries, merge with the tree keys,
+    un-permute the answers.  Contention-free by construction; cost
+    dominated by the sort.  Returns predecessor values like
+    :func:`qrqw_binary_search`.
+    """
+    keys = np.asarray(sorted_keys, dtype=np.int64)
+    q = np.asarray(queries, dtype=np.int64)
+    if keys.ndim != 1 or q.ndim != 1:
+        raise PatternError("keys and queries must be 1-D")
+    if keys.size and (np.diff(keys) < 0).any():
+        raise PatternError("keys must be sorted ascending")
+    if q.size and int(q.min()) < 0:
+        raise PatternError("radix-sorted queries must be non-negative")
+    arena = arena or Arena()
+
+    sorted_q, order, _ = radix_sort(q, recorder=recorder, arena=arena)
+
+    # Merge step: sorted queries against sorted keys.  Each element of
+    # either sequence is inspected once — contention-free; we record it as
+    # one linear pass over both arrays.
+    ranks = np.searchsorted(keys, sorted_q, side="right")
+    if recorder is not None:
+        key_base = arena.alloc(keys.size, "merge/keys")
+        q_base = arena.alloc(q.size, "merge/queries")
+        merge_addr = np.concatenate(
+            [
+                key_base + np.arange(keys.size, dtype=np.int64),
+                q_base + np.arange(q.size, dtype=np.int64),
+            ]
+        )
+        maybe_record(recorder, merge_addr, kind="read", label="erew-search/merge")
+
+    if keys.size:
+        pred_sorted = np.where(
+            ranks > 0, keys[np.maximum(ranks - 1, 0)], MIN_SENTINEL
+        )
+    else:
+        pred_sorted = np.full(q.size, MIN_SENTINEL, dtype=np.int64)
+    # Route answers back to query order (a permutation scatter).
+    out = np.empty(q.size, dtype=np.int64)
+    out[order] = pred_sorted
+    if recorder is not None:
+        res_base = arena.alloc(q.size, "results")
+        maybe_record(
+            recorder, res_base + order, kind="scatter", label="erew-search/unpermute"
+        )
+    return out

@@ -1,0 +1,105 @@
+"""List ranking by pointer jumping [RM94] — future-work extension.
+
+Reid-Miller's Cray C-90 list ranking is the other algorithm the paper's
+conclusion queues up for contention analysis.  Wyllie-style pointer
+jumping performs ``ceil(lg n)`` rounds of ``rank += rank[succ];
+succ = succ[succ]`` — each round is a *gather at the successor pointers*.
+On a proper list the successor function is injective (contention 1 at
+every location except the tail, which accumulates pointers from the
+growing suffix), so the interesting contention is the hot tail: after
+round ``r`` up to ``2^r`` nodes point at the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError, PatternError
+from ..workloads.traces import TraceRecorder, maybe_record
+from ._arena import Arena
+
+__all__ = ["list_rank", "random_list"]
+
+
+def list_rank(
+    successor,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """Distance of every node to the end of its list.
+
+    Parameters
+    ----------
+    successor:
+        int64 vector; ``successor[i]`` is ``i``'s next node, with the tail
+        marked by ``successor[t] == t`` (self-loop sentinel).  Multiple
+        disjoint lists are fine.
+
+    Returns
+    -------
+    int64 ranks: the tail gets 0, its predecessor 1, and so on.
+    """
+    succ = np.asarray(successor, dtype=np.int64).copy()
+    n = succ.size
+    if succ.ndim != 1:
+        raise PatternError(f"successor must be 1-D, got shape {succ.shape}")
+    if n and (succ.min() < 0 or succ.max() >= n):
+        raise PatternError("successor ids outside [0, n)")
+    arena = arena or Arena()
+    succ_base = arena.alloc(n, "succ")
+    rank_base = arena.alloc(n, "rank")
+
+    is_tail = succ == np.arange(n, dtype=np.int64)
+    rank = (~is_tail).astype(np.int64)
+    rounds = 0
+    max_rounds = max(1, int(n).bit_length() + 2)
+    while True:
+        done = np.array_equal(succ, succ[succ])
+        if recorder is not None:
+            maybe_record(
+                recorder, rank_base + succ, kind="gather",
+                label=f"listrank/round{rounds}/read-rank",
+            )
+            maybe_record(
+                recorder, succ_base + succ, kind="gather",
+                label=f"listrank/round{rounds}/read-succ",
+            )
+        rank = rank + rank[succ]
+        succ = succ[succ]
+        rounds += 1
+        if done:
+            break
+        if rounds > max_rounds:  # unreachable for list inputs; safety net
+            raise PatternError(
+                "pointer jumping did not converge within lg(n) rounds"
+            )
+    # A cycle collapses to self-loops under pointer jumping, so mere
+    # convergence is not proof of list-ness: every final successor must be
+    # one of the *original* tails.
+    if n and not is_tail[succ].all():
+        raise PatternError(
+            "successor graph is not a set of lists (cycle detected)"
+        )
+    return rank
+
+
+def random_list(n: int, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """A random singly-linked list over ``n`` nodes.
+
+    Returns
+    -------
+    (successor, order):
+        ``successor`` in the :func:`list_rank` convention; ``order`` is
+        the head-to-tail node sequence (for oracle checking).
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n).astype(np.int64)
+    succ = np.empty(n, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    succ[order[-1]] = order[-1]
+    return succ, order

@@ -1,0 +1,127 @@
+"""Maximum finding by queued tournaments — a QRQW-style reduction.
+
+The QRQW cost rule changes the optimal reduction tree.  An EREW reduction
+must use fan-in 2 (anything higher is a concurrent access): ``lg n``
+rounds.  The queue rule *allows* fan-in ``f`` at a cost of ``f`` per
+round, giving ``log_f n`` rounds of cost ``f`` — total ``f·log_f n``,
+minimized (classically) at ``f ~ lg n / lg lg n``.  On the (d,x)-BSP the
+per-round cost becomes ``max(g·ceil(m/p), d·f)``: once the round size
+``m`` drops under ``p·d·f/g``, the ``d·f`` term is pure serialization and
+the fan-in sweet spot shifts — the ablation bench maps that surface.
+
+Both variants return the true maximum (tested against ``np.max``) and
+record one gather+scatter superstep per round when instrumented.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError, PatternError
+from ..workloads.traces import TraceRecorder, maybe_record
+from ._arena import Arena
+
+__all__ = ["qrqw_maximum", "erew_maximum", "tournament_rounds"]
+
+
+def tournament_rounds(n: int, fan_in: int) -> int:
+    """Rounds a fan-in-``fan_in`` tournament needs to reduce ``n`` values
+    to one: ``ceil(log_f n)`` (0 for n <= 1)."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if fan_in < 2:
+        raise ParameterError(f"fan_in must be >= 2, got {fan_in}")
+    rounds = 0
+    m = n
+    while m > 1:
+        m = -(-m // fan_in)
+        rounds += 1
+    return rounds
+
+
+def qrqw_maximum(
+    values,
+    fan_in: int = 8,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """Maximum of ``values`` by a fan-in-``fan_in`` queued tournament.
+
+    Each round partitions the survivors into groups of ``fan_in``; every
+    member writes its value at the group's cell (queued writes, contention
+    ``fan_in``) and the group's maximum survives.  Returns a 0-d array
+    with the maximum.
+    """
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise PatternError(f"values must be 1-D, got shape {v.shape}")
+    if v.size == 0:
+        raise PatternError("maximum of an empty array is undefined")
+    if fan_in < 2:
+        raise ParameterError(f"fan_in must be >= 2, got {fan_in}")
+    arena = arena or Arena()
+    current = v.copy()
+    rnd = 0
+    while current.size > 1:
+        m = current.size
+        n_groups = -(-m // fan_in)
+        group = np.arange(m, dtype=np.int64) // fan_in
+        if recorder is not None:
+            cell_base = arena.alloc(n_groups, f"max/round{rnd}")
+            # Queued writes: every member hits its group's cell.
+            maybe_record(recorder, cell_base + group, kind="scatter",
+                         label=f"qrqw-max/round{rnd}/tournament")
+        # Group maxima, vectorized (pad with the dtype minimum).
+        pad = n_groups * fan_in - m
+        padded = np.concatenate([
+            current,
+            np.full(pad, _identity(current.dtype), dtype=current.dtype),
+        ])
+        current = padded.reshape(n_groups, fan_in).max(axis=1)
+        rnd += 1
+    return current[0]
+
+
+def erew_maximum(
+    values,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """Maximum by the EREW fan-in-2 binary tree — the contention-free
+    baseline (``lg n`` rounds of contention-1 traffic)."""
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise PatternError(f"values must be 1-D, got shape {v.shape}")
+    if v.size == 0:
+        raise PatternError("maximum of an empty array is undefined")
+    arena = arena or Arena()
+    current = v.copy()
+    rnd = 0
+    while current.size > 1:
+        m = current.size
+        half = m // 2
+        if recorder is not None:
+            buf_base = arena.alloc(m, f"erew-max/round{rnd}")
+            # Pairwise reads: each survivor reads one partner — k = 1.
+            maybe_record(
+                recorder,
+                buf_base + np.arange(2 * half, dtype=np.int64),
+                kind="read",
+                label=f"erew-max/round{rnd}/pairs",
+            )
+        left = current[0:2 * half:2]
+        right = current[1:2 * half:2]
+        merged = np.maximum(left, right)
+        if m % 2:
+            merged = np.concatenate([merged, current[-1:]])
+        current = merged
+        rnd += 1
+    return current[0]
+
+
+def _identity(dtype) -> object:
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).min
+    return -np.inf

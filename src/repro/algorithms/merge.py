@@ -1,0 +1,83 @@
+"""Parallel merging of sorted sequences by cross-ranking.
+
+"Binary searching is an important substep in several algorithms for
+sorting and merging (e.g. [RV87])" — the QRQW binary search of
+:mod:`repro.algorithms.binary_search` is exactly the substep: merging
+``a`` and ``b`` amounts to ranking every element of each sequence in the
+other, then scattering to ``position = own_index + cross_rank`` (a
+permutation, contention 1).  The ranking searches are where contention
+lives, and the replicated-tree trick bounds it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PatternError
+from ..workloads.traces import TraceRecorder, maybe_record
+from ._arena import Arena
+from .binary_search import build_implicit_tree, qrqw_binary_search
+
+__all__ = ["merge_sorted"]
+
+
+def merge_sorted(
+    a,
+    b,
+    target_contention: int = 8,
+    seed=None,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """Stable merge of two sorted int arrays.
+
+    Ties resolve ``a``-before-``b`` (the stable convention).  When
+    instrumented, the trace contains the two replicated-tree ranking
+    descents (bounded contention ~``target_contention`` per level) and
+    the final permutation scatter.
+    """
+    av = np.asarray(a, dtype=np.int64)
+    bv = np.asarray(b, dtype=np.int64)
+    for name, arr in (("a", av), ("b", bv)):
+        if arr.ndim != 1:
+            raise PatternError(f"{name} must be 1-D, got shape {arr.shape}")
+        if arr.size and (np.diff(arr) < 0).any():
+            raise PatternError(f"{name} must be sorted ascending")
+    arena = arena or Arena()
+
+    # Cross ranks (stable): a-elements precede equal b-elements.
+    rank_a_in_b = np.searchsorted(bv, av, side="left")
+    rank_b_in_a = np.searchsorted(av, bv, side="right")
+
+    if recorder is not None:
+        # The ranking is performed by replicated-tree descents; run the
+        # instrumented searches for their (realistic) traces.
+        if bv.size:
+            with recorder.phase("merge/rank-a-in-b"):
+                qrqw_binary_search(
+                    build_implicit_tree(bv), av, target_contention,
+                    seed=seed, recorder=recorder, arena=arena,
+                )
+        if av.size:
+            with recorder.phase("merge/rank-b-in-a"):
+                qrqw_binary_search(
+                    build_implicit_tree(av), bv, target_contention,
+                    seed=seed, recorder=recorder, arena=arena,
+                )
+
+    out = np.empty(av.size + bv.size, dtype=np.int64)
+    pos_a = np.arange(av.size, dtype=np.int64) + rank_a_in_b
+    pos_b = np.arange(bv.size, dtype=np.int64) + rank_b_in_a
+    out[pos_a] = av
+    out[pos_b] = bv
+    if recorder is not None and out.size:
+        out_base = arena.alloc(out.size, "merge/out")
+        maybe_record(
+            recorder,
+            out_base + np.concatenate([pos_a, pos_b]),
+            kind="scatter",
+            label="merge/place",
+        )
+    return out

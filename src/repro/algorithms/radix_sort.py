@@ -1,0 +1,147 @@
+"""Instrumented LSD radix sort [ZB91] — the EREW baseline substrate.
+
+Zagha and Blelloch's radix sort is the highly-optimized EREW-style
+algorithm the paper's random-permutation experiment compares against (and
+"currently the fastest implementation of the NAS sorting benchmark"
+[BBDS94] at the time).  Its memory behaviour per pass:
+
+1. **histogram** — each (virtual) processor counts digit occurrences in a
+   *private* histogram (addresses ``hist_base + proc*R + digit``); the
+   privatization is precisely how the EREW algorithm avoids location
+   contention, at the price of ``p*R`` extra space and a histogram-merge
+   scan.
+2. **rank** — exclusive scan over the merged histograms (regular traffic).
+3. **permute** — scatter keys to their ranks: a permutation, contention 1.
+
+So a radix sort is (by design) an almost contention-free program — which
+is exactly why the dart-throwing QRQW permutation algorithm, which accepts
+some well-accounted contention, can beat it (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import as_rng
+from ..errors import ParameterError, PatternError
+from ..workloads.traces import TraceRecorder, maybe_record
+from ._arena import Arena
+
+__all__ = ["radix_sort", "RadixSortStats"]
+
+
+@dataclass(frozen=True)
+class RadixSortStats:
+    """Shape of one radix-sort run: passes and per-pass element count."""
+
+    n: int
+    bits: int
+    radix_bits: int
+    n_passes: int
+
+
+def radix_sort(
+    keys,
+    bits: Optional[int] = None,
+    radix_bits: int = 8,
+    p: int = 8,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> Tuple[np.ndarray, np.ndarray, RadixSortStats]:
+    """Sort non-negative integer ``keys`` LSD-first.
+
+    Parameters
+    ----------
+    keys:
+        1-D non-negative int array.
+    bits:
+        Key width; defaults to the width of the maximum key.
+    radix_bits:
+        Digit width per pass (``R = 2**radix_bits`` buckets).
+    p:
+        Virtual processors for histogram privatization (affects only the
+        recorded trace, not the result).
+    recorder / arena:
+        Optional instrumentation (see :mod:`repro.workloads.traces`).
+
+    Returns
+    -------
+    (sorted_keys, order, stats):
+        ``sorted_keys == keys[order]``; ``order`` is the stable sorting
+        permutation.
+    """
+    k = np.asarray(keys)
+    if k.ndim != 1:
+        raise PatternError(f"keys must be 1-D, got shape {k.shape}")
+    if not np.issubdtype(k.dtype, np.integer):
+        raise PatternError(f"keys must be integers, got dtype {k.dtype}")
+    if k.size and int(k.min()) < 0:
+        raise PatternError("keys must be non-negative")
+    if radix_bits < 1 or radix_bits > 24:
+        raise ParameterError(f"radix_bits must be in [1, 24], got {radix_bits}")
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+
+    n = k.size
+    if bits is None:
+        bits = max(1, int(k.max()).bit_length()) if n else 1
+    if bits < 1:
+        raise ParameterError(f"bits must be >= 1, got {bits}")
+    n_passes = -(-bits // radix_bits)
+    R = 1 << radix_bits
+    stats = RadixSortStats(n=n, bits=bits, radix_bits=radix_bits, n_passes=n_passes)
+
+    arena = arena or Arena()
+    key_base = arena.alloc(n, "keys")
+    out_base = arena.alloc(n, "out")
+    hist_base = arena.alloc(p * R, "hist")
+
+    order = np.arange(n, dtype=np.int64)
+    work = k.astype(np.int64, copy=True)
+    proc = order % p  # element -> virtual processor (round-robin dealing)
+
+    for pass_no in range(n_passes):
+        shift = pass_no * radix_bits
+        digit = (work >> shift) & (R - 1)
+        if recorder is not None:
+            # Histogram build: each processor scatters increments into its
+            # private histogram row.  Contention-free across processors.
+            maybe_record(
+                recorder,
+                hist_base + proc * R + digit,
+                kind="scatter",
+                label=f"radix/pass{pass_no}/histogram",
+            )
+            # Histogram merge + rank: one regular pass over p*R words.
+            maybe_record(
+                recorder,
+                hist_base + np.arange(p * R, dtype=np.int64),
+                kind="read",
+                label=f"radix/pass{pass_no}/rank-scan",
+            )
+        # Stable counting-sort pass (argsort(kind="stable") on a small-
+        # alphabet digit array is a counting sort under the hood).
+        perm = np.argsort(digit, kind="stable")
+        work = work[perm]
+        order = order[perm]
+        if recorder is not None:
+            # Permute: scatter each key to its rank — a permutation write.
+            rank = np.empty(n, dtype=np.int64)
+            rank[perm] = np.arange(n, dtype=np.int64)
+            maybe_record(
+                recorder,
+                out_base + rank,
+                kind="scatter",
+                label=f"radix/pass{pass_no}/permute",
+            )
+            maybe_record(
+                recorder,
+                key_base + np.arange(n, dtype=np.int64),
+                kind="read",
+                label=f"radix/pass{pass_no}/read-keys",
+            )
+
+    return work, order, stats

@@ -1,0 +1,180 @@
+"""Random permutation generation: QRQW dart-throwing vs EREW sort-based
+(paper Section 6, Figure 11).
+
+**QRQW algorithm** [GMR94a] — each element ``i`` draws a random index and
+writes its self-index into a destination array at that location.  Elements
+with no collision are done and drop out; collided elements repeat in
+another round, until none remain.  The values written into the destination
+are then packed into contiguous positions, producing the permutation.  It
+runs in ``O(n/p + lg n)`` QRQW time: rounds shrink geometrically and the
+per-round contention is small whp — contention *allowed but accounted*.
+
+**EREW baseline** — tag each element with a random key and radix-sort
+[ZB91]; the sorted order is the permutation.  Contention-free but pays the
+full multi-pass sort every time.
+
+Both produce a permutation of ``0..n-1`` (the property the tests check);
+uniformity is approximate for both in the usual ways (collision resolution
+order / duplicate keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import as_rng
+from ..errors import ParameterError
+from ..workloads.traces import TraceRecorder, maybe_record
+from ._arena import Arena
+from .radix_sort import radix_sort
+
+__all__ = ["qrqw_random_permutation", "erew_random_permutation", "DartStats"]
+
+
+@dataclass(frozen=True)
+class DartStats:
+    """Shape of one dart-throwing run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of dart rounds until every element placed.
+    per_round_active:
+        Elements still active at the start of each round.
+    per_round_contention:
+        Maximum slot contention in each round's scatter.
+    """
+
+    rounds: int
+    per_round_active: Tuple[int, ...]
+    per_round_contention: Tuple[int, ...]
+
+    @property
+    def total_darts(self) -> int:
+        """Total scatter operations over all rounds."""
+        return int(sum(self.per_round_active))
+
+
+def qrqw_random_permutation(
+    n: int,
+    slots_factor: float = 1.0,
+    seed=None,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+    max_rounds: int = 10_000,
+) -> Tuple[np.ndarray, DartStats]:
+    """Generate a permutation of ``0..n-1`` by dart throwing.
+
+    Parameters
+    ----------
+    n:
+        Permutation size.
+    slots_factor:
+        Each round's fresh destination region holds
+        ``ceil(slots_factor * survivors)`` slots (factor 1 matches the
+        paper's size-``n`` first round; a larger factor lowers collision
+        probability, trading memory for fewer rounds — an ablation).
+    seed / recorder / arena:
+        RNG seed and optional instrumentation.
+
+    Returns
+    -------
+    (perm, stats):
+        ``perm`` is a permutation of ``0..n-1``; ``stats`` records the
+        round structure.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if slots_factor < 1.0:
+        raise ParameterError(f"slots_factor must be >= 1, got {slots_factor}")
+    rng = as_rng(seed)
+    arena = arena or Arena()
+
+    # Each round throws the still-active elements into a *fresh* destination
+    # region sized proportionally to the survivors; an element whose dart is
+    # unique in its round is done.  Survivor counts shrink geometrically
+    # (collision probability is bounded below 1 for factor >= 1), giving
+    # the O(lg n) round count the QRQW analysis charges.
+    perm = np.empty(max(n, 1), dtype=np.int64)[:n]
+    active = np.arange(n, dtype=np.int64)
+    next_rank = 0
+    per_round_active = []
+    per_round_contention = []
+    rounds = 0
+
+    while active.size:
+        if rounds >= max_rounds:
+            raise ParameterError(
+                f"dart throwing exceeded {max_rounds} rounds (n={n})"
+            )
+        m = active.size
+        n_slots = max(m, int(np.ceil(slots_factor * m)))
+        dest_base = arena.alloc(n_slots, f"dest/round{rounds}")
+        darts = rng.integers(0, n_slots, size=m, dtype=np.int64)
+        per_round_active.append(m)
+        _, counts = np.unique(darts, return_counts=True)
+        per_round_contention.append(int(counts.max()))
+        if recorder is not None:
+            # The round's scatter (write self-index at the dart location);
+            # its recorded contention is the collision multiplicity.
+            maybe_record(
+                recorder, dest_base + darts, kind="scatter",
+                label=f"darts/round{rounds}/throw",
+            )
+            # Readback to learn who collided (gather, same addresses).
+            maybe_record(
+                recorder, dest_base + darts, kind="gather",
+                label=f"darts/round{rounds}/check",
+            )
+        # An element is done iff its dart hit a slot nobody else hit.
+        slot_count = np.bincount(darts, minlength=n_slots)
+        unique_dart = slot_count[darts] == 1
+        placed = active[unique_dart]
+        placed_slots = darts[unique_dart]
+        # Pack this round's winners: rank of each occupied slot within the
+        # round's region (an exclusive scan), offset by ranks already dealt.
+        slot_rank = np.cumsum(slot_count == 1) - 1
+        if recorder is not None:
+            maybe_record(
+                recorder,
+                dest_base + np.arange(n_slots, dtype=np.int64),
+                kind="read",
+                label=f"darts/round{rounds}/pack-scan",
+            )
+        perm[placed] = next_rank + slot_rank[placed_slots]
+        next_rank += placed.size
+        active = active[~unique_dart]
+        rounds += 1
+
+    stats = DartStats(
+        rounds=rounds,
+        per_round_active=tuple(per_round_active),
+        per_round_contention=tuple(per_round_contention),
+    )
+    return perm, stats
+
+
+def erew_random_permutation(
+    n: int,
+    key_bits: int = 48,
+    seed=None,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """Generate a permutation of ``0..n-1`` by sorting random keys with
+    the instrumented radix sort (the EREW baseline of Figure 11)."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if not (1 <= key_bits <= 62):
+        raise ParameterError(f"key_bits must be in [1, 62], got {key_bits}")
+    rng = as_rng(seed)
+    keys = rng.integers(0, np.int64(1) << key_bits, size=n, dtype=np.int64)
+    _, order, _ = radix_sort(
+        keys, bits=key_bits, recorder=recorder, arena=arena or Arena()
+    )
+    # order is where each rank's element came from; its inverse is an
+    # equally random permutation, but `order` itself is already one.
+    return order

@@ -1,0 +1,176 @@
+"""Scan and segmented-scan primitives [BHZ93].
+
+Segmented scans are the substrate of the paper's sparse-matrix kernel:
+they let a vector machine reduce each row of a CSR matrix regardless of
+row-length skew, with perfectly regular (contention-1) memory traffic —
+the latency is hidden "regardless of the structure of the matrix".  The
+contention-interesting traffic in SpMV is the *gather* of the input
+vector, not these scans.
+
+All operations are NumPy-vectorized; segments are described either by
+per-element segment ids (non-decreasing not required) or by head flags.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..errors import ParameterError, PatternError
+
+__all__ = [
+    "exclusive_scan",
+    "inclusive_scan",
+    "segment_ids_from_flags",
+    "segmented_inclusive_scan",
+    "segmented_exclusive_scan",
+    "segmented_sum",
+    "segmented_max",
+]
+
+ScanOp = Literal["add", "max", "min"]
+
+
+def _identity(dtype, op: ScanOp):
+    """The op's identity element in the value dtype."""
+    if op == "add":
+        return 0
+    integral = np.issubdtype(dtype, np.integer)
+    if op == "max":
+        return np.iinfo(dtype).min if integral else -np.inf
+    if op == "min":
+        return np.iinfo(dtype).max if integral else np.inf
+    raise ParameterError(f"unknown scan op {op!r}")
+
+
+def inclusive_scan(values, op: ScanOp = "add") -> np.ndarray:
+    """Inclusive scan (running reduction) of ``values`` under ``op``."""
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise PatternError(f"values must be 1-D, got shape {v.shape}")
+    if op == "add":
+        return np.cumsum(v)
+    if op == "max":
+        return np.maximum.accumulate(v) if v.size else v.copy()
+    if op == "min":
+        return np.minimum.accumulate(v) if v.size else v.copy()
+    raise ParameterError(f"unknown scan op {op!r}")
+
+
+def exclusive_scan(values, op: ScanOp = "add") -> np.ndarray:
+    """Exclusive scan: element ``i`` gets the reduction of ``values[:i]``.
+
+    The identity (0 for add, the dtype minimum for max) fills position 0.
+    """
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise PatternError(f"values must be 1-D, got shape {v.shape}")
+    out = np.empty_like(v)
+    if v.size == 0:
+        return out
+    inc = inclusive_scan(v, op)
+    out[1:] = inc[:-1]
+    out[0] = _identity(v.dtype, op)
+    return out
+
+
+def segment_ids_from_flags(flags) -> np.ndarray:
+    """Convert head flags (1 starts a segment) to 0-based segment ids.
+
+    The first element is treated as a segment head regardless of its flag,
+    so every element belongs to some segment.
+    """
+    f = np.asarray(flags).astype(bool)
+    if f.ndim != 1:
+        raise PatternError(f"flags must be 1-D, got shape {f.shape}")
+    if f.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    ids = np.cumsum(f.astype(np.int64))
+    return ids - ids[0] if f[0] else ids  # normalize to start at 0
+
+
+def _check_segments(values: np.ndarray, seg: np.ndarray) -> None:
+    if values.shape != seg.shape:
+        raise PatternError("values and segment ids must have matching shapes")
+    if seg.size and (np.diff(seg) < 0).any():
+        raise PatternError("segment ids must be non-decreasing")
+    if seg.size and seg[0] < 0:
+        raise PatternError("segment ids must be non-negative")
+
+
+def segmented_inclusive_scan(values, segment_ids, op: ScanOp = "add") -> np.ndarray:
+    """Inclusive scan restarting at each segment boundary.
+
+    Segments must be contiguous (ids non-decreasing).  Vectorized: an
+    unsegmented scan is corrected per segment (add) or computed over
+    per-segment lifted values (max) — no Python loop over segments.
+    """
+    v = np.asarray(values)
+    seg = np.asarray(segment_ids, dtype=np.int64)
+    _check_segments(v, seg)
+    if v.size == 0:
+        return v.copy()
+    starts = np.empty(v.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(seg[1:], seg[:-1], out=starts[1:])
+    if op == "add":
+        inc = np.cumsum(v)
+        # Subtract, from every element, the running total just before its
+        # segment started: forward-fill each start's index to its segment.
+        start_idx = np.maximum.accumulate(np.where(starts, np.arange(v.size), 0))
+        return inc - (inc - v)[start_idx]
+    if op in ("max", "min"):
+        sign = 1.0 if op == "max" else -1.0
+        vf = sign * v.astype(np.float64)
+        span = float(vf.max() - vf.min()) + 1.0
+        seg_norm = np.cumsum(starts) - 1
+        lifted = vf + seg_norm * span
+        run = sign * (np.maximum.accumulate(lifted) - seg_norm * span)
+        return run.astype(v.dtype) if np.issubdtype(v.dtype, np.integer) else run
+    raise ParameterError(f"unknown scan op {op!r}")
+
+
+def segmented_exclusive_scan(values, segment_ids, op: ScanOp = "add") -> np.ndarray:
+    """Exclusive segmented scan: each segment starts from the identity."""
+    v = np.asarray(values)
+    seg = np.asarray(segment_ids, dtype=np.int64)
+    _check_segments(v, seg)
+    inc = segmented_inclusive_scan(v, seg, op)
+    if v.size == 0:
+        return inc
+    if op == "add":
+        return inc - v
+    # max/min: shift within segments, identity at heads.
+    out = np.empty_like(inc)
+    out[1:] = inc[:-1]
+    starts = np.empty(v.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(seg[1:], seg[:-1], out=starts[1:])
+    out[starts] = _identity(v.dtype, op)
+    return out
+
+
+def segmented_sum(values, segment_ids, n_segments: int) -> np.ndarray:
+    """Total of each segment (ids need not be sorted here; bincount)."""
+    v = np.asarray(values)
+    seg = np.asarray(segment_ids, dtype=np.int64)
+    if v.shape != seg.shape:
+        raise PatternError("values and segment ids must have matching shapes")
+    if n_segments < 0 or (seg.size and (seg.min() < 0 or seg.max() >= n_segments)):
+        raise PatternError("segment ids must lie in [0, n_segments)")
+    return np.bincount(seg, weights=v, minlength=n_segments)
+
+
+def segmented_max(values, segment_ids, n_segments: int) -> np.ndarray:
+    """Maximum of each segment; empty segments get the dtype identity."""
+    v = np.asarray(values)
+    seg = np.asarray(segment_ids, dtype=np.int64)
+    if v.shape != seg.shape:
+        raise PatternError("values and segment ids must have matching shapes")
+    if n_segments < 0 or (seg.size and (seg.min() < 0 or seg.max() >= n_segments)):
+        raise PatternError("segment ids must lie in [0, n_segments)")
+    ident = np.iinfo(v.dtype).min if np.issubdtype(v.dtype, np.integer) else -np.inf
+    out = np.full(n_segments, ident, dtype=v.dtype if v.size else np.float64)
+    np.maximum.at(out, seg, v)
+    return out

@@ -1,0 +1,195 @@
+"""Sparse matrix–vector multiplication with segmented sums [BHZ93]
+(paper Section 6, Figure 12).
+
+The implementation mirrors the paper's: compressed-row storage holding,
+for each row, its non-zero values with their column indices; the product
+is computed by *gathering* the input vector at the column indices,
+multiplying elementwise, and reducing each row with a segmented sum — a
+formulation whose latency is hidden regardless of matrix structure.
+
+For contention analysis the decisive memory operation is the **gather of
+the input vector by column index**: a column appearing in ``c`` rows is
+read ``c`` times in one superstep, so a *dense column* of length ``c``
+makes the location contention ``k = c``.  Figure 12 sweeps that length and
+shows the BSP prediction staying flat (wrong) while the (d,x)-BSP tracks
+the measured rise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import as_rng
+from ..errors import ParameterError, PatternError
+from ..workloads.traces import TraceRecorder, maybe_record
+from ._arena import Arena
+from .scan import segmented_sum
+
+__all__ = ["CSRMatrix", "random_csr", "dense_column_csr", "spmv"]
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Compressed sparse row matrix.
+
+    Attributes
+    ----------
+    indptr:
+        int64, length ``n_rows + 1``; row ``r`` owns entries
+        ``indptr[r]:indptr[r+1]``.
+    indices:
+        int64 column index per non-zero.
+    data:
+        float64 value per non-zero.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise ParameterError(f"shape must be non-negative, got {self.shape}")
+        if self.indptr.ndim != 1 or self.indptr.size != n_rows + 1:
+            raise PatternError("indptr must have length n_rows + 1")
+        if self.indptr[0] != 0 or (np.diff(self.indptr) < 0).any():
+            raise PatternError("indptr must start at 0 and be non-decreasing")
+        if self.indices.shape != self.data.shape or self.indices.ndim != 1:
+            raise PatternError("indices and data must be matching 1-D arrays")
+        if self.indptr[-1] != self.indices.size:
+            raise PatternError("indptr[-1] must equal nnz")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n_cols
+        ):
+            raise PatternError("column indices outside [0, n_cols)")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    def row_ids(self) -> np.ndarray:
+        """Per-entry row id (the segmented-sum segment ids)."""
+        return np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ndarray (tests/small matrices only).  Duplicate entries
+        accumulate, matching SpMV semantics."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows = self.row_ids()
+        np.add.at(out, (rows, self.indices), self.data)
+        return out
+
+    def max_column_count(self) -> int:
+        """Largest number of entries in one column — the SpMV gather's
+        location contention ``k``."""
+        if self.nnz == 0:
+            return 0
+        return int(np.bincount(self.indices, minlength=self.shape[1]).max())
+
+
+def random_csr(
+    n_rows: int, n_cols: int, nnz_per_row: int, seed=None
+) -> CSRMatrix:
+    """A random matrix with exactly ``nnz_per_row`` entries per row,
+    columns drawn uniformly (duplicates within a row allowed — they
+    accumulate, as in the paper's gather-based formulation)."""
+    if n_rows < 0 or n_cols < 1 or nnz_per_row < 0:
+        raise ParameterError("need n_rows >= 0, n_cols >= 1, nnz_per_row >= 0")
+    rng = as_rng(seed)
+    nnz = n_rows * nnz_per_row
+    indptr = np.arange(0, nnz + 1, max(nnz_per_row, 1), dtype=np.int64)
+    if nnz_per_row == 0:
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    indices = rng.integers(0, n_cols, size=nnz, dtype=np.int64)
+    data = rng.standard_normal(nnz)
+    return CSRMatrix(indptr=indptr, indices=indices, data=data,
+                     shape=(n_rows, n_cols))
+
+
+def dense_column_csr(
+    n_rows: int,
+    n_cols: int,
+    nnz_per_row: int,
+    dense_len: int,
+    dense_col: int = 0,
+    seed=None,
+) -> CSRMatrix:
+    """The Figure-12 workload: random matrix plus one *dense column* —
+    column ``dense_col`` additionally appears in the first ``dense_len``
+    rows, so the SpMV gather has location contention ``>= dense_len``."""
+    if not (0 <= dense_len <= n_rows):
+        raise ParameterError(f"need 0 <= dense_len <= n_rows, got {dense_len}")
+    if not (0 <= dense_col < n_cols):
+        raise ParameterError("dense_col outside [0, n_cols)")
+    rng = as_rng(seed)
+    base = random_csr(n_rows, n_cols, nnz_per_row, rng)
+    counts = np.diff(base.indptr)
+    extra = np.zeros(n_rows, dtype=np.int64)
+    extra[:dense_len] = 1
+    new_counts = counts + extra
+    indptr = np.concatenate([[0], np.cumsum(new_counts)]).astype(np.int64)
+    nnz = int(indptr[-1])
+    indices = np.empty(nnz, dtype=np.int64)
+    data = np.empty(nnz, dtype=np.float64)
+    # Splice the dense-column entry at the front of each of the first
+    # dense_len rows.
+    old_rows = base.row_ids()
+    # Position of old entry j within its row, shifted by the dense entry.
+    within = np.arange(base.nnz, dtype=np.int64) - base.indptr[old_rows]
+    dest = indptr[old_rows] + extra[old_rows] + within
+    indices[dest] = base.indices
+    data[dest] = base.data
+    dense_pos = indptr[:dense_len]
+    indices[dense_pos] = dense_col
+    data[dense_pos] = rng.standard_normal(dense_len)
+    return CSRMatrix(indptr=indptr, indices=indices, data=data,
+                     shape=(n_rows, n_cols))
+
+
+def spmv(
+    matrix: CSRMatrix,
+    x,
+    recorder: Optional[TraceRecorder] = None,
+    arena: Optional[Arena] = None,
+) -> np.ndarray:
+    """Compute ``y = A @ x`` by gather / multiply / segmented-sum.
+
+    Records (when instrumented): the column-index read (regular), the
+    input-vector gather (the contention-carrying step), the segmented-sum
+    pass (regular), and the result scatter (a permutation).
+    """
+    xv = np.asarray(x, dtype=np.float64)
+    n_rows, n_cols = matrix.shape
+    if xv.shape != (n_cols,):
+        raise PatternError(f"x must have shape ({n_cols},), got {xv.shape}")
+    arena = arena or Arena()
+    if recorder is not None:
+        col_base = arena.alloc(matrix.nnz, "cols")
+        x_base = arena.alloc(n_cols, "x")
+        val_base = arena.alloc(matrix.nnz, "vals")
+        y_base = arena.alloc(n_rows, "y")
+        nz = np.arange(matrix.nnz, dtype=np.int64)
+        maybe_record(recorder, col_base + nz, kind="read", label="spmv/read-cols")
+        maybe_record(
+            recorder, x_base + matrix.indices, kind="gather", label="spmv/gather-x"
+        )
+        maybe_record(recorder, val_base + nz, kind="read", label="spmv/read-vals")
+        maybe_record(recorder, val_base + nz, kind="read", label="spmv/segsum")
+        maybe_record(
+            recorder,
+            y_base + np.arange(n_rows, dtype=np.int64),
+            kind="scatter",
+            label="spmv/write-y",
+        )
+    gathered = xv[matrix.indices] * matrix.data
+    return segmented_sum(gathered, matrix.row_ids(), n_rows)

@@ -1,0 +1,49 @@
+"""Prediction pipeline (pattern → model times → simulated time) and
+paper-style reporting (plain-text tables and numeric series)."""
+
+from .predict import (
+    PredictionComparison,
+    compare_program,
+    compare_scatter,
+    contention_summary,
+    relative_error,
+    sweep_scatter,
+)
+from .fit import DelayEstimate, estimate_bank_delay, measure_contention_curve
+from .histogram import expected_max_bank_load_mc, predict_scatter_from_histogram
+from .report import Series, csv_lines, format_table
+from .statistics import MeanCI, mean_ci, run_until_stable
+from .visualize import bank_load_strip, series_panel, sparkline
+from .strides import (
+    banks_touched,
+    effective_bandwidth,
+    predict_strided_time,
+    stride_sweep,
+)
+
+__all__ = [
+    "PredictionComparison",
+    "compare_scatter",
+    "compare_program",
+    "sweep_scatter",
+    "relative_error",
+    "contention_summary",
+    "Series",
+    "format_table",
+    "csv_lines",
+    "banks_touched",
+    "predict_strided_time",
+    "effective_bandwidth",
+    "stride_sweep",
+    "expected_max_bank_load_mc",
+    "predict_scatter_from_histogram",
+    "bank_load_strip",
+    "sparkline",
+    "series_panel",
+    "MeanCI",
+    "mean_ci",
+    "run_until_stable",
+    "DelayEstimate",
+    "estimate_bank_delay",
+    "measure_contention_curve",
+]

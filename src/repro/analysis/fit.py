@@ -1,0 +1,118 @@
+"""Estimating (d,x)-BSP parameters from measurements.
+
+The paper validates the model with parameters known from hardware
+manuals; going the other way is just as useful — given measured scatter
+times on an *unknown* machine, recover its effective bank delay and the
+throughput floor.  The contention sweep has a known two-regime shape::
+
+    T(k) ~ max(T0, d*k)       T0 = g*n/p  (throughput floor)
+
+so the floor is the median of the flat region and ``d`` is the slope of
+``T`` against ``k`` above the knee (least squares through the origin on
+the serialized regime).  `estimate_expansion` does the same for the bank
+count using all-distinct patterns against a balls-in-bins load model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["DelayEstimate", "estimate_bank_delay", "measure_contention_curve"]
+
+
+@dataclass(frozen=True)
+class DelayEstimate:
+    """Result of :func:`estimate_bank_delay`.
+
+    Attributes
+    ----------
+    d:
+        Estimated bank delay (cycles per serialized hot-location access).
+    floor:
+        Estimated throughput floor ``g*n/p`` in cycles.
+    knee:
+        Implied crossover contention ``floor / d``.
+    n_points_used:
+        Sweep points in the serialized regime the slope was fit on.
+    """
+
+    d: float
+    floor: float
+    knee: float
+    n_points_used: int
+
+
+def estimate_bank_delay(
+    contentions: Sequence[float],
+    times: Sequence[float],
+) -> DelayEstimate:
+    """Recover the bank delay from a contention sweep.
+
+    Parameters
+    ----------
+    contentions / times:
+        Measured ``(k, T(k))`` pairs from scatters of a fixed size with
+        varying hot-location contention (e.g. Experiment 1's sweep, or
+        real timings).  Needs points on both sides of the knee.
+    """
+    k = np.asarray(contentions, dtype=np.float64)
+    t = np.asarray(times, dtype=np.float64)
+    if k.shape != t.shape or k.ndim != 1:
+        raise ParameterError("contentions and times must be matching 1-D")
+    if k.size < 4:
+        raise ParameterError("need at least 4 sweep points")
+    if (k <= 0).any() or (t <= 0).any():
+        raise ParameterError("contentions and times must be positive")
+    order = np.argsort(k)
+    k, t = k[order], t[order]
+
+    # The floor: the flat region's level.  Use the minimum time as its
+    # robust proxy (times rise monotonically past the knee).
+    floor = float(np.median(t[t <= 1.25 * t.min()]))
+
+    # Serialized regime: points clearly above the floor.
+    serialized = t > 1.5 * floor
+    if serialized.sum() < 2:
+        raise ParameterError(
+            "no serialized regime in the sweep (all points near the "
+            "throughput floor) — increase the maximum contention"
+        )
+    ks, ts = k[serialized], t[serialized]
+    # Least squares through the origin: T ~ d*k.
+    d = float((ks * ts).sum() / (ks * ks).sum())
+    if d <= 0:
+        raise ParameterError("sweep does not rise with contention")
+    return DelayEstimate(
+        d=d, floor=floor, knee=floor / d, n_points_used=int(serialized.sum())
+    )
+
+
+def measure_contention_curve(
+    machine,
+    n: int,
+    contentions: Optional[Sequence[int]] = None,
+    space: int = 1 << 24,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Produce a ``(k, T)`` sweep by simulation — the "measurement" side
+    for :func:`estimate_bank_delay` when no hardware is at hand."""
+    from ..simulator.banksim import simulate_scatter
+    from ..workloads.patterns import hotspot
+
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    ks = np.asarray(
+        contentions if contentions is not None
+        else np.unique(np.geomspace(1, n, num=13).astype(np.int64)),
+        dtype=np.int64,
+    )
+    times = np.array([
+        simulate_scatter(machine, hotspot(n, int(kk), space, seed=seed + i)).time
+        for i, kk in enumerate(ks)
+    ])
+    return ks.astype(np.float64), times

@@ -1,0 +1,155 @@
+"""End-to-end prediction pipeline: pattern → {BSP, (d,x)-BSP, simulated}.
+
+This is the glue the experiments use to produce the paper's
+predicted-vs-measured comparisons: run a pattern (or a whole instrumented
+program) through both analytic models and the simulator, and report the
+times side by side with error ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import as_addresses
+from ..core.contention import BankMap, max_location_contention
+from ..core.cost import predict_scatter_bsp, predict_scatter_dxbsp
+from ..core.model import Program
+from ..simulator.banksim import simulate_scatter
+from ..simulator.machine import MachineConfig
+from ..simulator.trace import simulate_program
+
+__all__ = [
+    "PredictionComparison",
+    "compare_scatter",
+    "compare_program",
+    "sweep_scatter",
+    "relative_error",
+    "contention_summary",
+]
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """Signed relative error ``(predicted - measured) / measured``;
+    negative = model under-predicts (the BSP's failure mode here)."""
+    if measured == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return (predicted - measured) / measured
+
+
+@dataclass(frozen=True)
+class PredictionComparison:
+    """Times for one pattern under both models and the simulator."""
+
+    label: str
+    n: int
+    contention: int
+    bsp_time: float
+    dxbsp_time: float
+    simulated_time: float
+
+    @property
+    def bsp_error(self) -> float:
+        """Signed relative error of the BSP prediction."""
+        return relative_error(self.simulated_time, self.bsp_time)
+
+    @property
+    def dxbsp_error(self) -> float:
+        """Signed relative error of the (d,x)-BSP prediction."""
+        return relative_error(self.simulated_time, self.dxbsp_time)
+
+    @property
+    def bsp_underprediction(self) -> float:
+        """Measured over BSP-predicted (how many times slower reality is
+        than the bank-oblivious model says)."""
+        return self.simulated_time / self.bsp_time if self.bsp_time else float("inf")
+
+    def row(self) -> tuple:
+        """(label, n, k, bsp, dxbsp, simulated) for table assembly."""
+        return (
+            self.label,
+            self.n,
+            self.contention,
+            self.bsp_time,
+            self.dxbsp_time,
+            self.simulated_time,
+        )
+
+
+def compare_scatter(
+    machine: MachineConfig,
+    addresses,
+    bank_map: Optional[BankMap] = None,
+    label: str = "",
+) -> PredictionComparison:
+    """Predict and simulate one scatter of ``addresses`` on ``machine``."""
+    addr = as_addresses(addresses)
+    params = machine.params()
+    return PredictionComparison(
+        label=label,
+        n=int(addr.size),
+        contention=max_location_contention(addr),
+        bsp_time=predict_scatter_bsp(params, addr),
+        dxbsp_time=predict_scatter_dxbsp(params, addr, bank_map),
+        simulated_time=simulate_scatter(machine, addr, bank_map).time,
+    )
+
+
+def compare_program(
+    machine: MachineConfig,
+    program: Program,
+    bank_map: Optional[BankMap] = None,
+    label: str = "",
+) -> PredictionComparison:
+    """Predict and simulate a whole instrumented program (superstep sums)."""
+    params = machine.params()
+    bsp = program.cost_bsp(params).total
+    dxbsp = program.cost_dxbsp(params, bank_map).total
+    sim = simulate_program(machine, program, bank_map).total_time
+    return PredictionComparison(
+        label=label,
+        n=program.total_requests,
+        contention=program.max_location_contention(),
+        bsp_time=bsp,
+        dxbsp_time=dxbsp,
+        simulated_time=sim,
+    )
+
+
+def sweep_scatter(
+    machine: MachineConfig,
+    patterns: Sequence[Tuple[str, np.ndarray]],
+    bank_map: Optional[BankMap] = None,
+) -> List[PredictionComparison]:
+    """Compare every ``(label, addresses)`` pattern on one machine."""
+    return [
+        compare_scatter(machine, addr, bank_map, label=label)
+        for label, addr in patterns
+    ]
+
+
+def contention_summary(
+    program: Program,
+    machine: Optional[MachineConfig] = None,
+    bank_map: Optional[BankMap] = None,
+) -> List[Tuple]:
+    """Per-superstep contention rows for a recorded program.
+
+    Each row: ``(index, label, n, k, h_b, dxbsp_time)`` — the quantities
+    the model charges for, per step.  ``h_b`` and the time need a
+    ``machine``; they are ``None`` without one.  Pairs with
+    :func:`repro.analysis.format_table` for a paper-style phase report.
+    """
+    rows: List[Tuple] = []
+    n_banks = machine.n_banks if machine is not None else None
+    params = machine.params() if machine is not None else None
+    for i, step in enumerate(program):
+        stats = step.stats(n_banks, bank_map)
+        time = step.time_dxbsp(params, bank_map) if params is not None else None
+        rows.append((
+            i, step.label, stats.n, stats.max_location_contention,
+            stats.max_bank_load, time,
+        ))
+    return rows

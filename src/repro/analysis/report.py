@@ -1,0 +1,111 @@
+"""Plain-text tables and series in the style of the paper's artifacts.
+
+No plotting dependency: every figure is regenerated as a numeric *series*
+(x values plus named y columns) and every table as aligned text rows —
+exactly what the benchmark harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["format_table", "Series", "csv_lines"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, (float, np.floating)):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ParameterError(
+                f"row has {len(r)} cells but {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A figure regenerated as numbers: one x axis, named y columns.
+
+    Attributes
+    ----------
+    name:
+        Figure identifier (e.g. ``"fig12_spmv"``).
+    x_label:
+        Meaning of the x axis.
+    x:
+        The sweep values.
+    columns:
+        Mapping column name → y values (same length as ``x``).
+    """
+
+    name: str
+    x_label: str
+    x: np.ndarray
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, label: str, values) -> None:
+        """Attach one named y column."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.shape != np.asarray(self.x).shape:
+            raise ParameterError(
+                f"column {label!r} has shape {arr.shape}, x has "
+                f"{np.asarray(self.x).shape}"
+            )
+        self.columns[label] = arr
+
+    def rows(self) -> List[tuple]:
+        """(x, col1, col2, ...) tuples in column-insertion order."""
+        cols = list(self.columns.values())
+        return [
+            tuple([xv] + [c[i] for c in cols])
+            for i, xv in enumerate(np.asarray(self.x))
+        ]
+
+    def headers(self) -> List[str]:
+        """Table headers matching :meth:`rows`."""
+        return [self.x_label] + list(self.columns.keys())
+
+    def format(self) -> str:
+        """The whole series as an aligned table."""
+        return format_table(self.headers(), self.rows(), title=self.name)
+
+
+def csv_lines(headers: Sequence[str], rows: Iterable[Sequence]) -> List[str]:
+    """Rows as CSV lines (header first); values formatted with repr-level
+    precision so the output is machine-reloadable."""
+    out = [",".join(headers)]
+    for row in rows:
+        out.append(",".join(
+            f"{c:.12g}" if isinstance(c, (float, np.floating)) else str(c)
+            for c in row
+        ))
+    return out

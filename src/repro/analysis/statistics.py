@@ -1,0 +1,102 @@
+"""Summary statistics for repeated randomized runs.
+
+Randomized experiments (hash draws, dart throws) should report spread,
+not just a point estimate; these helpers compute means with normal-theory
+confidence intervals and a relative half-width stopping criterion for
+"run until stable" loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+from scipy import stats as _stats
+
+from ..errors import ParameterError
+
+__all__ = ["MeanCI", "mean_ci", "run_until_stable"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with its confidence interval.
+
+    Attributes
+    ----------
+    mean / half_width:
+        Point estimate and CI half width (0 for a single sample).
+    n:
+        Number of samples.
+    confidence:
+        The confidence level used.
+    """
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def lo(self) -> float:
+        """Lower CI endpoint."""
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        """Upper CI endpoint."""
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half width over |mean| (inf for a zero mean with spread)."""
+        if self.mean == 0:
+            return 0.0 if self.half_width == 0 else float("inf")
+        return self.half_width / abs(self.mean)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def mean_ci(samples, confidence: float = 0.95) -> MeanCI:
+    """Student-t confidence interval for the mean of ``samples``."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ParameterError("samples must be a non-empty 1-D array")
+    if not (0 < confidence < 1):
+        raise ParameterError(f"confidence must be in (0,1), got {confidence}")
+    m = float(arr.mean())
+    if arr.size == 1:
+        return MeanCI(mean=m, half_width=0.0, n=1, confidence=confidence)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    t = float(_stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
+    return MeanCI(mean=m, half_width=t * sem, n=int(arr.size),
+                  confidence=confidence)
+
+
+def run_until_stable(
+    sample: Callable[[int], float],
+    target_rel_half_width: float = 0.05,
+    min_trials: int = 5,
+    max_trials: int = 200,
+    confidence: float = 0.95,
+) -> MeanCI:
+    """Call ``sample(trial_index)`` until the CI's relative half width
+    drops under ``target_rel_half_width`` (or ``max_trials`` is hit).
+
+    Deterministic sample functions converge at ``min_trials``.
+    """
+    if min_trials < 2 or max_trials < min_trials:
+        raise ParameterError("need 2 <= min_trials <= max_trials")
+    if target_rel_half_width <= 0:
+        raise ParameterError("target_rel_half_width must be > 0")
+    values: List[float] = []
+    for i in range(max_trials):
+        values.append(float(sample(i)))
+        if len(values) >= min_trials:
+            ci = mean_ci(values, confidence)
+            if ci.relative_half_width <= target_rel_half_width:
+                return ci
+    return mean_ci(values, confidence)

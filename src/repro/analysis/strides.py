@@ -1,0 +1,89 @@
+"""Constant-stride access analysis (vector-machine classic).
+
+The paper concentrates on irregular patterns and points to [CS86, Soh93]
+for strided timings; this module supplies that missing classical piece so
+the library covers both regimes.  Under low-order interleaving, a
+constant-stride-``s`` sweep over ``B`` banks touches only
+``B / gcd(s, B)`` distinct banks, so
+
+    T_strided(n) = max(L, g * ceil(n/p), d * ceil(n / (B / gcd(s, B))))
+
+— unit stride is perfectly balanced, and any stride sharing a large
+factor with the (power-of-two) bank count collapses onto few banks: the
+pathology pseudo-random mapping (Section 4) exists to kill.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.cost import per_processor_load
+from ..errors import ParameterError
+from ..simulator.machine import MachineConfig
+from .report import Series
+
+__all__ = [
+    "banks_touched",
+    "predict_strided_time",
+    "effective_bandwidth",
+    "stride_sweep",
+]
+
+
+def banks_touched(stride: int, n_banks: int) -> int:
+    """Distinct banks hit by an unbounded stride-``stride`` sweep under
+    low-order interleaving: ``n_banks / gcd(stride, n_banks)``."""
+    if stride < 1 or n_banks < 1:
+        raise ParameterError(
+            f"need stride >= 1 and n_banks >= 1, got {stride}, {n_banks}"
+        )
+    return n_banks // math.gcd(stride, n_banks)
+
+
+def predict_strided_time(machine: MachineConfig, n: int, stride: int) -> float:
+    """(d,x)-BSP time for a stride-``stride`` scatter of ``n`` elements
+    under the machine's interleaved layout."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return float(machine.L)
+    touched = banks_touched(stride, machine.n_banks)
+    h_p = per_processor_load(n, machine.p)
+    h_b = per_processor_load(n, touched)  # ceil(n / touched)
+    return float(max(machine.L, machine.g * h_p, machine.d * h_b))
+
+
+def effective_bandwidth(machine: MachineConfig, n: int, stride: int) -> float:
+    """Elements per cycle the machine sustains at this stride (the metric
+    of Oed & Lange [OL85]): ``n / T_strided``."""
+    t = predict_strided_time(machine, n, stride)
+    return n / t if t > 0 else 0.0
+
+
+def stride_sweep(
+    machine: MachineConfig, n: int, strides: Sequence[int]
+) -> Series:
+    """Predicted time and effective bandwidth across strides."""
+    svals = np.asarray(list(strides), dtype=np.int64)
+    times = np.array(
+        [predict_strided_time(machine, n, int(s)) for s in svals]
+    )
+    bw = np.array(
+        [effective_bandwidth(machine, n, int(s)) for s in svals]
+    )
+    touched = np.array(
+        [banks_touched(int(s), machine.n_banks) for s in svals],
+        dtype=np.float64,
+    )
+    series = Series(
+        name=f"stride sweep ({machine.name}, n={n})",
+        x_label="stride",
+        x=svals.astype(np.float64),
+    )
+    series.add("banks_touched", touched)
+    series.add("predicted", times)
+    series.add("elements_per_cycle", bw)
+    return series

@@ -1,0 +1,73 @@
+"""Plain-text visualizations (no plotting dependency).
+
+Terminal-friendly renderings for interactive exploration: a bank-load
+heat strip for one :class:`~repro.simulator.stats.SimResult` and a
+log-scale sparkline for a :class:`~repro.analysis.report.Series` column.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..simulator.stats import SimResult
+from .report import Series
+
+__all__ = ["bank_load_strip", "sparkline", "series_panel"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _levels(values: np.ndarray, vmax: Optional[float] = None) -> str:
+    if values.size == 0:
+        return ""
+    top = float(vmax) if vmax is not None else float(values.max())
+    if top <= 0:
+        return _BLOCKS[0] * values.size
+    scaled = np.clip(values / top, 0.0, 1.0)
+    idx = np.minimum((scaled * (len(_BLOCKS) - 1)).round().astype(int),
+                     len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def bank_load_strip(result: SimResult, width: int = 64) -> str:
+    """One line of block characters showing per-bank loads (banks grouped
+    into ``width`` buckets, each showing its maximum load)."""
+    if width < 1:
+        raise ParameterError(f"width must be >= 1, got {width}")
+    loads = result.bank_loads.astype(np.float64)
+    if loads.size == 0:
+        return ""
+    buckets = min(width, loads.size)
+    edges = np.linspace(0, loads.size, buckets + 1).astype(int)
+    grouped = np.array([
+        loads[a:b].max() if b > a else 0.0
+        for a, b in zip(edges[:-1], edges[1:])
+    ])
+    strip = _levels(grouped)
+    return (f"[{strip}] max={int(loads.max())} "
+            f"mean={loads.mean():.1f} over {loads.size} banks")
+
+
+def sparkline(values, vmax: Optional[float] = None) -> str:
+    """Block-character sparkline of a numeric vector."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ParameterError(f"values must be 1-D, got shape {arr.shape}")
+    return _levels(arr, vmax)
+
+
+def series_panel(series: Series, log: bool = True) -> str:
+    """Sparkline panel of every column of a series (log-scaled by
+    default, since the paper's quantities span decades)."""
+    lines = [series.name]
+    width = max((len(name) for name in series.columns), default=0)
+    for name, col in series.columns.items():
+        vals = np.asarray(col, dtype=np.float64)
+        shown = np.log10(np.maximum(vals, 1.0)) if log else vals
+        lines.append(f"{name.rjust(width)} |{sparkline(shown)}| "
+                     f"{vals.min():.3g}..{vals.max():.3g}")
+    return "\n".join(lines)

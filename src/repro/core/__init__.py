@@ -1,0 +1,46 @@
+"""The (d,x)-BSP model: parameters, cost laws, contention statistics and
+program-level accounting.  This is the paper's primary contribution."""
+
+from .contention import (
+    PatternStats,
+    bank_loads,
+    contention_histogram,
+    empirical_entropy,
+    location_contention,
+    max_bank_load,
+    max_location_contention,
+    normalized_entropy,
+)
+from .cost import (
+    bsp_superstep_time,
+    crossover_contention,
+    dxbsp_superstep_time,
+    per_processor_load,
+    predict_scatter_bsp,
+    predict_scatter_dxbsp,
+)
+from .model import CostBreakdown, Program, Superstep
+from .params import BSPParams, DXBSPParams, expansion_sweep
+
+__all__ = [
+    "BSPParams",
+    "DXBSPParams",
+    "expansion_sweep",
+    "dxbsp_superstep_time",
+    "bsp_superstep_time",
+    "predict_scatter_dxbsp",
+    "predict_scatter_bsp",
+    "crossover_contention",
+    "per_processor_load",
+    "PatternStats",
+    "location_contention",
+    "max_location_contention",
+    "bank_loads",
+    "max_bank_load",
+    "contention_histogram",
+    "empirical_entropy",
+    "normalized_entropy",
+    "Superstep",
+    "Program",
+    "CostBreakdown",
+]

@@ -1,0 +1,138 @@
+"""Superstep cost laws for the BSP and the (d,x)-BSP.
+
+The central equations of the paper (Section 2):
+
+(d,x)-BSP superstep time, for a superstep where each processor issues at
+most ``h_p`` requests and each bank receives at most ``h_b`` requests::
+
+    T_dxbsp = max(L, g * h_p, d * h_b)
+
+BSP superstep time, which knows nothing of banks and charges contention at
+the network gap ``g`` (location contention ``k`` serializes at rate ``g``)::
+
+    T_bsp = max(L, g * h_p, g * k)
+
+Because ``h_b >= k`` and ``d >= g``, the (d,x)-BSP prediction always
+dominates the BSP one; the gap grows to a factor of ``d / g`` on hot-spot
+patterns.  All time quantities are in processor clock cycles.
+
+Functions here broadcast over NumPy arrays so a parameter sweep is a single
+vectorized call (per the HPC guides: no Python loops in hot paths).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .._util import as_addresses
+from ..errors import ParameterError
+from .contention import BankMap, bank_loads, max_location_contention
+from .params import BSPParams, DXBSPParams
+
+__all__ = [
+    "dxbsp_superstep_time",
+    "bsp_superstep_time",
+    "predict_scatter_dxbsp",
+    "predict_scatter_bsp",
+    "crossover_contention",
+    "per_processor_load",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def per_processor_load(n: int, p: int) -> int:
+    """Maximum requests per processor when ``n`` requests are dealt
+    round-robin over ``p`` processors: ``ceil(n / p)``."""
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    return -(-n // p)
+
+
+def dxbsp_superstep_time(
+    params: DXBSPParams, h_proc: ArrayLike, h_bank: ArrayLike
+) -> ArrayLike:
+    """Time of a (d,x)-BSP superstep: ``max(L, g*h_proc, d*h_bank)``.
+
+    ``h_proc`` and ``h_bank`` broadcast; the result is a float scalar for
+    scalar inputs, else an ndarray.
+    """
+    h_proc = np.asarray(h_proc, dtype=np.float64)
+    h_bank = np.asarray(h_bank, dtype=np.float64)
+    if (h_proc < 0).any() or (h_bank < 0).any():
+        raise ParameterError("loads must be non-negative")
+    t = np.maximum(params.L, np.maximum(params.g * h_proc, params.d * h_bank))
+    return float(t) if t.ndim == 0 else t
+
+
+def bsp_superstep_time(
+    params: Union[BSPParams, DXBSPParams], h_proc: ArrayLike, k: ArrayLike = 0
+) -> ArrayLike:
+    """Time of a plain BSP superstep: ``max(L, g*h_proc, g*k)``.
+
+    ``k`` is the maximum location contention; BSP-style models charge it at
+    the gap ``g`` rather than at the bank delay ``d``, which is exactly the
+    discrepancy the paper corrects.
+    """
+    h_proc = np.asarray(h_proc, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    if (h_proc < 0).any() or (k < 0).any():
+        raise ParameterError("loads must be non-negative")
+    t = np.maximum(params.L, params.g * np.maximum(h_proc, k))
+    return float(t) if t.ndim == 0 else t
+
+
+def predict_scatter_dxbsp(
+    params: DXBSPParams,
+    addresses,
+    bank_map: Optional[BankMap] = None,
+) -> float:
+    """(d,x)-BSP predicted time for one scatter/gather of ``addresses``.
+
+    The ``n`` requests are assumed dealt evenly over the ``p`` processors
+    (``h_p = ceil(n/p)``), as the Cray runtime does for a vector scatter;
+    ``h_b`` is computed from the pattern under ``bank_map`` (low-order
+    interleaving by default).
+    """
+    addr = as_addresses(addresses)
+    h_p = per_processor_load(addr.size, params.p)
+    loads = bank_loads(addr, params.n_banks, bank_map)
+    h_b = int(loads.max()) if loads.size else 0
+    return float(dxbsp_superstep_time(params, h_p, h_b))
+
+
+def predict_scatter_bsp(
+    params: Union[BSPParams, DXBSPParams],
+    addresses,
+) -> float:
+    """BSP predicted time for one scatter/gather of ``addresses``.
+
+    Uses ``h_p = ceil(n/p)`` and the location contention ``k``; knows
+    nothing about banks.
+    """
+    addr = as_addresses(addresses)
+    h_p = per_processor_load(addr.size, params.p)
+    k = max_location_contention(addr)
+    return float(bsp_superstep_time(params, h_p, k))
+
+
+def crossover_contention(params: DXBSPParams, n: int) -> float:
+    """The contention level ``k*`` at which bank delay starts to dominate.
+
+    For a scatter of ``n`` requests, the pipeline term is ``g * n / p`` and
+    the hot-location term is ``d * k``; they cross at::
+
+        k* = g * n / (p * d)
+
+    Below ``k*`` the BSP and (d,x)-BSP predictions agree (throughput
+    bound); above it the (d,x)-BSP prediction rises with slope ``d`` while
+    BSP rises only with slope ``g``.  This is the knee visible in Figure 1
+    and Experiment 1.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    return params.g * n / (params.p * params.d)

@@ -1,0 +1,174 @@
+"""Program-level cost accounting: supersteps and superstep sequences.
+
+Algorithms in :mod:`repro.algorithms` are *instrumented*: besides computing
+their result they emit the memory access pattern of each bulk step.  This
+module holds the containers for those patterns and the whole-program cost
+accounting on top of :mod:`repro.core.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from .._util import as_addresses
+from ..errors import PatternError
+from .contention import BankMap, PatternStats
+from .cost import predict_scatter_bsp, predict_scatter_dxbsp
+from .params import BSPParams, DXBSPParams
+
+__all__ = ["Superstep", "Program", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class Superstep:
+    """One bulk-synchronous step: a bag of memory requests plus local work.
+
+    Attributes
+    ----------
+    addresses:
+        int64 vector of memory locations touched (reads and writes are
+        costed identically by the model; the ``kind`` tag is metadata).
+    kind:
+        One of ``"read"``, ``"write"``, ``"scatter"``, ``"gather"``,
+        ``"mixed"`` — informational only.
+    label:
+        Free-form tag (e.g. the algorithm phase that produced the step).
+    local_work:
+        Cycles of purely local computation overlapped with nothing;
+        added to the step's communication time.
+    """
+
+    addresses: np.ndarray
+    kind: str = "mixed"
+    label: str = ""
+    local_work: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "addresses", as_addresses(self.addresses))
+        if self.kind not in ("read", "write", "scatter", "gather", "mixed"):
+            raise PatternError(f"unknown superstep kind {self.kind!r}")
+        if self.local_work < 0:
+            raise PatternError("local_work must be >= 0")
+
+    @property
+    def n(self) -> int:
+        """Number of memory requests in this superstep."""
+        return int(self.addresses.size)
+
+    def stats(
+        self, n_banks: Optional[int] = None, bank_map: Optional[BankMap] = None
+    ) -> PatternStats:
+        """Contention statistics of this step's pattern."""
+        return PatternStats.from_addresses(self.addresses, n_banks, bank_map)
+
+    def time_dxbsp(
+        self, params: DXBSPParams, bank_map: Optional[BankMap] = None
+    ) -> float:
+        """(d,x)-BSP predicted time, including local work."""
+        return predict_scatter_dxbsp(params, self.addresses, bank_map) + self.local_work
+
+    def time_bsp(self, params: BSPParams | DXBSPParams) -> float:
+        """BSP predicted time, including local work."""
+        return predict_scatter_bsp(params, self.addresses) + self.local_work
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-superstep and total predicted times for one program."""
+
+    step_times: np.ndarray  # float64, one entry per superstep
+    labels: tuple
+
+    @property
+    def total(self) -> float:
+        """Sum over supersteps."""
+        return float(self.step_times.sum())
+
+    def by_label(self) -> dict:
+        """Aggregate step times by their label (phase accounting)."""
+        out: dict = {}
+        for label, t in zip(self.labels, self.step_times):
+            out[label] = out.get(label, 0.0) + float(t)
+        return out
+
+
+class Program:
+    """An ordered sequence of supersteps emitted by an instrumented
+    algorithm.
+
+    Iteration yields :class:`Superstep` objects in program order.
+    """
+
+    def __init__(self, steps: Iterable[Superstep] = ()) -> None:
+        self._steps: List[Superstep] = list(steps)
+        for s in self._steps:
+            if not isinstance(s, Superstep):
+                raise PatternError(f"expected Superstep, got {type(s).__name__}")
+
+    def append(self, step: Superstep) -> None:
+        """Append one superstep."""
+        if not isinstance(step, Superstep):
+            raise PatternError(f"expected Superstep, got {type(step).__name__}")
+        self._steps.append(step)
+
+    def extend(self, steps: Iterable[Superstep]) -> None:
+        """Append several supersteps in order."""
+        for s in steps:
+            self.append(s)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[Superstep]:
+        return iter(self._steps)
+
+    def __getitem__(self, i) -> Superstep:
+        return self._steps[i]
+
+    @property
+    def total_requests(self) -> int:
+        """Total memory requests over all supersteps."""
+        return sum(s.n for s in self._steps)
+
+    def cost_dxbsp(
+        self, params: DXBSPParams, bank_map: Optional[BankMap] = None
+    ) -> CostBreakdown:
+        """Predicted (d,x)-BSP cost of every superstep."""
+        times = np.array(
+            [s.time_dxbsp(params, bank_map) for s in self._steps], dtype=np.float64
+        )
+        return CostBreakdown(times, tuple(s.label for s in self._steps))
+
+    def cost_bsp(self, params: BSPParams | DXBSPParams) -> CostBreakdown:
+        """Predicted BSP cost of every superstep."""
+        times = np.array(
+            [s.time_bsp(params) for s in self._steps], dtype=np.float64
+        )
+        return CostBreakdown(times, tuple(s.label for s in self._steps))
+
+    def max_location_contention(self) -> int:
+        """Maximum location contention over all supersteps (program ``k``)."""
+        k = 0
+        for s in self._steps:
+            st = s.stats()
+            k = max(k, st.max_location_contention)
+        return k
+
+    def __add__(self, other: "Program") -> "Program":
+        """Concatenate two programs (this one first)."""
+        if not isinstance(other, Program):
+            return NotImplemented
+        return Program(list(self._steps) + list(other._steps))
+
+    def filter(self, predicate) -> "Program":
+        """Program containing only the supersteps where
+        ``predicate(step)`` is true (order preserved)."""
+        return Program([s for s in self._steps if predicate(s)])
+
+    def by_label(self, fragment: str) -> "Program":
+        """Supersteps whose label contains ``fragment`` — convenient for
+        isolating one phase of an instrumented run."""
+        return self.filter(lambda s: fragment in s.label)

@@ -1,0 +1,158 @@
+"""Machine-model parameter sets: the BSP and the (d,x)-BSP.
+
+The paper extends Valiant's bulk-synchronous parallel (BSP) model with two
+parameters describing the memory system of high-bandwidth multiprocessors:
+
+``d`` — the *bank delay*: number of machine cycles that must elapse between
+successive accesses to the same memory bank (the bank "recovery" or cycle
+time expressed in processor cycles).
+
+``x`` — the *expansion factor*: the ratio of the number of memory banks to
+the number of processors.  A machine with ``p`` processors has
+``b = round(x * p)`` banks.
+
+The resulting model is called the **(d,x)-BSP** (the paper's "deluxe" BSP).
+The classic BSP is the special case ``d = g`` and any ``x`` (banks are never
+the bottleneck beyond the per-word gap ``g``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from .._util import check_nonnegative, check_positive
+from ..errors import ParameterError
+
+__all__ = ["BSPParams", "DXBSPParams"]
+
+
+@dataclass(frozen=True)
+class BSPParams:
+    """Parameters of Valiant's BSP model.
+
+    Attributes
+    ----------
+    p:
+        Number of processors (>= 1).
+    g:
+        Gap: cycles per word of bandwidth at each processor.  A superstep
+        in which each processor sends/receives at most ``h`` words costs
+        ``g * h`` cycles of communication.
+    L:
+        Periodicity / synchronization latency in cycles; a superstep costs
+        at least ``L``.
+    """
+
+    p: int
+    g: float = 1.0
+    L: float = 0.0
+
+    def __post_init__(self) -> None:
+        if int(self.p) != self.p or self.p < 1:
+            raise ParameterError(f"p must be a positive integer, got {self.p!r}")
+        object.__setattr__(self, "p", int(self.p))
+        check_positive("g", self.g)
+        check_nonnegative("L", self.L)
+
+    def with_(self, **kwargs) -> "BSPParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class DXBSPParams:
+    """Parameters of the (d,x)-BSP model.
+
+    Attributes
+    ----------
+    p:
+        Number of processors (>= 1).
+    g:
+        Gap: cycles per memory request at each processor.  With latency
+        hiding (vector pipelines, multithreading) a processor can issue one
+        request every ``g`` cycles.
+    L:
+        Superstep latency floor in cycles.
+    d:
+        Bank delay: cycles between successive accesses serviced by one
+        memory bank.  ``d >= g`` on all machines of interest (banks are
+        slower than processors); ``d == g`` recovers the plain BSP.
+    x:
+        Expansion factor: banks per processor.  The machine has
+        ``n_banks = round(x * p)`` banks; ``x`` may be fractional but the
+        implied bank count must be >= 1.
+
+    Notes
+    -----
+    The *aggregate* request bandwidth of the processors is ``p / g`` per
+    cycle and of the memory system ``x * p / d``.  They balance when
+    ``x = d / g``; the paper shows that ``x > d / g`` often still helps
+    irregular patterns because random bank mapping balances better when
+    there are more bins (see the expansion experiment, id ``FX`` in
+    DESIGN.md).
+    """
+
+    p: int
+    d: float
+    x: float
+    g: float = 1.0
+    L: float = 0.0
+
+    def __post_init__(self) -> None:
+        if int(self.p) != self.p or self.p < 1:
+            raise ParameterError(f"p must be a positive integer, got {self.p!r}")
+        object.__setattr__(self, "p", int(self.p))
+        check_positive("g", self.g)
+        check_positive("d", self.d)
+        check_positive("x", self.x)
+        check_nonnegative("L", self.L)
+        if self.n_banks < 1:
+            raise ParameterError(
+                f"x * p must give at least one bank, got x={self.x}, p={self.p}"
+            )
+
+    @property
+    def n_banks(self) -> int:
+        """Number of memory banks, ``round(x * p)``."""
+        return int(round(self.x * self.p))
+
+    @property
+    def balanced_expansion(self) -> float:
+        """The expansion ``x = d / g`` at which processor-side and
+        memory-side bandwidth match."""
+        return self.d / self.g
+
+    @property
+    def bandwidth_ratio(self) -> float:
+        """Memory-side over processor-side aggregate bandwidth,
+        ``(x p / d) / (p / g) = x g / d``.  Values >= 1 mean the banks can
+        absorb the processors' peak request rate for perfectly balanced
+        patterns."""
+        return self.x * self.g / self.d
+
+    def to_bsp(self) -> BSPParams:
+        """Project to the plain BSP (drop ``d`` and ``x``)."""
+        return BSPParams(p=self.p, g=self.g, L=self.L)
+
+    def with_(self, **kwargs) -> "DXBSPParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def from_bsp(bsp: BSPParams, d: float, x: float) -> "DXBSPParams":
+        """Extend a BSP parameter set with bank delay and expansion."""
+        return DXBSPParams(p=bsp.p, g=bsp.g, L=bsp.L, d=d, x=x)
+
+
+def expansion_sweep(base: DXBSPParams, xs) -> Iterator[DXBSPParams]:
+    """Yield copies of ``base`` with each expansion in ``xs``.
+
+    Convenience for the expansion experiments; keeps all other parameters
+    fixed.
+    """
+    for x in xs:
+        yield base.with_(x=float(x))
+
+
+__all__.append("expansion_sweep")

@@ -1,0 +1,36 @@
+"""PRAM models (EREW / CRCW / QRQW) and the QRQW → (d,x)-BSP emulation of
+the paper's Section 5."""
+
+from .emulate import (
+    EmulationResult,
+    delta_for_whp,
+    emulate_qrqw,
+    emulation_overhead,
+    erew_emulation_overhead,
+    erew_step_time_bound,
+    inevitable_overhead,
+    step_time_bound,
+)
+from .erew import CRCWPram, EREWPram
+from .pram import SharedMemory, StepLog, StepRecord
+from .qrqw import QRQWPram
+from .scheduler import SlackPoint, slackness_sweep
+
+__all__ = [
+    "SharedMemory",
+    "StepRecord",
+    "StepLog",
+    "QRQWPram",
+    "EREWPram",
+    "CRCWPram",
+    "inevitable_overhead",
+    "delta_for_whp",
+    "step_time_bound",
+    "emulation_overhead",
+    "erew_step_time_bound",
+    "erew_emulation_overhead",
+    "EmulationResult",
+    "emulate_qrqw",
+    "SlackPoint",
+    "slackness_sweep",
+]

@@ -1,0 +1,250 @@
+"""Emulating the QRQW PRAM on the (d,x)-BSP (paper Section 5).
+
+The emulation routes every QRQW step's memory requests through a random
+hash onto the machine's ``B = x·p`` banks.  For a step with ``n``
+operations and maximum location contention ``k``:
+
+* Each processor handles ``ceil(n/p)`` requests — pipeline term
+  ``g·ceil(n/p)``.
+* The hottest location serializes at its bank — unavoidable term ``d·k``.
+* Module-map contention: a bank's load is a weighted sum of Bernoulli
+  trials (weights = location multiplicities / k, mean ``μ = n/(kB)``).
+  By the Raghavan–Spencer bound [Rag88],
+  ``P(load > (1+δ)·n/B) < B·(e^δ/(1+δ)^{1+δ})^{n/(kB)}``,
+  giving a with-high-probability bank term ``d·(1+δ*)·n/B`` where ``δ*``
+  is the smallest δ meeting a target failure probability.
+
+Hence the whp step-time bound::
+
+    T(n, k) = max(L, g·ceil(n/p), d·(1+δ*)·n/(x·p), d·k)
+
+**Theorem 5.1 regime (x ≤ d).**  The work overhead ``d/x`` is inevitable
+(memory bandwidth ``x·p/d`` below processor bandwidth ``p/g``) and the
+bound above matches it: with slack ``n/p ≥ x·k`` the ``d·k`` term is
+dominated and ``T ≈ (d/x)·(n/p)·(1+δ*)`` — work-preserving with overhead
+``Θ(d/x)``.
+
+**Theorem 5.2 regime (x ≥ d).**  High bandwidth (small g) and expansion
+beyond ``d`` partially compensate the bank delay: ``δ*`` shrinks as ``B``
+grows relative to the per-bank mean, so the slowdown is a *nonlinear*
+decreasing function of ``x`` at fixed ``d`` — the shape reproduced by
+experiment ``TH`` in DESIGN.md.
+
+Besides the analytic bounds, :func:`emulate_qrqw` *executes* a recorded
+QRQW program on the simulator, giving measured emulation times to set
+against the bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.contention import BankMap
+from ..core.cost import per_processor_load
+from ..core.params import DXBSPParams
+from ..errors import ParameterError
+from ..mapping.hashing import linear_hash
+from ..mapping.theory import raghavan_spencer_tail
+from ..simulator.banksim import simulate_scatter
+from ..simulator.machine import MachineConfig
+from .qrqw import QRQWPram
+
+__all__ = [
+    "inevitable_overhead",
+    "delta_for_whp",
+    "step_time_bound",
+    "emulation_overhead",
+    "erew_step_time_bound",
+    "erew_emulation_overhead",
+    "EmulationResult",
+    "emulate_qrqw",
+]
+
+
+def inevitable_overhead(params: DXBSPParams) -> float:
+    """The bandwidth-imbalance work overhead ``max(1, d·g⁻¹/x)``: with
+    fewer than ``d/g`` banks per processor, the memory system simply cannot
+    keep up with the processors, and every emulation pays this factor."""
+    return max(1.0, params.d / (params.g * params.x))
+
+
+def delta_for_whp(
+    n_ops: int, k: int, n_banks: int, fail_prob: float = 1e-6
+) -> float:
+    """Smallest ``δ`` such that the Raghavan–Spencer union bound puts all
+    bank loads below ``(1+δ)·n/B`` except with probability ``fail_prob``.
+
+    ``k`` is the maximum location contention; contended locations enter
+    the weighted sum with weight ``multiplicity/k ≤ 1`` and the per-bank
+    mean is ``μ = n/(k·B)``.  Solved by bisection on the monotone tail.
+    """
+    if n_ops < 1:
+        raise ParameterError(f"n_ops must be >= 1, got {n_ops}")
+    if not (1 <= k <= n_ops):
+        raise ParameterError(f"need 1 <= k <= n_ops, got k={k}")
+    if n_banks < 1:
+        raise ParameterError(f"n_banks must be >= 1, got {n_banks}")
+    if not (0 < fail_prob < 1):
+        raise ParameterError(f"fail_prob must be in (0,1), got {fail_prob}")
+    mu = n_ops / (k * n_banks)
+    target = fail_prob / n_banks
+
+    def tail(delta: float) -> float:
+        return raghavan_spencer_tail(mu, delta)
+
+    lo, hi = 1e-9, 2.0
+    while tail(hi) > target:
+        hi *= 2.0
+        if hi > 1e9:  # pathological; bound is vacuous long before this
+            return hi
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if tail(mid) > target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12 * max(1.0, hi):
+            break
+    return hi
+
+
+def step_time_bound(
+    params: DXBSPParams, n_ops: int, k: int, fail_prob: float = 1e-6
+) -> float:
+    """Whp (d,x)-BSP time bound for emulating one QRQW step::
+
+        max(L, g·ceil(n/p), d·(1+δ*)·n/(x·p), d·k)
+    """
+    if n_ops == 0:
+        return float(params.L)
+    delta = delta_for_whp(n_ops, k, params.n_banks, fail_prob)
+    h_p = per_processor_load(n_ops, params.p)
+    bank_term = params.d * (1.0 + delta) * n_ops / params.n_banks
+    return float(
+        max(params.L, params.g * h_p, bank_term, params.d * k)
+    )
+
+
+def emulation_overhead(
+    params: DXBSPParams, n_ops: int, k: int, fail_prob: float = 1e-6
+) -> float:
+    """Per-step emulation overhead: bound time divided by the QRQW cost
+    charged at the machine's gap, ``g·max(ceil(n/p), k)``.
+
+    This is the quantity whose behaviour the paper characterizes: for
+    ``x ≤ d`` it approaches the inevitable ``d/(g·x)``; for ``x ≥ d`` it
+    decreases nonlinearly toward 1 as expansion grows (Theorem 5.2).
+    """
+    if n_ops == 0:
+        return 1.0
+    qrqw_cost = params.g * max(per_processor_load(n_ops, params.p), k)
+    return step_time_bound(params, n_ops, k, fail_prob) / qrqw_cost
+
+
+def erew_step_time_bound(
+    params: DXBSPParams, n_ops: int, fail_prob: float = 1e-6
+) -> float:
+    """Whp time bound for emulating an **EREW** PRAM step (the paper's
+    other high-level-model mapping scenario): the contention-1 special
+    case of :func:`step_time_bound` — only hashing imbalance and raw
+    bandwidth remain."""
+    if n_ops == 0:
+        return float(params.L)
+    return step_time_bound(params, n_ops, 1, fail_prob)
+
+
+def erew_emulation_overhead(
+    params: DXBSPParams, n_ops: int, fail_prob: float = 1e-6
+) -> float:
+    """Per-step overhead of the EREW emulation relative to ``g·ceil(n/p)``.
+
+    With ``x >= d/g`` and enough slack this approaches 1: the EREW PRAM
+    maps onto high-bandwidth machines essentially for free — the
+    contrast that motivates accepting (and charging for) QRQW contention
+    rather than engineering it away.
+    """
+    return emulation_overhead(params, n_ops, 1, fail_prob)
+
+
+@dataclass(frozen=True)
+class EmulationResult:
+    """Outcome of executing a QRQW program on a simulated (d,x)-BSP.
+
+    Attributes
+    ----------
+    simulated_time:
+        Total simulated cycles over all steps (including per-step ``L``).
+    bound_time:
+        Sum of per-step whp bounds from :func:`step_time_bound`.
+    qrqw_time:
+        The program's QRQW model time (unit steps).
+    qrqw_time_scaled:
+        ``g * qrqw_time`` — QRQW time expressed in machine cycles.
+    n_steps / n_ops:
+        Program size.
+    """
+
+    simulated_time: float
+    bound_time: float
+    qrqw_time: int
+    qrqw_time_scaled: float
+    n_steps: int
+    n_ops: int
+
+    @property
+    def measured_overhead(self) -> float:
+        """Simulated time over scaled QRQW time."""
+        if self.qrqw_time_scaled <= 0:
+            return 1.0
+        return self.simulated_time / self.qrqw_time_scaled
+
+    @property
+    def bound_tightness(self) -> float:
+        """Simulated over bound (≤ ~1 means the whp bound held)."""
+        if self.bound_time <= 0:
+            return 1.0
+        return self.simulated_time / self.bound_time
+
+
+def emulate_qrqw(
+    machine: MachineConfig,
+    pram: QRQWPram,
+    bank_map: Optional[BankMap] = None,
+    seed: int = 0,
+    fail_prob: float = 1e-6,
+) -> EmulationResult:
+    """Execute a recorded QRQW program on ``machine`` via random hashing.
+
+    One hash function is drawn up front (as a real system would configure
+    its memory map once) and every step's combined read+write address
+    vector is scattered through it on the simulator.  Returns measured
+    time next to the analytic bound and the QRQW model time.
+    """
+    mapping = bank_map if bank_map is not None else linear_hash(seed)
+    params = machine.params()
+    sim_total = 0.0
+    bound_total = 0.0
+    n_ops = 0
+    for rec in pram.log:
+        if rec.n_ops == 0:
+            sim_total += machine.L
+            bound_total += machine.L
+            continue
+        res = simulate_scatter(machine, rec.addresses, mapping)
+        sim_total += res.time
+        bound_total += step_time_bound(
+            params, rec.n_ops, max(1, rec.max_contention), fail_prob
+        )
+        n_ops += rec.n_ops
+    return EmulationResult(
+        simulated_time=sim_total,
+        bound_time=bound_total,
+        qrqw_time=pram.time,
+        qrqw_time_scaled=float(machine.g * pram.time),
+        n_steps=len(pram.log),
+        n_ops=n_ops,
+    )

@@ -1,0 +1,84 @@
+"""EREW and CRCW PRAM rules, for contrast with the QRQW.
+
+The EREW PRAM *forbids* concurrent access: executing a step with location
+contention above 1 raises :class:`repro.errors.ContentionRuleError`.  It is
+the model the paper's baseline algorithms (sorting-based permutation,
+padded binary search) are designed for.  The CRCW PRAM charges unit time
+regardless of contention — the rule the paper argues is *too* optimistic
+for bank-based machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ContentionRuleError, ParameterError
+from .pram import SharedMemory, StepLog, StepRecord
+
+__all__ = ["EREWPram", "CRCWPram"]
+
+
+class _BasePram:
+    def __init__(self, p: int, memory_size: int) -> None:
+        if p < 1:
+            raise ParameterError(f"p must be >= 1, got {p}")
+        self.p = int(p)
+        self.memory = SharedMemory(memory_size)
+        self.log = StepLog()
+
+    def _validate(self, rec: StepRecord) -> None:  # overridden by EREW
+        pass
+
+    def read(self, addresses, label: str = "") -> np.ndarray:
+        values = self.memory.read(addresses)
+        rec = self.log.log(reads=np.asarray(addresses), label=label)
+        self._validate(rec)
+        return values
+
+    def write(self, addresses, values, label: str = "") -> None:
+        rec_addr = np.asarray(addresses)
+        # Validate *before* mutating memory so an illegal step is atomic.
+        rec = self.log.log(writes=rec_addr, label=label)
+        self._validate(rec)
+        self.memory.write(addresses, values)
+
+    @property
+    def max_contention(self) -> int:
+        """Largest per-step contention observed."""
+        return max((rec.max_contention for rec in self.log), default=0)
+
+    def _step_time(self, rec: StepRecord) -> int:
+        return max(1, -(-rec.n_ops // self.p) if rec.n_ops else 0)
+
+    @property
+    def time(self) -> int:
+        """Model time: sum of ``max(1, ceil(n/p))`` — contention never
+        costs extra under these rules (EREW because it is banned, CRCW
+        because it is free)."""
+        return sum(self._step_time(rec) for rec in self.log)
+
+    @property
+    def work(self) -> int:
+        """``p * time``."""
+        return self.p * self.time
+
+
+class EREWPram(_BasePram):
+    """Exclusive-read exclusive-write PRAM: a step with contention > 1 is
+    a programming error and raises :class:`ContentionRuleError`."""
+
+    def _validate(self, rec: StepRecord) -> None:
+        if rec.max_contention > 1:
+            raise ContentionRuleError(
+                f"EREW violation in step {len(self.log) - 1}"
+                f"{' (' + rec.label + ')' if rec.label else ''}: "
+                f"location contention {rec.max_contention} > 1"
+            )
+
+
+class CRCWPram(_BasePram):
+    """Concurrent-read concurrent-write PRAM (arbitrary-winner writes):
+    any contention is free — the over-optimistic rule the paper contrasts
+    with the queue rule."""

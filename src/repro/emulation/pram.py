@@ -1,0 +1,155 @@
+"""Shared PRAM machinery: memory, step records and cost accounting.
+
+The PRAM variants differ only in their *contention rule* — what a step may
+do to one shared-memory location and what it costs:
+
+* **EREW** — exclusive read, exclusive write: contention > 1 is an error.
+* **CRCW** — concurrent reads/writes cost 1 (arbitrary-winner writes).
+* **QRQW** [GMR94b] — queued reads/writes: a step with maximum location
+  contention ``k`` costs ``max(1, k)`` time; any contention is *allowed*
+  but *paid for*.
+
+Programs are expressed data-parallel style: each step is a bulk vector of
+reads and/or writes.  The machinery here executes the memory semantics and
+records, per step, the statistics every cost rule needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .._util import as_addresses
+from ..core.contention import max_location_contention
+from ..errors import ParameterError, PatternError
+
+__all__ = ["SharedMemory", "StepRecord", "StepLog"]
+
+
+class SharedMemory:
+    """A flat word-addressed shared memory backed by an int64 array.
+
+    Writes within one step are *queued*: when several writes target one
+    location, they are serviced serially and the last one in request order
+    wins (a deterministic stand-in for the QRQW's arbitrary queue order —
+    NumPy fancy assignment has the same last-wins semantics, which keeps
+    the vectorized implementation honest).
+    """
+
+    def __init__(self, size: int, fill: int = 0) -> None:
+        if size < 0:
+            raise ParameterError(f"size must be >= 0, got {size}")
+        self._cells = np.full(int(size), fill, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        """Number of addressable words."""
+        return int(self._cells.size)
+
+    def _check(self, addr: np.ndarray) -> np.ndarray:
+        addr = as_addresses(addr)
+        if addr.size and addr.max() >= self.size:
+            raise PatternError(
+                f"address {int(addr.max())} outside memory of size {self.size}"
+            )
+        return addr
+
+    def read(self, addresses) -> np.ndarray:
+        """Gather the values at ``addresses`` (concurrent reads see the
+        same value)."""
+        addr = self._check(addresses)
+        return self._cells[addr].copy()
+
+    def write(self, addresses, values) -> None:
+        """Scatter ``values`` to ``addresses``; colliding writes resolve
+        last-in-order-wins."""
+        addr = self._check(addresses)
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.ndim == 0:
+            vals = np.full(addr.shape, int(vals), dtype=np.int64)
+        if vals.shape != addr.shape:
+            raise PatternError("values must match addresses in shape")
+        self._cells[addr] = vals
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the full memory contents."""
+        return self._cells.copy()
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Statistics of one PRAM step.
+
+    Attributes
+    ----------
+    n_reads / n_writes:
+        Operation counts.
+    read_contention / write_contention:
+        Maximum location contention among the step's reads / writes.
+    addresses:
+        The combined address vector (reads then writes) — what an
+        emulation must route to memory banks.
+    label:
+        Free-form tag.
+    """
+
+    n_reads: int
+    n_writes: int
+    read_contention: int
+    write_contention: int
+    addresses: np.ndarray
+    label: str = ""
+
+    @property
+    def n_ops(self) -> int:
+        """Total memory operations in the step."""
+        return self.n_reads + self.n_writes
+
+    @property
+    def max_contention(self) -> int:
+        """The step's ``k``: max location contention over reads and writes
+        separately (reads and writes are distinct request classes)."""
+        return max(self.read_contention, self.write_contention)
+
+
+class StepLog:
+    """Ordered log of :class:`StepRecord` entries for one program run."""
+
+    def __init__(self) -> None:
+        self._records: List[StepRecord] = []
+
+    def log(
+        self,
+        reads: Optional[np.ndarray] = None,
+        writes: Optional[np.ndarray] = None,
+        label: str = "",
+    ) -> StepRecord:
+        """Append a step touching the given read/write address vectors."""
+        r = as_addresses(reads if reads is not None else np.zeros(0, np.int64))
+        w = as_addresses(writes if writes is not None else np.zeros(0, np.int64))
+        rec = StepRecord(
+            n_reads=int(r.size),
+            n_writes=int(w.size),
+            read_contention=max_location_contention(r),
+            write_contention=max_location_contention(w),
+            addresses=np.concatenate([r, w]) if (r.size or w.size) else r,
+            label=label,
+        )
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, i) -> StepRecord:
+        return self._records[i]
+
+    @property
+    def records(self) -> List[StepRecord]:
+        """The recorded steps, in program order."""
+        return list(self._records)

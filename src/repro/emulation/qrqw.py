@@ -1,0 +1,101 @@
+"""The QRQW PRAM: queued reads and writes, contention paid at cost ``k``.
+
+Gibbons, Matias and Ramachandran [GMR94b] argue that neither exclusive
+(EREW) nor unit-cost concurrent (CRCW) access rules reflect real machines;
+the *queue* rule — a step costs its maximum location contention — matches
+hardware in which requests to one location serialize at its memory bank.
+The (d,x)-BSP realizes exactly that serialization at rate ``d``, which is
+why the paper's Section 5 emulates the QRQW PRAM onto it.
+
+This module provides an executable QRQW PRAM with the [GMR94b] cost
+metric; :mod:`repro.emulation.erew` provides the EREW/CRCW rules for
+comparison, and :mod:`repro.emulation.emulate` maps recorded QRQW programs
+onto a (d,x)-BSP machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from .pram import SharedMemory, StepLog, StepRecord
+
+__all__ = ["QRQWPram"]
+
+
+class QRQWPram:
+    """An executable QRQW PRAM with ``p`` (virtual) processors.
+
+    Data-parallel usage: each call to :meth:`read` / :meth:`write` /
+    :meth:`step` is one PRAM step in which every listed operation happens
+    concurrently.  The time charged for a step is::
+
+        t_step = max(1, ceil(n_ops / p), k)
+
+    — every processor performs at most ``ceil(n_ops / p)`` operations and
+    the hottest location queues ``k`` of them.  Total ``time`` is the sum
+    over steps and ``work = p * time`` (the quantity the emulation must
+    preserve).
+    """
+
+    def __init__(self, p: int, memory_size: int) -> None:
+        if p < 1:
+            raise ParameterError(f"p must be >= 1, got {p}")
+        self.p = int(p)
+        self.memory = SharedMemory(memory_size)
+        self.log = StepLog()
+
+    # -- step primitives -------------------------------------------------
+    def read(self, addresses, label: str = "") -> np.ndarray:
+        """One step of concurrent (queued) reads; returns the values."""
+        values = self.memory.read(addresses)
+        self.log.log(reads=np.asarray(addresses), label=label)
+        return values
+
+    def write(self, addresses, values, label: str = "") -> None:
+        """One step of concurrent (queued) writes (last-in-order wins)."""
+        self.memory.write(addresses, values)
+        self.log.log(writes=np.asarray(addresses), label=label)
+
+    def step(self, reads=None, read_out=None, writes=None, values=None,
+             label: str = "") -> Optional[np.ndarray]:
+        """A combined step: optional bulk read and bulk write occurring in
+        the same PRAM step (reads see the pre-step memory).  Returns the
+        read values if reads were requested."""
+        result = None
+        if reads is not None:
+            result = self.memory.read(reads)
+        if writes is not None:
+            self.memory.write(writes, values if values is not None else 0)
+        self.log.log(
+            reads=np.asarray(reads) if reads is not None else None,
+            writes=np.asarray(writes) if writes is not None else None,
+            label=label,
+        )
+        return result
+
+    # -- cost accounting --------------------------------------------------
+    def _step_time(self, rec: StepRecord) -> int:
+        per_proc = -(-rec.n_ops // self.p) if rec.n_ops else 0
+        return max(1, per_proc, rec.max_contention)
+
+    @property
+    def time(self) -> int:
+        """QRQW time: sum over steps of ``max(1, ceil(n/p), k)``."""
+        return sum(self._step_time(rec) for rec in self.log)
+
+    @property
+    def work(self) -> int:
+        """QRQW work: ``p * time``."""
+        return self.p * self.time
+
+    @property
+    def max_contention(self) -> int:
+        """The largest per-step contention the program exhibited."""
+        return max((rec.max_contention for rec in self.log), default=0)
+
+    def step_times(self) -> np.ndarray:
+        """Per-step QRQW times, aligned with ``log.records``."""
+        return np.array([self._step_time(r) for r in self.log], dtype=np.int64)

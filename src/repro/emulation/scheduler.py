@@ -1,0 +1,113 @@
+"""Work-preserving emulation with explicit parallel slackness.
+
+Section 5's emulations are *work-preserving*: a QRQW PRAM algorithm
+written for ``p' = σ·p`` virtual processors runs on a ``p``-processor
+(d,x)-BSP in time ``O(σ · t_qrqw · overhead)`` with overhead ``O(1)``
+(for ``x ≥ d/g``) — i.e. at constant efficiency, provided the slackness
+``σ`` is large enough to amortize per-superstep costs and smooth the
+random-mapping imbalance.
+
+:func:`slackness_sweep` makes that statement executable: it takes a QRQW
+program (written for ``pram.p`` virtual processors) and emulates it on a
+family of physically smaller machines (``p = pram.p / σ``, bank count
+scaled to keep the expansion ``x`` fixed), reporting the measured
+efficiency at each slackness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.contention import BankMap
+from ..errors import ParameterError
+from ..mapping.hashing import linear_hash
+from ..simulator.banksim import simulate_scatter
+from ..simulator.machine import MachineConfig
+from .qrqw import QRQWPram
+
+__all__ = ["SlackPoint", "slackness_sweep"]
+
+
+@dataclass(frozen=True)
+class SlackPoint:
+    """One slackness setting's outcome.
+
+    Attributes
+    ----------
+    sigma:
+        Virtual processors per physical processor.
+    machine_p:
+        Physical processors used (``pram.p / sigma``).
+    emulated_time:
+        Simulated cycles to run the whole program.
+    ideal_time:
+        ``g · σ · t_qrqw`` — the perfectly work-preserving target (every
+        physical processor does σ virtual processors' work with zero
+        overhead).
+    """
+
+    sigma: int
+    machine_p: int
+    emulated_time: float
+    ideal_time: float
+
+    @property
+    def efficiency(self) -> float:
+        """``ideal / emulated`` — 1.0 is perfect work preservation."""
+        if self.emulated_time <= 0:
+            return 1.0
+        return self.ideal_time / self.emulated_time
+
+
+def slackness_sweep(
+    pram: QRQWPram,
+    template: MachineConfig,
+    sigmas: Sequence[int],
+    bank_map: Optional[BankMap] = None,
+    seed: int = 0,
+) -> List[SlackPoint]:
+    """Emulate ``pram`` at each slackness in ``sigmas``.
+
+    Parameters
+    ----------
+    pram:
+        A QRQW program whose ``pram.p`` is the *virtual* processor count;
+        every σ must divide it.
+    template:
+        Machine whose ``d``, ``g``, ``L`` and expansion ``x`` are held
+        fixed while ``p`` (and hence the bank count) shrinks with σ.
+    sigmas:
+        Slackness values to test (σ = 1 means no slack: one virtual
+        processor per physical one).
+    bank_map:
+        Bank mapping for the emulation (a fresh linear hash by default).
+    """
+    if not sigmas:
+        raise ParameterError("sigmas must be non-empty")
+    mapping = bank_map if bank_map is not None else linear_hash(seed)
+    x = template.x
+    points: List[SlackPoint] = []
+    for sigma in sigmas:
+        if sigma < 1 or pram.p % sigma:
+            raise ParameterError(
+                f"sigma {sigma} must be >= 1 and divide pram.p = {pram.p}"
+            )
+        p = pram.p // sigma
+        machine = template.with_(
+            p=p, n_banks=max(1, int(round(x * p)))
+        )
+        total = 0.0
+        for rec in pram.log:
+            if rec.n_ops == 0:
+                total += machine.L
+                continue
+            total += simulate_scatter(machine, rec.addresses, mapping).time
+        ideal = template.g * sigma * pram.time
+        points.append(SlackPoint(
+            sigma=int(sigma), machine_p=p,
+            emulated_time=total, ideal_time=float(ideal),
+        ))
+    return points

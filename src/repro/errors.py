@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "PatternError",
+    "SimulationError",
+    "MappingError",
+    "ContentionRuleError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A machine/model parameter is out of its valid domain."""
+
+
+class PatternError(ReproError, ValueError):
+    """An access pattern or trace is malformed (wrong dtype, negative
+    addresses, empty where non-empty is required, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an inconsistent state (e.g. deadlock under
+    bounded queues, or a request that never drains)."""
+
+
+class MappingError(ReproError, ValueError):
+    """A memory-to-bank mapping is invalid (non-odd multiplier for a
+    multiplicative hash, bank count not a power of two where required, ...)."""
+
+
+class ContentionRuleError(ReproError, RuntimeError):
+    """A PRAM program violated the contention rule of the machine it was
+    executed on (e.g. concurrent access on an EREW PRAM)."""

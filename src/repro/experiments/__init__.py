@@ -1,0 +1,73 @@
+"""One module per paper table/figure (see the per-experiment index in
+DESIGN.md).  Each module exposes ``run(...)`` returning the regenerated
+numbers and ``main()`` printing a paper-style table; the benchmark
+harness under ``benchmarks/`` wraps these same entry points."""
+
+from . import (
+    exp1_hotspot,
+    exp2_multihot,
+    exp3_entropy,
+    fig1_motivation,
+    fig10_binary_search,
+    fig11_random_perm,
+    fig12_spmv,
+    fig_connected_components,
+    fig_emulation,
+    fig_expansion,
+    fig_listranking,
+    fig_modulemap,
+    fig_multiprefix,
+    fig_network,
+    fig_residuals,
+    fig_sortbench,
+    fig_strides,
+    table1_machines,
+    table3_hashcost,
+)
+
+__all__ = [
+    "table1_machines",
+    "fig1_motivation",
+    "exp1_hotspot",
+    "exp2_multihot",
+    "exp3_entropy",
+    "fig_expansion",
+    "fig_network",
+    "table3_hashcost",
+    "fig_modulemap",
+    "fig_emulation",
+    "fig10_binary_search",
+    "fig11_random_perm",
+    "fig12_spmv",
+    "fig_connected_components",
+]
+
+__all__ += ["fig_multiprefix", "fig_listranking", "fig_strides",
+            "fig_sortbench", "fig_residuals"]
+
+#: Experiment id (DESIGN.md) → module, for programmatic discovery.
+#: Ids MP/LR (future-work studies named in the paper's conclusion) and
+#: ST (classical strided contrast) extend the paper's own artifact set.
+REGISTRY = {
+    "T1": table1_machines,
+    "F1": fig1_motivation,
+    "E1": exp1_hotspot,
+    "E2": exp2_multihot,
+    "E3": exp3_entropy,
+    "FX": fig_expansion,
+    "FN": fig_network,
+    "T3": table3_hashcost,
+    "FM": fig_modulemap,
+    "TH": fig_emulation,
+    "F10": fig10_binary_search,
+    "F11": fig11_random_perm,
+    "F12": fig12_spmv,
+    "FC": fig_connected_components,
+    "MP": fig_multiprefix,
+    "LR": fig_listranking,
+    "ST": fig_strides,
+    "SB": fig_sortbench,
+    "RE": fig_residuals,
+}
+
+__all__.append("REGISTRY")

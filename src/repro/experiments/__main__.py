@@ -1,0 +1,63 @@
+"""Run paper experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments E1 F12     # run selected ids
+    python -m repro.experiments --all      # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import REGISTRY
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures "
+        "(ids per DESIGN.md).",
+    )
+    parser.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids (e.g. T1 E1 F12)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write each experiment's output to "
+                             "DIR/<id>.txt")
+    args = parser.parse_args(argv)
+
+    if not args.ids and not args.all:
+        print("available experiments:")
+        for key, mod in REGISTRY.items():
+            doc = (mod.__doc__ or "").strip().splitlines()[0]
+            print(f"  {key:<4} {doc}")
+        print("\nrun with ids (e.g. `python -m repro.experiments E1`) "
+              "or --all")
+        return 0
+
+    ids = list(REGISTRY) if args.all else args.ids
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)} "
+                     f"(known: {', '.join(REGISTRY)})")
+    save_dir = None
+    if args.save is not None:
+        import pathlib
+
+        save_dir = pathlib.Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+    for key in ids:
+        print(f"=== {key} " + "=" * 60)
+        out = REGISTRY[key].main()
+        if save_dir is not None:
+            (save_dir / f"{key}.txt").write_text(out + "\n")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Shared defaults for the experiment modules.
+
+The paper runs on a dedicated 8-processor Cray J90 (with C90 results
+"qualitatively similar"), vectors of S = 64K elements per superstep and
+negligible L.  The experiment defaults mirror that: the J90 preset, 64K
+requests per pattern, and a deterministic seed so every table and figure
+regenerates bit-identically.
+"""
+
+from __future__ import annotations
+
+from ..simulator.machine import CRAY_C90, CRAY_J90, MachineConfig
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_N",
+    "DEFAULT_SPACE",
+    "j90",
+    "c90",
+]
+
+#: Seed used by every experiment unless overridden.
+DEFAULT_SEED = 1995  # the paper's year
+
+#: Requests per pattern — the paper's S = 64K.
+DEFAULT_N = 64 * 1024
+
+#: Address space for background traffic (comfortably exceeds bank counts).
+DEFAULT_SPACE = 1 << 24
+
+
+def j90(**overrides) -> MachineConfig:
+    """The paper's experimental machine: 8-processor Cray J90."""
+    return CRAY_J90.with_(**overrides) if overrides else CRAY_J90
+
+
+def c90(**overrides) -> MachineConfig:
+    """The Cray C90 preset (d = 6, SRAM)."""
+    return CRAY_C90.with_(**overrides) if overrides else CRAY_C90

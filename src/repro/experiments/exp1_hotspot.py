@@ -1,0 +1,76 @@
+"""Experiment 1 — scatter time vs single-location contention.
+
+A scatter of ``n`` elements where exactly ``k`` target one hot location
+(the rest distinct).  The (d,x)-BSP predicts::
+
+    T = max(g*n/p, d*k)        (L negligible)
+
+so the curve is flat at ``g*n/p`` until the knee ``k* = g*n/(p*d)`` and
+then rises with slope ``d``.  The BSP prediction rises only with slope
+``g`` — under the J90's ``d = 14`` it under-predicts hot patterns by up
+to 14x.  The simulator plays the role of the Cray measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.predict import compare_scatter
+from ..analysis.report import Series
+from ..core.cost import crossover_contention
+from ..simulator.machine import MachineConfig
+from ..workloads.patterns import hotspot
+from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+
+__all__ = ["default_contentions", "run", "main"]
+
+
+def default_contentions(n: int) -> np.ndarray:
+    """Geometric sweep of contention values 1 .. n."""
+    ks = np.unique(np.geomspace(1, n, num=17).astype(np.int64))
+    return ks
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    n: int = DEFAULT_N,
+    contentions: Optional[Sequence[int]] = None,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Sweep contention; returns a series with BSP / (d,x)-BSP / simulated
+    times plus the analytic knee in the series name."""
+    machine = machine or j90()
+    ks = np.asarray(
+        contentions if contentions is not None else default_contentions(n),
+        dtype=np.int64,
+    )
+    bsp = np.empty(ks.size)
+    dxbsp = np.empty(ks.size)
+    sim = np.empty(ks.size)
+    for i, k in enumerate(ks):
+        addr = hotspot(n, int(k), DEFAULT_SPACE, seed=seed + i)
+        cmp = compare_scatter(machine, addr, label=f"k={k}")
+        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    knee = crossover_contention(machine.params(), n)
+    series = Series(
+        name=f"exp1_hotspot ({machine.name}, n={n}, knee k*~{knee:.0f})",
+        x_label="contention k",
+        x=ks.astype(np.float64),
+    )
+    series.add("bsp", bsp)
+    series.add("dxbsp", dxbsp)
+    series.add("simulated", sim)
+    return series
+
+
+def main() -> str:
+    """Render and print the Experiment-1 sweep."""
+    out = run().format()
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Experiment 2 [reconstructed] — scatter time with multiple hot
+locations.
+
+Two sweeps over the multi-hot-spot family:
+
+* fixed hot fraction, varying the *number* of hot locations — with more
+  hot locations the same hot traffic spreads, contention per location
+  falls as ``f*n/n_hot``, and the time returns to the throughput bound;
+* fixed number of hot locations, varying the *fraction* of traffic they
+  receive — time rises once ``d * f*n/n_hot`` passes ``g*n/p``.
+
+Both directions test that the (d,x)-BSP tracks the simulator when the
+contention is spread rather than concentrated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.predict import compare_scatter
+from ..analysis.report import Series
+from ..simulator.machine import MachineConfig
+from ..workloads.patterns import multi_hotspot
+from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+
+__all__ = ["run_vs_nhot", "run_vs_fraction", "main"]
+
+
+def run_vs_nhot(
+    machine: Optional[MachineConfig] = None,
+    n: int = DEFAULT_N,
+    hot_fraction: float = 0.25,
+    n_hots: Optional[Sequence[int]] = None,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Time vs number of hot locations at fixed hot traffic fraction."""
+    machine = machine or j90()
+    hs = np.asarray(
+        n_hots if n_hots is not None
+        else np.unique(np.geomspace(1, 4096, num=13).astype(np.int64)),
+        dtype=np.int64,
+    )
+    bsp = np.empty(hs.size)
+    dxbsp = np.empty(hs.size)
+    sim = np.empty(hs.size)
+    for i, h in enumerate(hs):
+        addr = multi_hotspot(n, int(h), hot_fraction, DEFAULT_SPACE, seed=seed + i)
+        cmp = compare_scatter(machine, addr)
+        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    series = Series(
+        name=f"exp2_multihot vs n_hot ({machine.name}, n={n}, f={hot_fraction})",
+        x_label="hot locations",
+        x=hs.astype(np.float64),
+    )
+    series.add("bsp", bsp)
+    series.add("dxbsp", dxbsp)
+    series.add("simulated", sim)
+    return series
+
+
+def run_vs_fraction(
+    machine: Optional[MachineConfig] = None,
+    n: int = DEFAULT_N,
+    n_hot: int = 4,
+    fractions: Optional[Sequence[float]] = None,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Time vs hot traffic fraction at a fixed (small) hot set."""
+    machine = machine or j90()
+    fs = np.asarray(
+        fractions if fractions is not None else np.linspace(0.0, 1.0, 11),
+        dtype=np.float64,
+    )
+    bsp = np.empty(fs.size)
+    dxbsp = np.empty(fs.size)
+    sim = np.empty(fs.size)
+    for i, f in enumerate(fs):
+        addr = multi_hotspot(n, n_hot, float(f), DEFAULT_SPACE, seed=seed + i)
+        cmp = compare_scatter(machine, addr)
+        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    series = Series(
+        name=f"exp2_multihot vs fraction ({machine.name}, n={n}, n_hot={n_hot})",
+        x_label="hot fraction",
+        x=fs,
+    )
+    series.add("bsp", bsp)
+    series.add("dxbsp", dxbsp)
+    series.add("simulated", sim)
+    return series
+
+
+def main() -> str:
+    """Render and print both Experiment-2 sweeps."""
+    out = run_vs_nhot().format() + "\n\n" + run_vs_fraction().format()
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Binary-search figure [reconstructed number] — QRQW vs EREW lookup.
+
+``n`` keys are searched in a balanced tree of ``m`` keys.  The QRQW
+algorithm replicates the top tree levels and accepts bounded contention;
+the EREW baseline sorts the queries first and merges.  Per the paper,
+"the qrqw algorithm performs better over a wider range of problem sizes"
+— here both instrumented programs are costed and simulated on the same
+machine, sweeping ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.binary_search import (
+    build_implicit_tree,
+    erew_binary_search,
+    qrqw_binary_search,
+)
+from ..analysis.predict import compare_program
+from ..analysis.report import Series
+from ..simulator.machine import MachineConfig
+from ..workloads.traces import TraceRecorder
+from .common import DEFAULT_SEED, j90
+
+__all__ = ["run", "main"]
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    m: int = 64 * 1024,
+    n_values: Optional[Sequence[int]] = None,
+    target_contention: int = 8,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Sweep the number of queries ``n``; columns: simulated and
+    (d,x)-BSP-predicted times for both algorithms."""
+    machine = machine or j90()
+    ns = np.asarray(
+        n_values if n_values is not None
+        else [1 << b for b in range(8, 17, 2)],
+        dtype=np.int64,
+    )
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 1 << 30, size=m, dtype=np.int64))
+    tree = build_implicit_tree(keys)
+    qrqw_sim = np.empty(ns.size)
+    erew_sim = np.empty(ns.size)
+    qrqw_pred = np.empty(ns.size)
+    erew_pred = np.empty(ns.size)
+    for i, n in enumerate(ns):
+        queries = rng.integers(0, 1 << 30, size=int(n), dtype=np.int64)
+        rec_q = TraceRecorder()
+        res_q = qrqw_binary_search(
+            tree, queries, target_contention, seed=seed + i, recorder=rec_q
+        )
+        rec_e = TraceRecorder()
+        res_e = erew_binary_search(keys, queries, recorder=rec_e)
+        assert (res_q == res_e).all()  # both must agree before we time them
+        cq = compare_program(machine, rec_q.program)
+        ce = compare_program(machine, rec_e.program)
+        qrqw_sim[i], erew_sim[i] = cq.simulated_time, ce.simulated_time
+        qrqw_pred[i], erew_pred[i] = cq.dxbsp_time, ce.dxbsp_time
+    series = Series(
+        name=f"fig10_binary_search ({machine.name}, m={m}, tau={target_contention})",
+        x_label="queries n",
+        x=ns.astype(np.float64),
+    )
+    series.add("qrqw_simulated", qrqw_sim)
+    series.add("erew_simulated", erew_sim)
+    series.add("qrqw_dxbsp", qrqw_pred)
+    series.add("erew_dxbsp", erew_pred)
+    return series
+
+
+def main() -> str:
+    """Render and print the binary-search comparison."""
+    out = run().format()
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

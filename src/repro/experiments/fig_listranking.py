@@ -1,0 +1,102 @@
+"""List-ranking contention study [RM94] — the paper's future work.
+
+Pointer jumping's memory signature: each of the ``ceil(lg n)`` rounds is
+an irregular permutation-like gather — *except* at the shrinking frontier
+near the tails, where contention doubles every round (after round ``r``
+up to ``2^r`` nodes read the tail's cells).  The (d,x)-BSP accounting
+shows when that hot tail starts to matter: for a single list it stays
+under the throughput bound until ``2^r > g·n/(p·d)``, i.e. only the last
+``lg(p·d/g)`` rounds pay extra — the contention profile Reid-Miller's
+Cray implementation had to engineer around.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.list_ranking import list_rank, random_list
+from ..analysis.predict import compare_program
+from ..analysis.report import Series
+from ..simulator.machine import MachineConfig
+from ..simulator.trace import simulate_program
+from ..workloads.traces import TraceRecorder
+from .common import DEFAULT_SEED, j90
+
+__all__ = ["run", "run_round_profile", "main"]
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    n_values: Optional[Sequence[int]] = None,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Total ranking time vs list length, BSP vs (d,x)-BSP vs simulated."""
+    machine = machine or j90()
+    ns = np.asarray(
+        n_values if n_values is not None
+        else [1 << b for b in range(10, 17, 2)],
+        dtype=np.int64,
+    )
+    bsp = np.empty(ns.size)
+    dxbsp = np.empty(ns.size)
+    sim = np.empty(ns.size)
+    for i, n in enumerate(ns):
+        succ, _ = random_list(int(n), seed=seed + i)
+        rec = TraceRecorder()
+        list_rank(succ, recorder=rec)
+        cmp = compare_program(machine, rec.program)
+        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    series = Series(
+        name=f"fig_listranking ({machine.name}) [future work]",
+        x_label="list length n",
+        x=ns.astype(np.float64),
+    )
+    series.add("bsp", bsp)
+    series.add("dxbsp", dxbsp)
+    series.add("simulated", sim)
+    return series
+
+
+def run_round_profile(
+    machine: Optional[MachineConfig] = None,
+    n: int = 32 * 1024,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Per-round contention and simulated time for one ranking — the hot
+    tail emerging over the rounds."""
+    machine = machine or j90()
+    succ, _ = random_list(n, seed=seed)
+    rec = TraceRecorder()
+    list_rank(succ, recorder=rec)
+    succ_steps = [s for s in rec.program if "read-succ" in s.label]
+    rounds = np.arange(len(succ_steps), dtype=np.float64)
+    cont = np.array(
+        [s.stats().max_location_contention for s in succ_steps],
+        dtype=np.float64,
+    )
+    res = simulate_program(machine, rec.program)
+    times = np.array(
+        [r.time for r, lbl in zip(res.step_results, res.step_labels)
+         if "read-succ" in lbl]
+    )
+    series = Series(
+        name=f"fig_listranking rounds ({machine.name}, n={n})",
+        x_label="jump round",
+        x=rounds,
+    )
+    series.add("tail_contention", cont)
+    series.add("round_simulated", times)
+    return series
+
+
+def main() -> str:
+    """Render and print both list-ranking views."""
+    out = run().format() + "\n\n" + run_round_profile().format()
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

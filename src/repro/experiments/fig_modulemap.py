@@ -1,0 +1,68 @@
+"""Module-map contention vs expansion (paper Section 4 figure).
+
+"[The figure compares] the time that includes the effect of multiple
+memory locations being mapped to the same bank to the time that excludes
+the effect, when using random mapping.  This is given as a function of
+expansion and is for a worst-case reference pattern."
+
+The worst-case pattern for module-map contention is ``n`` *distinct*
+locations (location contention 1): every slowdown is then attributable to
+distinct locations colliding on a bank.  The ratio exceeds 1 at moderate
+expansion (balls-in-bins imbalance against a busy memory system) and
+decays back toward 1 as banks multiply — high expansion buys the
+randomized mapping for free, the paper's argument for the C90's x = 64.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.report import Series
+from ..mapping.hashing import RandomMap, linear_hash
+from ..mapping.module_map import ratio_vs_expansion
+from ..simulator.machine import MachineConfig
+from .common import DEFAULT_SEED, j90
+
+__all__ = ["run", "main"]
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    n: int = 16 * 1024,
+    expansions: Optional[Sequence[float]] = None,
+    trials: int = 3,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Mean module-map ratio vs expansion for the linear hash family and
+    an idealized full-random mapping."""
+    machine = machine or j90()
+    xs = list(expansions) if expansions is not None else [1, 2, 4, 8, 16, 32, 64, 128]
+    base = machine.params()
+    hashed = ratio_vs_expansion(
+        base, n, xs, lambda s: linear_hash(s), trials=trials, seed=seed
+    )
+    random_map = ratio_vs_expansion(
+        base, n, xs, lambda s: RandomMap(s), trials=trials, seed=seed + 1
+    )
+    series = Series(
+        name=f"fig_modulemap ({machine.name}, n={n} distinct locations)",
+        x_label="expansion x",
+        x=np.asarray(xs, dtype=np.float64),
+    )
+    series.add("ratio_h1", hashed.mean_ratio)
+    series.add("ratio_random", random_map.mean_ratio)
+    series.add("ratio_h1_max", hashed.max_ratio)
+    return series
+
+
+def main() -> str:
+    """Render and print the module-map ratio sweep."""
+    out = run().format()
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Multiprefix contention study [She93] — the paper's future work.
+
+The conclusion lists multiprefix among the algorithms "we are currently
+looking into analyzing".  The analysis here compares the two natural
+implementations across key-multiplicity regimes:
+
+* **sort-based** — radix sort + segmented scan + unpermute:
+  contention-free, fixed multi-pass traffic;
+* **direct** — every element updates its key's cell with a queued write:
+  one pass, contention = the maximum key multiplicity.
+
+The crossover is exactly the Figure-11 trade replayed for multiprefix:
+with many distinct keys the direct method's contention is low and it
+wins; as keys concentrate, ``d * multiplicity`` overtakes the sort's
+fixed cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.multiprefix import multiprefix, multiprefix_direct
+from ..analysis.predict import compare_program
+from ..analysis.report import Series
+from ..simulator.machine import MachineConfig
+from ..workloads.traces import TraceRecorder
+from .common import DEFAULT_SEED, j90
+
+__all__ = ["run", "main"]
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    n: int = 32 * 1024,
+    n_keys_values: Optional[Sequence[int]] = None,
+    seed: int = DEFAULT_SEED,
+) -> Series:
+    """Sweep the number of distinct keys (high -> low multiplicity)."""
+    machine = machine or j90()
+    keys_sweep = np.asarray(
+        n_keys_values if n_keys_values is not None
+        else [2, 16, 128, 1024, 8192, 32768],
+        dtype=np.int64,
+    )
+    rng = np.random.default_rng(seed)
+    sorted_sim = np.empty(keys_sweep.size)
+    direct_sim = np.empty(keys_sweep.size)
+    mult = np.empty(keys_sweep.size)
+    for i, n_keys in enumerate(keys_sweep):
+        keys = rng.integers(0, n_keys, size=n, dtype=np.int64)
+        values = rng.integers(0, 100, size=n, dtype=np.int64)
+        rec_s = TraceRecorder()
+        p_s, t_s = multiprefix(keys, values, int(n_keys), recorder=rec_s)
+        rec_d = TraceRecorder()
+        p_d, t_d = multiprefix_direct(keys, values, int(n_keys),
+                                      recorder=rec_d)
+        assert np.array_equal(p_s, p_d) and np.array_equal(t_s, t_d)
+        sorted_sim[i] = compare_program(machine, rec_s.program).simulated_time
+        direct_sim[i] = compare_program(machine, rec_d.program).simulated_time
+        mult[i] = np.bincount(keys, minlength=int(n_keys)).max()
+    series = Series(
+        name=f"fig_multiprefix ({machine.name}, n={n}) [future work]",
+        x_label="distinct keys",
+        x=keys_sweep.astype(np.float64),
+    )
+    series.add("max_multiplicity", mult)
+    series.add("sorted_simulated", sorted_sim)
+    series.add("direct_simulated", direct_sim)
+    return series
+
+
+def main() -> str:
+    """Render and print the multiprefix comparison."""
+    out = run().format()
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Network worst case — versions (a), (b), (c).
+
+The paper tested three versions of a worst-case pattern on the J90:
+(a) and (b) spread across the network and "are quite close to the
+predicted performance"; version (c) concentrates all references in one
+subsection of the network and runs "up to a factor of 2.5 off from the
+prediction because of congestion at one of the subsections" — a refined
+model [ST91] would be needed.
+
+We regenerate all three on a sectioned machine:
+
+* (a) uniform traffic over all banks/sections;
+* (b) traffic confined to half the sections;
+* (c) traffic confined to one section.
+
+For each: the bank-only (d,x)-BSP prediction, the section-aware
+prediction, the simulated time and the (c)-style discrepancy ratio.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..core.cost import predict_scatter_dxbsp
+from ..simulator.banksim import simulate_scatter
+from ..simulator.machine import MachineConfig
+from ..simulator.network import predict_scatter_sections
+from ..workloads.patterns import section_confined, uniform_random
+from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+
+__all__ = ["HEADERS", "default_machine", "run", "main"]
+
+HEADERS = (
+    "version", "n", "bank_pred", "section_pred", "simulated", "sim/bank_pred"
+)
+
+
+def default_machine() -> MachineConfig:
+    """J90 with its 4 sections, link bandwidth sized so the *aggregate*
+    section bandwidth matches peak processor issue (``n_sections / gap =
+    p / g``): uniform traffic is then unaffected, but a pattern confined
+    to one section is limited to ``1/n_sections`` of peak — version (c)."""
+    base = j90()
+    return base.with_(section_gap=base.n_sections * base.g / base.p)
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+) -> List[Tuple]:
+    """Rows for versions (a)/(b)/(c)."""
+    machine = machine or default_machine()
+    rng_seed = seed
+    versions = []
+    # (a): uniform over all sections.
+    versions.append(("a (uniform)", uniform_random(n, DEFAULT_SPACE, rng_seed)))
+    # (b): half the sections (interleaved in issue order so both links are
+    # busy from the first cycle).
+    half = max(1, machine.n_sections // 2)
+    parts = [
+        section_confined(machine, n // half, s, seed=rng_seed + s)
+        for s in range(half)
+    ]
+    b_addr = np.concatenate(parts)
+    np.random.default_rng(rng_seed + 100).shuffle(b_addr)
+    versions.append(("b (half sections)", b_addr))
+    # (c): a single section.
+    versions.append(
+        ("c (one section)", section_confined(machine, n, 0, seed=rng_seed + 7))
+    )
+    rows = []
+    for label, addr in versions:
+        bank_pred = predict_scatter_dxbsp(machine.params(), addr)
+        sect_pred = predict_scatter_sections(machine, addr)
+        sim = simulate_scatter(machine, addr).time
+        rows.append(
+            (label, int(addr.size), bank_pred, sect_pred, sim,
+             sim / bank_pred if bank_pred else float("inf"))
+        )
+    return rows
+
+
+def main() -> str:
+    """Render and print the versions table."""
+    out = format_table(HEADERS, run(), title="network worst case (a)/(b)/(c)")
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

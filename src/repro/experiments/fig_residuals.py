@@ -1,0 +1,94 @@
+"""Model residuals — the "good accounting" claim as a statistic.
+
+The paper's abstract claims the framework "is a good predictor of
+performance ... providing a good accounting of bank contention and
+delay".  Individual figures show it per sweep; this experiment makes it
+a population statement: draw many random patterns from every workload
+family, compute the signed relative error of both models against the
+simulator for each, and report the error distribution per family.
+
+Expected shape: (d,x)-BSP errors within a few percent across *all*
+families; BSP errors near zero only for throughput-bound families and
+catastrophically negative (under-prediction) for contended ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.predict import compare_scatter
+from ..analysis.report import format_table
+from ..simulator.machine import MachineConfig
+from ..workloads.entropy import anded_keys
+from ..workloads.nas import nas_is_keys
+from ..workloads.patterns import (
+    distinct_random,
+    hotspot,
+    multi_hotspot,
+    uniform_random,
+    zipf_pattern,
+)
+from .common import DEFAULT_SEED, j90
+
+__all__ = ["HEADERS", "FAMILIES", "run", "main"]
+
+HEADERS = ("family", "trials", "dxbsp err mean", "dxbsp err worst",
+           "bsp err mean", "bsp err worst")
+
+#: Pattern family name -> generator(n, space, seed).
+FAMILIES: Dict[str, Callable] = {
+    "distinct": lambda n, space, s: distinct_random(n, space, seed=s),
+    "uniform": lambda n, space, s: uniform_random(n, space, seed=s),
+    "nas-is": lambda n, space, s: nas_is_keys(n, bits=20, seed=s),
+    "zipf": lambda n, space, s: zipf_pattern(n, space, alpha=1.3, seed=s),
+    "ts-and2": lambda n, space, s: anded_keys(n, 20, rounds=2, seed=s),
+    "hotspot": lambda n, space, s: hotspot(
+        n, int(np.random.default_rng(s).integers(1, n + 1)), space, seed=s
+    ),
+    "multihot": lambda n, space, s: multi_hotspot(
+        n, 8, float(np.random.default_rng(s).random()), space, seed=s
+    ),
+}
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    n: int = 16 * 1024,
+    trials: int = 8,
+    seed: int = DEFAULT_SEED,
+) -> List[Tuple]:
+    """One row of error statistics per pattern family."""
+    machine = machine or j90()
+    space = 1 << 20
+    rows = []
+    for name, gen in FAMILIES.items():
+        dx_errs = []
+        bsp_errs = []
+        for t in range(trials):
+            addr = gen(n, space, seed + 1000 * t)
+            cmp = compare_scatter(machine, addr)
+            dx_errs.append(cmp.dxbsp_error)
+            bsp_errs.append(cmp.bsp_error)
+        dx = np.asarray(dx_errs)
+        bsp = np.asarray(bsp_errs)
+        rows.append((
+            name, trials,
+            float(dx.mean()), float(dx[np.argmax(np.abs(dx))]),
+            float(bsp.mean()), float(bsp[np.argmax(np.abs(bsp))]),
+        ))
+    return rows
+
+
+def main() -> str:
+    """Render and print the residuals table."""
+    out = format_table(HEADERS, run(),
+                       title="model residuals over random patterns "
+                             "(signed relative error vs simulation)")
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Radix sort vs key distribution — the NAS-IS tie-in.
+
+The paper's EREW baseline is Zagha–Blelloch radix sort, "the fastest
+implementation of the NAS sorting benchmark" [ZB91, BBDS94].  Sorting
+speed on a bank-delay machine depends on the *key distribution* through
+the histogramming step: private per-processor histograms remove
+cross-processor contention, but each processor still queues its own
+updates at popular digit cells, so skewed keys serialize there.
+
+The sweep sorts the same number of keys from four families — uniform,
+NAS-IS (binomial-shaped), Zipf, and a Thearling–Smith AND round — and
+reports the instrumented program's BSP / (d,x)-BSP / simulated times
+plus the histogram step's worst contention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.radix_sort import radix_sort
+from ..analysis.predict import compare_program
+from ..analysis.report import format_table
+from ..simulator.machine import MachineConfig
+from ..workloads.entropy import anded_keys
+from ..workloads.nas import nas_is_keys
+from ..workloads.patterns import uniform_random, zipf_pattern
+from ..workloads.traces import TraceRecorder
+from .common import DEFAULT_SEED, j90
+
+__all__ = ["HEADERS", "key_families", "run", "main"]
+
+HEADERS = ("keys", "hist contention", "bsp", "dxbsp", "simulated",
+           "vs uniform")
+
+
+def key_families(n: int, bits: int, seed: int) -> List[Tuple[str, np.ndarray]]:
+    """The four key distributions, all over ``[0, 2^bits)``."""
+    space = 1 << bits
+    return [
+        ("uniform", uniform_random(n, space, seed=seed)),
+        ("nas-is", nas_is_keys(n, bits=bits, seed=seed)),
+        ("zipf a=1.3", zipf_pattern(n, space, alpha=1.3, seed=seed)),
+        ("ts-and r=2", anded_keys(n, bits, rounds=2, seed=seed)),
+    ]
+
+
+def run(
+    machine: Optional[MachineConfig] = None,
+    n: int = 64 * 1024,
+    bits: int = 19,
+    seed: int = DEFAULT_SEED,
+) -> List[Tuple]:
+    """One row per key family."""
+    machine = machine or j90()
+    rows = []
+    uniform_time = None
+    for name, keys in key_families(n, bits, seed):
+        recorder = TraceRecorder()
+        sorted_keys, _, _ = radix_sort(keys, bits=bits, recorder=recorder)
+        assert sorted_keys[0] <= sorted_keys[-1]
+        cmp = compare_program(machine, recorder.program)
+        hist_k = max(
+            s.stats().max_location_contention
+            for s in recorder.program if "histogram" in s.label
+        )
+        if uniform_time is None:
+            uniform_time = cmp.simulated_time
+        rows.append((
+            name, hist_k, cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time,
+            cmp.simulated_time / uniform_time,
+        ))
+    return rows
+
+
+def main() -> str:
+    """Render and print the sorting-benchmark table."""
+    out = format_table(HEADERS, run(),
+                       title="radix sort vs key distribution (NAS tie-in)")
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Memory-to-bank mappings: interleaving, random maps, the paper's
+polynomial universal hash families, module-map contention analysis and the
+probabilistic bounds behind them (paper Section 4)."""
+
+from .hashing import (
+    HASH_FAMILIES,
+    InterleavedMap,
+    PolynomialHashMap,
+    RandomMap,
+    XorFoldMap,
+    cubic_hash,
+    hash_flop_count,
+    linear_hash,
+    quadratic_hash,
+)
+from .layouts import padded, padded_width, row_major, staggered
+from .module_map import (
+    ExpansionRatioResult,
+    ideal_scatter_time,
+    module_map_ratio,
+    module_map_time,
+    ratio_vs_expansion,
+)
+from .theory import (
+    expected_max_load,
+    hoeffding_tail,
+    max_load_tail,
+    max_load_whp,
+    raghavan_spencer_tail,
+)
+
+__all__ = [
+    "InterleavedMap",
+    "RandomMap",
+    "PolynomialHashMap",
+    "XorFoldMap",
+    "row_major",
+    "staggered",
+    "padded",
+    "padded_width",
+    "linear_hash",
+    "quadratic_hash",
+    "cubic_hash",
+    "hash_flop_count",
+    "HASH_FAMILIES",
+    "ideal_scatter_time",
+    "module_map_time",
+    "module_map_ratio",
+    "ratio_vs_expansion",
+    "ExpansionRatioResult",
+    "hoeffding_tail",
+    "raghavan_spencer_tail",
+    "max_load_tail",
+    "max_load_whp",
+    "expected_max_load",
+]

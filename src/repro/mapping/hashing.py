@@ -1,0 +1,235 @@
+"""Memory-to-bank mappings, including the paper's universal hash families.
+
+The paper (Section 4) randomizes the assignment of memory locations to
+banks with polynomial multiplicative hashing over ``[0, 2^u)``::
+
+    h^1_a(x)     = ((a x)               mod 2^u) div 2^(u-m)     # linear
+    h^2_{a,b}(x) = ((a x + b x^2)       mod 2^u) div 2^(u-m)     # quadratic
+    h^3_{...}(x) = ((a x + b x^2 + c x^3) mod 2^u) div 2^(u-m)   # cubic
+
+with odd random coefficients, mapping into ``2^m`` banks.  The linear form
+is Knuth's multiplicative scheme, shown 2-universal by Dietzfelbinger et
+al. [DHKP93] in the sense of Carter–Wegman [CW79].  Higher degrees trade
+evaluation cost (Table 3) for stronger independence and hence better
+congestion behaviour on adversarial patterns.
+
+Every mapping here is callable as ``mapping(addresses, n_banks)`` and so
+plugs directly into :func:`repro.core.contention.bank_loads`, the cost
+predictors and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import as_addresses, as_rng, is_power_of_two
+from ..errors import MappingError
+
+__all__ = [
+    "InterleavedMap",
+    "RandomMap",
+    "PolynomialHashMap",
+    "XorFoldMap",
+    "linear_hash",
+    "quadratic_hash",
+    "cubic_hash",
+    "hash_flop_count",
+    "HASH_FAMILIES",
+]
+
+_WORD_BITS = 64
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class InterleavedMap:
+    """Low-order interleaving: ``bank = address mod n_banks``.
+
+    This is the non-randomized hardware layout of the Cray memory system;
+    consecutive addresses hit consecutive banks, so unit-stride access is
+    perfectly balanced but power-of-two strides are pathological.
+    """
+
+    name: str = "interleaved"
+
+    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+        addr = as_addresses(addresses)
+        if n_banks < 1:
+            raise MappingError(f"n_banks must be >= 1, got {n_banks}")
+        return (addr % n_banks).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class RandomMap:
+    """A full random function from addresses to banks (the idealized
+    mapping the theory analyses).
+
+    Implemented as a seeded 64-bit finalizer (splitmix64) so the mapping is
+    a deterministic function of ``(seed, address)`` without materializing a
+    table — every distinct address gets an independent-looking bank.
+    """
+
+    seed: int = 0
+    name: str = "random"
+
+    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+        addr = as_addresses(addresses)
+        if n_banks < 1:
+            raise MappingError(f"n_banks must be >= 1, got {n_banks}")
+        z = addr.astype(np.uint64)
+        with np.errstate(over="ignore"):
+            z = (z + np.uint64((self.seed * 0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)) & _MASK64
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9) & _MASK64
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB) & _MASK64
+            z = z ^ (z >> np.uint64(31))
+        return (z % np.uint64(n_banks)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PolynomialHashMap:
+    """Degree-``degree`` multiplicative polynomial hash over ``[0, 2^u)``.
+
+    Parameters
+    ----------
+    coefficients:
+        Tuple of ``degree`` odd integers in ``[1, 2^u)``; coefficient ``i``
+        multiplies ``x^(i+1)``.
+    u:
+        Word width of the modulus ``2^u`` (<= 64).
+    name:
+        Display name, defaults to ``h1``/``h2``/``h3`` by degree.
+
+    Notes
+    -----
+    The bank count must be a power of two ``2^m`` with ``m <= u``; the bank
+    id is the top ``m`` bits of the degree-``degree`` polynomial evaluated
+    modulo ``2^u`` (Horner form, all in wrapping uint64 arithmetic — exact
+    because ``u <= 64``).
+    """
+
+    coefficients: Tuple[int, ...]
+    u: int = _WORD_BITS
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.u <= 64):
+            raise MappingError(f"u must be in [1, 64], got {self.u}")
+        if len(self.coefficients) < 1:
+            raise MappingError("need at least one coefficient")
+        for c in self.coefficients:
+            if not (1 <= c < (1 << self.u)):
+                raise MappingError(f"coefficient {c} outside [1, 2^{self.u})")
+            if c % 2 == 0:
+                raise MappingError(f"coefficient {c} must be odd")
+        if not self.name:
+            object.__setattr__(self, "name", f"h{len(self.coefficients)}")
+
+    @property
+    def degree(self) -> int:
+        """Polynomial degree (1 = linear, 2 = quadratic, 3 = cubic)."""
+        return len(self.coefficients)
+
+    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+        addr = as_addresses(addresses)
+        if not is_power_of_two(n_banks):
+            raise MappingError(
+                f"polynomial hashing requires a power-of-two bank count, got {n_banks}"
+            )
+        m = int(n_banks).bit_length() - 1
+        if m > self.u:
+            raise MappingError(f"2^{m} banks exceeds hash range 2^{self.u}")
+        x = addr.astype(np.uint64)
+        mask = _MASK64 if self.u == 64 else np.uint64((1 << self.u) - 1)
+        # Evaluate a1*x + a2*x^2 + ... mod 2^u, Horner on ((...)*x) form:
+        # poly = x * (a1 + x * (a2 + x * a3))
+        with np.errstate(over="ignore"):
+            acc = np.zeros_like(x)
+            for c in reversed(self.coefficients):
+                acc = (acc * x + np.uint64(c)) & mask
+            acc = (acc * x) & mask
+        if m == 0:
+            return np.zeros(addr.shape, dtype=np.int64)
+        return (acc >> np.uint64(self.u - m)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class XorFoldMap:
+    """Rau-style pseudo-random interleaving [Rau91]: the bank id is the
+    XOR of the address's ``m``-bit fields.
+
+    Much cheaper than a multiplicative hash (shifts and XORs only) and a
+    published hardware scheme (the paper cites it among the random-mapping
+    literature); it breaks power-of-two strides up to the field width but
+    — unlike the universal families — is *not* randomized: an adversary
+    knowing the map can still construct collisions.  Requires a
+    power-of-two bank count.
+    """
+
+    name: str = "xorfold"
+
+    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+        addr = as_addresses(addresses)
+        if not is_power_of_two(n_banks):
+            raise MappingError(
+                f"XOR folding requires a power-of-two bank count, got {n_banks}"
+            )
+        m = int(n_banks).bit_length() - 1
+        if m == 0:
+            return np.zeros(addr.shape, dtype=np.int64)
+        x = addr.astype(np.uint64)
+        out = np.zeros_like(x)
+        mask = np.uint64(n_banks - 1)
+        for shift in range(0, 64, m):
+            out ^= (x >> np.uint64(shift)) & mask
+        return out.astype(np.int64)
+
+
+def _random_odd(rng: np.random.Generator, u: int) -> int:
+    """Draw an odd integer uniformly from [1, 2^u)."""
+    return int(rng.integers(0, 1 << (u - 1), dtype=np.uint64)) * 2 + 1 if u > 1 else 1
+
+
+def linear_hash(seed=None, u: int = _WORD_BITS) -> PolynomialHashMap:
+    """Draw a random linear multiplicative hash ``h1`` (2-universal)."""
+    rng = as_rng(seed)
+    return PolynomialHashMap((_random_odd(rng, u),), u=u, name="h1")
+
+
+def quadratic_hash(seed=None, u: int = _WORD_BITS) -> PolynomialHashMap:
+    """Draw a random quadratic hash ``h2``."""
+    rng = as_rng(seed)
+    return PolynomialHashMap(
+        (_random_odd(rng, u), _random_odd(rng, u)), u=u, name="h2"
+    )
+
+
+def cubic_hash(seed=None, u: int = _WORD_BITS) -> PolynomialHashMap:
+    """Draw a random cubic hash ``h3``."""
+    rng = as_rng(seed)
+    return PolynomialHashMap(
+        (_random_odd(rng, u), _random_odd(rng, u), _random_odd(rng, u)),
+        u=u,
+        name="h3",
+    )
+
+
+def hash_flop_count(degree: int) -> int:
+    """Integer operations per element to evaluate a degree-``degree``
+    polynomial hash in Horner form: ``degree`` multiplies + ``degree - 1``
+    adds + 1 shift.  This is the cost model behind Table 3: evaluation cost
+    grows linearly in the degree.
+    """
+    if degree < 1:
+        raise MappingError(f"degree must be >= 1, got {degree}")
+    return 2 * degree
+
+
+#: Factories for the three families of Table 3, keyed by display name.
+HASH_FAMILIES = {
+    "h1": linear_hash,
+    "h2": quadratic_hash,
+    "h3": cubic_hash,
+}

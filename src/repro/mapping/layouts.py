@@ -1,0 +1,72 @@
+"""Address-layout helpers for privatized data structures.
+
+The vector-machine folklore the paper's baselines rely on (private
+per-processor histograms in [ZB91]-style radix sort) has a trap: under
+power-of-two low-order interleaving, the *row-major* layout
+``proc * width + slot`` puts every processor's copy of slot ``s`` at
+addresses congruent mod ``width`` — one bank, no spreading, privatization
+defeated.  These helpers compute the classic fixes:
+
+* ``staggered``: ``slot * p + proc`` — copies of one slot land on ``p``
+  consecutive banks;
+* ``padded``: row-major with rows padded to an odd width, rotating each
+  processor's rows across the banks.
+
+(See ``examples/vm_programming.py`` for the measured effect: 7x on a
+skewed histogram.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_addresses
+from ..errors import ParameterError, PatternError
+
+__all__ = ["row_major", "staggered", "padded", "padded_width"]
+
+
+def _check(proc, slot, p: int, width: int):
+    pr = np.asarray(proc, dtype=np.int64)
+    sl = as_addresses(slot)
+    if pr.shape != sl.shape:
+        raise PatternError("proc and slot must have matching shapes")
+    if p < 1 or width < 1:
+        raise ParameterError(f"need p >= 1 and width >= 1, got {p}, {width}")
+    if pr.size and (pr.min() < 0 or pr.max() >= p):
+        raise PatternError("proc ids outside [0, p)")
+    if sl.size and sl.max() >= width:
+        raise PatternError("slots outside [0, width)")
+    return pr, sl
+
+
+def row_major(proc, slot, p: int, width: int) -> np.ndarray:
+    """``proc * width + slot`` — the natural (and bank-hostile, for
+    power-of-two widths) layout.  Region size ``p * width``."""
+    pr, sl = _check(proc, slot, p, width)
+    return pr * width + sl
+
+
+def staggered(proc, slot, p: int, width: int) -> np.ndarray:
+    """``slot * p + proc`` — copies of one slot on ``p`` consecutive
+    addresses (hence ``p`` distinct banks under interleaving).  Region
+    size ``p * width``."""
+    pr, sl = _check(proc, slot, p, width)
+    return sl * p + pr
+
+
+def padded_width(width: int) -> int:
+    """Smallest odd width >= ``width`` — padding rows to an odd length
+    rotates each row's phase across a power-of-two bank count."""
+    if width < 1:
+        raise ParameterError(f"width must be >= 1, got {width}")
+    return width if width % 2 else width + 1
+
+
+def padded(proc, slot, p: int, width: int) -> np.ndarray:
+    """Row-major over rows padded to :func:`padded_width` — keeps each
+    processor's row contiguous (good for its own scans) while breaking
+    the congruence that pins hot slots to one bank.  Region size
+    ``p * padded_width(width)``."""
+    pr, sl = _check(proc, slot, p, width)
+    return pr * padded_width(width) + sl

@@ -1,0 +1,136 @@
+"""Probabilistic tools used in the paper's analyses.
+
+Three ingredients:
+
+* **Hoeffding's inequality** [Hoe63] — tail bound for sums of bounded
+  independent variables; used when arguing that random mappings balance
+  requests across banks given enough slack.
+* **Raghavan–Spencer bound** [Rag88] — multiplicative Chernoff-type tail
+  for weighted sums of Bernoulli trials; the key lemma in Theorem 5.2's
+  analysis of the QRQW emulation for large expansion.
+* **Balls-in-bins maximum load** — expectations and tails for the number
+  of requests landing in the most loaded of ``b`` banks under a random
+  mapping; drives the module-map contention predictions and the expansion
+  experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ParameterError
+
+__all__ = [
+    "hoeffding_tail",
+    "raghavan_spencer_tail",
+    "max_load_tail",
+    "max_load_whp",
+    "expected_max_load",
+]
+
+
+def hoeffding_tail(n: int, t: float, spread: float = 1.0) -> float:
+    """Hoeffding bound ``P(S - E[S] >= n t) <= exp(-2 n t^2 / spread^2)``
+    for a sum ``S`` of ``n`` independent variables each with range
+    ``spread``.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if spread <= 0:
+        raise ParameterError(f"spread must be > 0, got {spread}")
+    if t <= 0:
+        return 1.0
+    return float(math.exp(-2.0 * n * t * t / (spread * spread)))
+
+
+def raghavan_spencer_tail(mu: float, delta: Union[float, np.ndarray]):
+    """Raghavan–Spencer tail for a weighted sum of Bernoulli trials.
+
+    ``P(X > (1 + delta) mu) < (e^delta / (1 + delta)^(1 + delta))^mu``
+
+    for ``X`` a sum of independent weighted Bernoulli variables with mean
+    ``mu`` and weights in ``[0, 1]``.  Vectorized over ``delta``.
+    """
+    if mu <= 0:
+        raise ParameterError(f"mu must be > 0, got {mu}")
+    delta = np.asarray(delta, dtype=np.float64)
+    if (delta <= 0).any():
+        raise ParameterError("delta must be > 0")
+    # Compute in log space to avoid overflow for large delta * mu.
+    log_bound = mu * (delta - (1.0 + delta) * np.log1p(delta))
+    out = np.exp(log_bound)
+    return float(out) if out.ndim == 0 else out
+
+
+def max_load_tail(n: int, b: int, m: int) -> float:
+    """Union bound on ``P(max bank load >= m)`` for ``n`` balls thrown
+    independently and uniformly into ``b`` bins:
+
+    ``P <= b * P(Binomial(n, 1/b) >= m)``.
+
+    Exact binomial tail via SciPy; clipped to [0, 1].
+    """
+    if n < 0 or b < 1:
+        raise ParameterError(f"need n >= 0 and b >= 1, got n={n}, b={b}")
+    if m <= 0:
+        return 1.0
+    if m > n:
+        return 0.0
+    tail = float(stats.binom.sf(m - 1, n, 1.0 / b))
+    return min(1.0, b * tail)
+
+
+def max_load_whp(n: int, b: int, failure_prob: float = 1e-3) -> int:
+    """Smallest ``m`` such that ``P(max load >= m) <= failure_prob`` under
+    the union bound of :func:`max_load_tail`.
+
+    This is the "with high probability" bank-contention level used when
+    predicting randomized-mapping performance.  Binary search over the
+    monotone tail.
+    """
+    if n == 0:
+        return 0
+    if not (0 < failure_prob < 1):
+        raise ParameterError(f"failure_prob must be in (0,1), got {failure_prob}")
+    lo, hi = max(1, -(-n // b)), n + 1  # tail(lo) is ~1 or less; tail(n+1)=0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if max_load_tail(n, b, mid) <= failure_prob:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def expected_max_load(n: int, b: int) -> float:
+    """Approximate expected maximum bank load for ``n`` uniform balls in
+    ``b`` bins.
+
+    Uses the two classical regimes:
+
+    * heavy loading (``n >= b ln b``): ``n/b + sqrt(2 (n/b) ln b)``;
+    * light loading: ``ln b / ln(b ln b / n)`` (up to lower-order terms),
+      floored at the heavy-loading value and at ``ceil(n / b)``.
+
+    The approximation is only used for reporting/asymptotic curves; exact
+    tails come from :func:`max_load_tail`.
+    """
+    if n < 0 or b < 1:
+        raise ParameterError(f"need n >= 0 and b >= 1, got n={n}, b={b}")
+    if n == 0:
+        return 0.0
+    if b == 1:
+        return float(n)
+    mean = n / b
+    lnb = math.log(b)
+    heavy = mean + math.sqrt(2.0 * mean * lnb)
+    if n >= b * lnb:
+        est = heavy
+    else:
+        ratio = b * lnb / n
+        est = lnb / math.log(ratio) if ratio > math.e else heavy
+    return float(max(est, math.ceil(mean), 1.0))

@@ -1,0 +1,105 @@
+"""Command-line front end for the bank simulator.
+
+Usage::
+
+    python -m repro.simulator --machine j90 --pattern hotspot --n 65536 --k 4096
+    python -m repro.simulator --machine c90 --pattern uniform --n 65536 --hash h2
+    python -m repro.simulator --machine toy --pattern stride --n 4096 --stride 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis.predict import compare_scatter
+from ..analysis.visualize import bank_load_strip
+from ..core.cost import crossover_contention
+from ..mapping.hashing import HASH_FAMILIES, InterleavedMap, RandomMap
+from ..workloads.patterns import broadcast, hotspot, strided, uniform_random
+from .banksim import simulate_scatter
+from .machine import CRAY_C90, CRAY_J90, MachineConfig, toy_machine
+
+MACHINES = {
+    "j90": CRAY_J90,
+    "c90": CRAY_C90,
+    "toy": toy_machine(),
+}
+
+
+def _build_pattern(args):
+    space = max(args.space, args.n + 1)
+    if args.pattern == "hotspot":
+        return hotspot(args.n, min(args.k, args.n), space, seed=args.seed)
+    if args.pattern == "uniform":
+        return uniform_random(args.n, space, seed=args.seed)
+    if args.pattern == "broadcast":
+        return broadcast(args.n)
+    if args.pattern == "stride":
+        return strided(args.n, args.stride)
+    raise AssertionError(args.pattern)
+
+
+def _build_mapping(name, seed):
+    if name == "interleave":
+        return None
+    if name == "random":
+        return RandomMap(seed)
+    return HASH_FAMILIES[name](seed)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simulator",
+        description="Scatter a synthetic pattern through the memory-bank "
+        "simulator and compare against the BSP and (d,x)-BSP predictions.",
+    )
+    parser.add_argument("--machine", choices=sorted(MACHINES), default="j90")
+    parser.add_argument("--pattern",
+                        choices=["hotspot", "uniform", "broadcast", "stride"],
+                        default="hotspot")
+    parser.add_argument("--n", type=int, default=64 * 1024,
+                        help="requests in the scatter")
+    parser.add_argument("--k", type=int, default=4096,
+                        help="hot-location contention (hotspot pattern)")
+    parser.add_argument("--stride", type=int, default=16,
+                        help="stride (stride pattern)")
+    parser.add_argument("--space", type=int, default=1 << 24,
+                        help="address space for background traffic")
+    parser.add_argument("--hash",
+                        choices=["interleave", "random", "h1", "h2", "h3"],
+                        default="interleave", dest="bank_map",
+                        help="memory-to-bank mapping")
+    parser.add_argument("--d", type=float, default=None,
+                        help="override the machine's bank delay")
+    parser.add_argument("--banks", type=int, default=None,
+                        help="override the machine's bank count")
+    parser.add_argument("--seed", type=int, default=1995)
+    args = parser.parse_args(argv)
+
+    machine: MachineConfig = MACHINES[args.machine]
+    if args.d is not None:
+        machine = machine.with_(d=args.d)
+    if args.banks is not None:
+        machine = machine.with_(n_banks=args.banks)
+
+    addr = _build_pattern(args)
+    mapping = _build_mapping(args.bank_map, args.seed)
+    cmp = compare_scatter(machine, addr, bank_map=mapping)
+    res = simulate_scatter(machine, addr, mapping)
+
+    print(f"machine   {machine.name}: p={machine.p} banks={machine.n_banks} "
+          f"(x={machine.x:.1f}) d={machine.d:g} g={machine.g:g}")
+    print(f"pattern   {args.pattern}: n={cmp.n} contention k={cmp.contention} "
+          f"(knee k*~{crossover_contention(machine.params(), cmp.n):.0f})")
+    print(f"mapping   {args.bank_map}")
+    print(f"bsp       {cmp.bsp_time:,.0f} cycles")
+    print(f"dxbsp     {cmp.dxbsp_time:,.0f} cycles")
+    print(f"simulated {cmp.simulated_time:,.0f} cycles "
+          f"(throughput {res.throughput:.3f} elem/cycle)")
+    print(f"banks     {bank_load_strip(res)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

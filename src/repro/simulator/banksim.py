@@ -1,0 +1,348 @@
+"""Fast vectorized memory-bank simulator (the "measured" side of the
+paper's predicted-vs-measured plots).
+
+Mechanism simulated
+-------------------
+Each of the ``p`` processors issues its requests at a fixed rate (one per
+``g`` cycles — vector pipelining hides latency, so issue never waits for
+completions).  A request to bank ``b`` arrives ``latency`` cycles later and
+joins ``b``'s FIFO queue.  A bank *starts* at most one request every ``d``
+cycles (the bank delay).  With unbounded queues the start times within one
+bank obey the recurrence::
+
+    start[i] = max(arrival[i], start[i-1] + d)
+
+which this module solves for *all* banks at once with a segmented
+cumulative-maximum: within one bank's arrival-ordered segment,
+
+    start[i] = i*d + max_{j <= i} (arrival[j] - j*d)
+
+so a single ``np.maximum.accumulate`` over per-segment-offset values gives
+every start time with no Python-level loop (see the HPC guides:
+vectorize the recurrence, don't iterate it).
+
+An optional network stage (machine ``n_sections`` / ``section_gap``) puts a
+rate-limited link in front of each contiguous group of banks; requests
+queue at the link first, then at the bank.  This reproduces the paper's
+network worst case (versions (a)/(b)/(c)) where a pattern confined to one
+section runs up to ~2.5x over the bank-only prediction.
+
+The bounded-queue, stalling variant lives in :mod:`repro.simulator.cycle`
+and is validated to agree with this module when queues are unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.contention import BankMap
+from ..errors import PatternError, SimulationError
+from .machine import MachineConfig
+from .request import Assignment, RequestBatch
+from .stats import SimResult
+
+__all__ = [
+    "fifo_service_times",
+    "fifo_service_times_cached",
+    "simulate_batch",
+    "simulate_scatter",
+    "simulate_gather",
+    "simulate_scatter_blocked",
+]
+
+
+def fifo_service_times(
+    arrivals: np.ndarray, servers: np.ndarray, gap: float
+) -> np.ndarray:
+    """Start times for FIFO service with one start per ``gap`` cycles per
+    server.
+
+    Parameters
+    ----------
+    arrivals:
+        float64 arrival time of each request.
+    servers:
+        Integer server (bank or section link) id of each request.
+    gap:
+        Minimum spacing between consecutive service starts at one server.
+        ``gap = 0`` means an unlimited server: start == arrival.
+
+    Returns
+    -------
+    float64 start times, aligned with the input order.  Ties in arrival
+    time are broken by input position (the global issue order), matching
+    the cycle-accurate reference simulator.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    servers = np.asarray(servers)
+    if arrivals.shape != servers.shape or arrivals.ndim != 1:
+        raise PatternError("arrivals and servers must be matching 1-D arrays")
+    n = arrivals.size
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    if gap < 0:
+        raise SimulationError(f"service gap must be >= 0, got {gap}")
+    if gap == 0:
+        return arrivals.copy()
+
+    idx = np.arange(n)
+    order = np.lexsort((idx, arrivals, servers))
+    s_arr = arrivals[order]
+    s_srv = servers[order]
+
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(s_srv[1:], s_srv[:-1], out=seg_start[1:])
+    seg_id = np.cumsum(seg_start) - 1
+    first_of_seg = np.flatnonzero(seg_start)
+    rank = idx - first_of_seg[seg_id]
+
+    adjusted = s_arr - rank * gap
+    # Segmented cumulative max via per-segment offsets: each segment is
+    # lifted above the previous one's value range, so the running max never
+    # leaks across segments.  Exact for integer-valued times (span and
+    # offsets stay far below 2^53).
+    span = float(adjusted.max() - adjusted.min()) + gap + 1.0
+    lifted = adjusted + seg_id * span
+    running = np.maximum.accumulate(lifted) - seg_id * span
+    start_sorted = running + rank * gap
+
+    start = np.empty(n, dtype=np.float64)
+    start[order] = start_sorted
+    return start
+
+
+def fifo_service_times_cached(
+    arrivals: np.ndarray,
+    servers: np.ndarray,
+    addresses: np.ndarray,
+    miss_cost: float,
+    hit_cost: float,
+) -> tuple:
+    """FIFO service with a one-entry bank cache (cached-DRAM extension,
+    Hsu & Smith [HS93]).
+
+    A request whose address equals the *immediately previous* request
+    serviced by the same server is a row-buffer hit and occupies the
+    server for ``hit_cost`` cycles; otherwise ``miss_cost``.  Solved
+    vectorized like :func:`fifo_service_times`, with the per-segment gap
+    prefix sums replacing ``rank * gap``.
+
+    Returns ``(start, cost)`` aligned with the input order.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    servers = np.asarray(servers)
+    addresses = np.asarray(addresses)
+    if not (arrivals.shape == servers.shape == addresses.shape) \
+            or arrivals.ndim != 1:
+        raise PatternError(
+            "arrivals, servers and addresses must be matching 1-D arrays"
+        )
+    if hit_cost <= 0 or miss_cost <= 0 or hit_cost > miss_cost:
+        raise SimulationError(
+            f"need 0 < hit_cost <= miss_cost, got {hit_cost}, {miss_cost}"
+        )
+    n = arrivals.size
+    if n == 0:
+        empty = np.zeros(0, dtype=np.float64)
+        return empty, empty.copy()
+
+    idx = np.arange(n)
+    order = np.lexsort((idx, arrivals, servers))
+    s_arr = arrivals[order]
+    s_srv = servers[order]
+    s_addr = addresses[order]
+
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(s_srv[1:], s_srv[:-1], out=seg_start[1:])
+    seg_id = np.cumsum(seg_start) - 1
+    first_of_seg = np.flatnonzero(seg_start)
+
+    # Hit = same address as the previous request in this server's FIFO.
+    hit = np.zeros(n, dtype=bool)
+    np.equal(s_addr[1:], s_addr[:-1], out=hit[1:])
+    hit &= ~seg_start
+    cost = np.where(hit, hit_cost, miss_cost)
+
+    # Segment-local prefix sums of the costs of *earlier* requests.
+    csum = np.cumsum(cost)
+    csum_prev = np.empty(n)
+    csum_prev[0] = 0.0
+    csum_prev[1:] = csum[:-1]
+    base = csum_prev[first_of_seg][seg_id]
+    gap_prefix = csum_prev - base
+
+    adjusted = s_arr - gap_prefix
+    span = float(adjusted.max() - adjusted.min()) + miss_cost + 1.0
+    lifted = adjusted + seg_id * span
+    running = np.maximum.accumulate(lifted) - seg_id * span
+    start_sorted = running + gap_prefix
+
+    start = np.empty(n, dtype=np.float64)
+    start[order] = start_sorted
+    cost_out = np.empty(n, dtype=np.float64)
+    cost_out[order] = cost
+    return start, cost_out
+
+
+def simulate_batch(
+    machine: MachineConfig,
+    batch: RequestBatch,
+    banks: np.ndarray,
+) -> SimResult:
+    """Simulate one batch of requests whose bank assignment is already
+    resolved.
+
+    Applies (in order): combining (if the machine combines same-location
+    requests in the network), the optional section-link stage, the bank
+    stage (with the bank-cache extension when configured), and folds the
+    machine's ``L`` into the completion time.
+    """
+    n = batch.n
+    if n == 0:
+        return SimResult(
+            time=float(machine.L),
+            n=0,
+            bank_loads=np.zeros(machine.n_banks, dtype=np.int64),
+            machine_name=machine.name,
+        )
+    banks = np.asarray(banks)
+    if banks.shape != batch.addresses.shape:
+        raise PatternError("banks must align with batch addresses")
+    if banks.min() < 0 or banks.max() >= machine.n_banks:
+        raise PatternError("bank ids outside [0, n_banks)")
+
+    arrival = batch.issue + machine.latency
+    addresses = batch.addresses
+    issue_floor = float(arrival.max())  # every request must at least issue
+
+    if machine.combining:
+        # Combining networks [Ran91]: one request per distinct location
+        # survives to the memory side (the first in request order); the
+        # rest complete when their representative's response fans back.
+        _, keep = np.unique(addresses, return_index=True)
+        keep.sort()
+        arrival = arrival[keep]
+        banks = banks[keep]
+        addresses = addresses[keep]
+
+    if machine.n_sections > 1 and machine.section_gap > 0:
+        sections = banks // machine.banks_per_section
+        link_start = fifo_service_times(arrival, sections, machine.section_gap)
+        arrival = link_start + machine.section_gap
+
+    if machine.cache_hit_delay is not None:
+        start, cost = fifo_service_times_cached(
+            arrival, banks, addresses, machine.d, machine.cache_hit_delay
+        )
+        finish = start + cost
+    else:
+        start = fifo_service_times(arrival, banks, machine.d)
+        finish = start + machine.d
+    waits = start - arrival
+
+    return SimResult(
+        time=float(max(finish.max(), issue_floor) + machine.L),
+        n=n,
+        bank_loads=np.bincount(banks, minlength=machine.n_banks).astype(np.int64),
+        max_wait=float(waits.max()),
+        mean_wait=float(waits.mean()),
+        stalled_cycles=0.0,
+        machine_name=machine.name,
+    )
+
+
+def simulate_scatter(
+    machine: MachineConfig,
+    addresses,
+    bank_map: Optional[BankMap] = None,
+    assignment: Assignment = "round_robin",
+) -> SimResult:
+    """Simulate one scatter (or gather — the model costs them identically)
+    of ``addresses`` on ``machine``.
+
+    Parameters
+    ----------
+    machine:
+        Hardware description (see :class:`MachineConfig`).
+    addresses:
+        int64 memory locations, one per element scattered.
+    bank_map:
+        Memory-to-bank mapping; defaults to the Cray's low-order
+        interleaving ``addr mod n_banks``.
+    assignment:
+        How elements are dealt over processors (``"round_robin"`` default).
+    """
+    batch = RequestBatch.from_addresses(addresses, machine, assignment)
+    if bank_map is None:
+        banks = batch.addresses % machine.n_banks
+    else:
+        banks = np.asarray(bank_map(batch.addresses, machine.n_banks))
+    return simulate_batch(machine, batch, banks)
+
+
+def simulate_gather(
+    machine: MachineConfig,
+    addresses,
+    bank_map: Optional[BankMap] = None,
+    assignment: Assignment = "round_robin",
+) -> SimResult:
+    """Simulate one gather of ``addresses``.
+
+    The bank mechanism is direction-symmetric — a read request occupies
+    its bank for ``d`` cycles exactly like a write — and the paper
+    confirms this empirically ("experiments with the gather operation
+    give almost identical results"), so this is :func:`simulate_scatter`
+    under the read-side name.
+    """
+    return simulate_scatter(machine, addresses, bank_map, assignment)
+
+
+def simulate_scatter_blocked(
+    machine: MachineConfig,
+    addresses,
+    superstep_size: int,
+    bank_map: Optional[BankMap] = None,
+    assignment: Assignment = "round_robin",
+) -> SimResult:
+    """Simulate a long scatter executed in supersteps of at most
+    ``superstep_size`` elements, with a barrier (and the machine's ``L``)
+    between them — the paper's experimental regime (S = 64K per
+    superstep, L negligible).
+
+    Returns one aggregate :class:`SimResult` whose ``time`` is the sum of
+    the superstep times and whose per-bank loads cover the whole scatter.
+    """
+    from .._util import as_addresses
+    from ..errors import ParameterError
+
+    if superstep_size < 1:
+        raise ParameterError(
+            f"superstep_size must be >= 1, got {superstep_size}"
+        )
+    addr = as_addresses(addresses)
+    if addr.size == 0:
+        return simulate_scatter(machine, addr, bank_map, assignment)
+    total_time = 0.0
+    loads = np.zeros(machine.n_banks, dtype=np.int64)
+    max_wait = 0.0
+    wait_weighted = 0.0
+    for lo in range(0, addr.size, superstep_size):
+        chunk = addr[lo:lo + superstep_size]
+        res = simulate_scatter(machine, chunk, bank_map, assignment)
+        total_time += res.time
+        loads += res.bank_loads
+        max_wait = max(max_wait, res.max_wait)
+        wait_weighted += res.mean_wait * res.n
+    return SimResult(
+        time=total_time,
+        n=int(addr.size),
+        bank_loads=loads,
+        max_wait=max_wait,
+        mean_wait=wait_weighted / addr.size,
+        stalled_cycles=0.0,
+        machine_name=machine.name,
+    )

@@ -1,0 +1,187 @@
+"""Reference cycle-accurate simulator with bounded queues and back-pressure.
+
+This is the slow, obviously-correct twin of :mod:`repro.simulator.banksim`:
+an explicit per-cycle event loop in plain Python.  It serves two purposes:
+
+1. **Oracle** — with unbounded queues it must produce *exactly* the same
+   completion time as the vectorized simulator (property-tested), which
+   validates the segmented-cummax vectorization.
+2. **Back-pressure ablation** — with a finite per-bank queue capacity a
+   processor stalls when its target queue is full, which the (d,x)-BSP
+   deliberately does not model.  Comparing the two quantifies how much the
+   unbounded-queue abstraction gives away (DESIGN.md ablation 1).
+
+All machine times (``g``, ``d``, ``latency``, ``L``) must be non-negative
+integers here; the simulator advances one cycle at a time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from ..core.contention import BankMap
+from ..errors import ParameterError, SimulationError
+from .machine import MachineConfig
+from .request import Assignment, RequestBatch
+from .stats import SimResult
+
+__all__ = ["simulate_scatter_cycle"]
+
+
+def _require_int(name: str, value: float) -> int:
+    if value != int(value):
+        raise ParameterError(
+            f"cycle simulator requires integer {name}, got {value!r}"
+        )
+    return int(value)
+
+
+def simulate_scatter_cycle(
+    machine: MachineConfig,
+    addresses,
+    bank_map: Optional[BankMap] = None,
+    assignment: Assignment = "round_robin",
+    max_cycles: Optional[int] = None,
+) -> SimResult:
+    """Cycle-accurate simulation of one scatter on ``machine``.
+
+    Honors ``machine.queue_capacity``: when a target bank's queue holds
+    that many waiting requests, the issuing processor stalls (retries next
+    cycle) and the stall is accounted in ``SimResult.stalled_cycles``.
+    ``queue_capacity=None`` reproduces the unbounded model exactly.
+
+    Notes
+    -----
+    The per-cycle order of sub-steps is: processors issue (in processor-id
+    order), in-flight requests arrive at queues, banks start service.  With
+    ``latency = 0`` a request can therefore be issued and start service in
+    the same cycle iff its bank is free — matching the vectorized model's
+    ``start = max(arrival, prev_start + d)``.
+    """
+    if machine.n_sections > 1 and machine.section_gap > 0:
+        raise ParameterError(
+            "the cycle simulator does not model network sections; use "
+            "simulate_scatter (or disable section_gap) for sectioned machines"
+        )
+    g = _require_int("g", machine.g)
+    d = _require_int("d", machine.d)
+    latency = _require_int("latency", machine.latency)
+    L = _require_int("L", machine.L)
+    hit_delay = (
+        _require_int("cache_hit_delay", machine.cache_hit_delay)
+        if machine.cache_hit_delay is not None
+        else None
+    )
+    if d < 1 or g < 1 or (hit_delay is not None and hit_delay < 1):
+        raise ParameterError(
+            "cycle simulator requires integer g, d, cache_hit_delay >= 1"
+        )
+
+    batch = RequestBatch.from_addresses(addresses, machine, assignment)
+    n = batch.n
+    n_banks = machine.n_banks
+    if n == 0:
+        return SimResult(
+            time=float(L), n=0,
+            bank_loads=np.zeros(n_banks, dtype=np.int64),
+            machine_name=machine.name,
+        )
+    if bank_map is None:
+        banks = (batch.addresses % n_banks).astype(np.int64)
+    else:
+        banks = np.asarray(bank_map(batch.addresses, n_banks)).astype(np.int64)
+
+    # Combining (when enabled): only the first request per distinct
+    # location (in request order) reaches the memory side; the rest are
+    # absorbed in the network and complete at issue + latency.
+    survives = np.ones(n, dtype=bool)
+    if machine.combining:
+        _, keep = np.unique(batch.addresses, return_index=True)
+        survives[:] = False
+        survives[keep] = True
+
+    # Per-processor request streams, in issue order.
+    proc_reqs: list[deque] = [deque() for _ in range(machine.p)]
+    for i in range(n):
+        proc_reqs[batch.proc[i]].append(
+            (int(banks[i]), int(batch.addresses[i]), bool(survives[i]))
+        )
+
+    capacity = machine.queue_capacity  # None = unbounded
+    queues: list[deque] = [deque() for _ in range(n_banks)]
+    bank_free_at = [0] * n_banks  # earliest cycle bank may start a request
+    bank_last_addr = [None] * n_banks  # row buffer (cache extension)
+    bank_served = [0] * n_banks
+    next_issue = [0] * machine.p
+    in_flight: list = []  # heap of (arrival_cycle, seq, bank, addr)
+    seq = 0
+    completed = 0
+    last_finish = 0
+    total_wait = 0
+    max_wait = 0
+    stalled = 0
+
+    if max_cycles is None:
+        max_cycles = int(n * d + n * g + latency + 1000)
+
+    t = 0
+    while completed < n:
+        if t > max_cycles:
+            raise SimulationError(
+                f"cycle simulator exceeded {max_cycles} cycles with "
+                f"{n - completed} requests outstanding (deadlock or runaway)"
+            )
+        # 1. Processors issue, in processor-id order.
+        for q in range(machine.p):
+            if proc_reqs[q] and next_issue[q] <= t:
+                bank, req_addr, alive = proc_reqs[q][0]
+                if alive and capacity is not None \
+                        and len(queues[bank]) >= capacity:
+                    stalled += 1
+                    continue  # retry next cycle; next_issue unchanged
+                proc_reqs[q].popleft()
+                if alive:
+                    heapq.heappush(
+                        in_flight, (t + latency, seq, bank, req_addr)
+                    )
+                else:
+                    # Absorbed by the combining network: done on arrival.
+                    last_finish = max(last_finish, t + latency)
+                    completed += 1
+                seq += 1
+                next_issue[q] = t + g
+        # 2. Deliver arrivals due this cycle (FIFO by arrival, then issue seq).
+        while in_flight and in_flight[0][0] <= t:
+            arr, _, bank, req_addr = heapq.heappop(in_flight)
+            queues[bank].append((arr, req_addr))
+        # 3. Banks start service.
+        for bank in range(n_banks):
+            if queues[bank] and bank_free_at[bank] <= t:
+                arr, req_addr = queues[bank].popleft()
+                wait = t - arr
+                total_wait += wait
+                max_wait = max(max_wait, wait)
+                cost = d
+                if hit_delay is not None and bank_last_addr[bank] == req_addr:
+                    cost = hit_delay
+                bank_last_addr[bank] = req_addr
+                bank_free_at[bank] = t + cost
+                bank_served[bank] += 1
+                finish = t + cost
+                last_finish = max(last_finish, finish)
+                completed += 1
+        t += 1
+
+    return SimResult(
+        time=float(last_finish + L),
+        n=n,
+        bank_loads=np.asarray(bank_served, dtype=np.int64),
+        max_wait=float(max_wait),
+        mean_wait=float(total_wait / n),
+        stalled_cycles=float(stalled),
+        machine_name=machine.name,
+    )

@@ -1,0 +1,234 @@
+"""Machine configurations for the memory-bank simulator.
+
+A :class:`MachineConfig` describes the simulated hardware: ``p`` processors
+issuing one memory request every ``g`` cycles each (vector pipelines with
+latency hiding), ``n_banks`` memory banks each able to start one request
+every ``d`` cycles, an optional network organized in sections with a
+bandwidth limit per section, and a superstep overhead ``L``.
+
+Presets mirror the machines of the paper's Table 1.  The bank delays of the
+Cray C90 (6 cycles, SRAM) and Cray J90 (14 cycles, DRAM) are stated
+explicitly in the paper; the remaining presets are representative
+reconstructions (marked in their notes) since the supplied source text does
+not include the body of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .._util import check_nonnegative, check_positive
+from ..core.params import DXBSPParams
+from ..errors import ParameterError
+
+__all__ = [
+    "MachineConfig",
+    "CRAY_C90",
+    "CRAY_J90",
+    "CRAY_T90",
+    "TERA_MTA",
+    "NEC_SX4",
+    "TABLE1_MACHINES",
+    "toy_machine",
+]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of a simulated high-bandwidth shared-memory machine.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    p:
+        Number of processors.
+    n_banks:
+        Number of memory banks.
+    d:
+        Bank delay in cycles: a bank can *start* servicing a new request
+        only every ``d`` cycles.
+    g:
+        Issue gap in cycles: each processor issues at most one request per
+        ``g`` cycles (1 on the Crays: one element per clock per pipe).
+    L:
+        Fixed overhead per superstep (synchronization/startup), added to
+        every simulated superstep time.
+    latency:
+        One-way network transit time added between issue and bank arrival.
+        It shifts completion times but does not change throughput; the
+        paper folds it into ``L`` ("for all experiments ... L is
+        negligible").
+    n_sections:
+        Number of network sections.  Banks are divided contiguously into
+        sections; each section's link can accept one request every
+        ``section_gap`` cycles.  ``n_sections = 1`` with ``section_gap = 0``
+        disables the network model.
+    section_gap:
+        Cycles per request through one section link (0 = unlimited).
+    queue_capacity:
+        Per-bank queue capacity for the cycle-accurate simulator
+        (:mod:`repro.simulator.cycle`); ``None`` means unbounded.
+    clock_mhz:
+        Processor clock, for converting cycles to wall-clock seconds via
+        :meth:`seconds` (``None`` = unitless cycles).
+    combining:
+        Extension (cf. Ranade [Ran91], the paper's footnote 1): when
+        true, concurrent requests to the *same location* are combined in
+        the network and only one reaches the bank — location contention
+        becomes free, CRCW-style.  Off on the Crays and by default.
+    cache_hit_delay:
+        Extension (cached DRAM, Hsu & Smith [HS93], named by the paper as
+        an effect the (d,x)-BSP does not capture): when set, a bank
+        servicing the *same location* as its immediately previous request
+        recovers in ``cache_hit_delay`` cycles instead of ``d`` (row-
+        buffer hit).  ``None`` disables the bank cache.
+    note:
+        Provenance note (e.g. ``[reconstructed]`` for Table-1 entries not
+        present in the supplied text).
+    """
+
+    name: str
+    p: int
+    n_banks: int
+    d: float
+    g: float = 1.0
+    L: float = 0.0
+    latency: float = 0.0
+    n_sections: int = 1
+    section_gap: float = 0.0
+    queue_capacity: Optional[int] = None
+    clock_mhz: Optional[float] = None
+    combining: bool = False
+    cache_hit_delay: Optional[float] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if int(self.p) != self.p or self.p < 1:
+            raise ParameterError(f"p must be a positive integer, got {self.p!r}")
+        if int(self.n_banks) != self.n_banks or self.n_banks < 1:
+            raise ParameterError(
+                f"n_banks must be a positive integer, got {self.n_banks!r}"
+            )
+        object.__setattr__(self, "p", int(self.p))
+        object.__setattr__(self, "n_banks", int(self.n_banks))
+        check_positive("d", self.d)
+        check_positive("g", self.g)
+        check_nonnegative("L", self.L)
+        check_nonnegative("latency", self.latency)
+        if int(self.n_sections) != self.n_sections or self.n_sections < 1:
+            raise ParameterError(
+                f"n_sections must be a positive integer, got {self.n_sections!r}"
+            )
+        object.__setattr__(self, "n_sections", int(self.n_sections))
+        if self.n_sections > self.n_banks:
+            raise ParameterError("cannot have more sections than banks")
+        check_nonnegative("section_gap", self.section_gap)
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ParameterError("queue_capacity must be >= 1 or None")
+        if self.cache_hit_delay is not None:
+            check_positive("cache_hit_delay", self.cache_hit_delay)
+            if self.cache_hit_delay > self.d:
+                raise ParameterError(
+                    "cache_hit_delay must not exceed the bank delay d"
+                )
+        if self.clock_mhz is not None:
+            check_positive("clock_mhz", self.clock_mhz)
+
+    @property
+    def x(self) -> float:
+        """Expansion factor: banks per processor."""
+        return self.n_banks / self.p
+
+    @property
+    def banks_per_section(self) -> int:
+        """Banks in each network section (``n_banks / n_sections``,
+        requiring divisibility)."""
+        if self.n_banks % self.n_sections:
+            raise ParameterError(
+                f"n_banks={self.n_banks} not divisible by n_sections={self.n_sections}"
+            )
+        return self.n_banks // self.n_sections
+
+    def seconds(self, cycles: float) -> float:
+        """Convert simulated cycles to wall-clock seconds using
+        ``clock_mhz`` (requires the clock to be set)."""
+        if self.clock_mhz is None:
+            raise ParameterError(
+                f"machine {self.name!r} has no clock_mhz configured"
+            )
+        if cycles < 0:
+            raise ParameterError(f"cycles must be >= 0, got {cycles}")
+        return cycles / (self.clock_mhz * 1e6)
+
+    def params(self) -> DXBSPParams:
+        """The (d,x)-BSP parameter set this machine realizes."""
+        return DXBSPParams(p=self.p, g=self.g, L=self.L, d=self.d, x=self.x)
+
+    @staticmethod
+    def from_params(
+        params: DXBSPParams, name: str = "custom", **overrides
+    ) -> "MachineConfig":
+        """Build a machine realizing a (d,x)-BSP parameter set."""
+        cfg = MachineConfig(
+            name=name,
+            p=params.p,
+            n_banks=params.n_banks,
+            d=params.d,
+            g=params.g,
+            L=params.L,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    def with_(self, **kwargs) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Cray C90: 16 processors, 1024 SRAM banks, bank delay 6 cycles (paper §1).
+CRAY_C90 = MachineConfig(
+    name="Cray C90", p=16, n_banks=1024, d=6.0, clock_mhz=240.0,
+    note="bank delay 6 cycles (SRAM), stated in the paper",
+)
+
+#: Cray J90, as used in the paper's experiments: dedicated 8-processor
+#: system, DRAM banks with delay 14 cycles; 4 network sections.
+CRAY_J90 = MachineConfig(
+    name="Cray J90", p=8, n_banks=512, d=14.0, n_sections=4,
+    clock_mhz=100.0,
+    note="bank delay 14 cycles (DRAM), stated in the paper; 8-proc system",
+)
+
+#: Cray T90 [reconstructed]: SRAM successor of the C90.
+CRAY_T90 = MachineConfig(
+    name="Cray T90", p=32, n_banks=1024, d=4.0, clock_mhz=450.0,
+    note="[reconstructed] representative SRAM successor entry",
+)
+
+#: Tera MTA [reconstructed]: multithreaded machine, modest expansion.
+TERA_MTA = MachineConfig(
+    name="Tera MTA", p=256, n_banks=512, d=3.0, clock_mhz=260.0,
+    note="[reconstructed] representative entry; latency hidden by threads",
+)
+
+#: NEC SX-4 [reconstructed]: very high bank expansion vector machine.
+NEC_SX4 = MachineConfig(
+    name="NEC SX-4", p=32, n_banks=16384, d=8.0, clock_mhz=125.0,
+    note="[reconstructed] representative high-expansion entry",
+)
+
+#: The machines regenerated as Table 1 (see experiments.table1_machines).
+TABLE1_MACHINES = (CRAY_C90, CRAY_J90, CRAY_T90, TERA_MTA, NEC_SX4)
+
+
+def toy_machine(
+    p: int = 4, x: float = 4.0, d: float = 6.0, g: float = 1.0, L: float = 0.0,
+    **overrides,
+) -> MachineConfig:
+    """A small machine for tests and examples (defaults: 4 processors,
+    16 banks, d=6)."""
+    cfg = MachineConfig(
+        name="toy", p=p, n_banks=max(1, int(round(x * p))), d=d, g=g, L=L
+    )
+    return cfg.with_(**overrides) if overrides else cfg

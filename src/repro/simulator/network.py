@@ -1,0 +1,76 @@
+"""Network-section modelling (the paper's versions (a)/(b)/(c) experiment).
+
+The Cray J90's processors reach the banks through a small number of
+network *sections*; each section link has finite aggregate bandwidth.  A
+pattern whose banks all live in one section is limited by that link, and
+the paper observed version (c) of its worst-case experiment running up to
+2.5x over the bank-only prediction for exactly this reason (a refined
+model in the spirit of [ST91] is needed).
+
+:mod:`repro.simulator.banksim` simulates the section links mechanically;
+this module provides the section-aware *analytic* prediction so that the
+experiment can show all three curves: bank-only prediction, section-aware
+prediction and simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._util import as_addresses
+from ..core.contention import BankMap
+from ..core.cost import per_processor_load
+from ..errors import ParameterError
+from .machine import MachineConfig
+
+__all__ = [
+    "section_of_banks",
+    "section_loads",
+    "predict_scatter_sections",
+]
+
+
+def section_of_banks(machine: MachineConfig, banks) -> np.ndarray:
+    """Map bank ids to section ids (contiguous grouping)."""
+    banks = np.asarray(banks)
+    bps = machine.banks_per_section
+    if banks.size and (banks.min() < 0 or banks.max() >= machine.n_banks):
+        raise ParameterError("bank ids outside [0, n_banks)")
+    return banks // bps
+
+
+def section_loads(machine: MachineConfig, banks) -> np.ndarray:
+    """Requests crossing each section link."""
+    sections = section_of_banks(machine, banks)
+    return np.bincount(sections, minlength=machine.n_sections).astype(np.int64)
+
+
+def predict_scatter_sections(
+    machine: MachineConfig,
+    addresses,
+    bank_map: Optional[BankMap] = None,
+) -> float:
+    """Section-aware (d,x)-BSP prediction:
+
+    ``max(L, g*h_p, d*h_b, section_gap*h_s)``
+
+    where ``h_s`` is the maximum number of requests through one section
+    link.  With ``n_sections = 1`` or ``section_gap = 0`` this degrades to
+    the plain (d,x)-BSP prediction.
+    """
+    addr = as_addresses(addresses)
+    if addr.size == 0:
+        return float(machine.L)
+    if bank_map is None:
+        banks = addr % machine.n_banks
+    else:
+        banks = np.asarray(bank_map(addr, machine.n_banks))
+    h_p = per_processor_load(addr.size, machine.p)
+    h_b = int(np.bincount(banks, minlength=machine.n_banks).max())
+    terms = [machine.L, machine.g * h_p, machine.d * h_b]
+    if machine.n_sections > 1 and machine.section_gap > 0:
+        h_s = int(section_loads(machine, banks).max())
+        terms.append(machine.section_gap * h_s)
+    return float(max(terms))

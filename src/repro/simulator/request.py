@@ -1,0 +1,85 @@
+"""Request batches: the unit of work fed to the simulators.
+
+A :class:`RequestBatch` pins down, for one superstep, which processor
+issues each request and at which cycle — the two things the cost model
+abstracts as ``h_p`` and the simulators resolve exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from .._util import as_addresses
+from ..errors import ParameterError, PatternError
+from .machine import MachineConfig
+
+__all__ = ["RequestBatch", "Assignment"]
+
+Assignment = Literal["round_robin", "block"]
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """A batch of memory requests with processor assignment and issue times.
+
+    Attributes
+    ----------
+    addresses:
+        int64 locations, in global issue order.
+    proc:
+        int32 processor id issuing each request.
+    issue:
+        float64 cycle at which each request is issued, assuming no
+        back-pressure (the processor's ``j``-th request goes out at
+        ``j * g``).
+    """
+
+    addresses: np.ndarray
+    proc: np.ndarray
+    issue: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.addresses.shape == self.proc.shape == self.issue.shape):
+            raise PatternError("addresses/proc/issue must have matching shapes")
+
+    @property
+    def n(self) -> int:
+        """Number of requests."""
+        return int(self.addresses.size)
+
+    @staticmethod
+    def from_addresses(
+        addresses,
+        machine: MachineConfig,
+        assignment: Assignment = "round_robin",
+    ) -> "RequestBatch":
+        """Deal an address vector over the machine's processors.
+
+        ``round_robin`` deals request ``i`` to processor ``i mod p`` (the
+        Cray's element-per-pipe dealing); ``block`` gives each processor a
+        contiguous chunk (message-passing style).  In both cases processor
+        ``q``'s ``j``-th request issues at cycle ``j * g``.
+        """
+        addr = as_addresses(addresses)
+        n, p, g = addr.size, machine.p, machine.g
+        idx = np.arange(n, dtype=np.int64)
+        if assignment == "round_robin":
+            proc = (idx % p).astype(np.int32)
+            rank = idx // p
+        elif assignment == "block":
+            chunk = -(-n // p) if n else 1
+            proc = (idx // chunk).astype(np.int32)
+            rank = idx % chunk
+        else:
+            raise ParameterError(f"unknown assignment {assignment!r}")
+        issue = rank.astype(np.float64) * g
+        return RequestBatch(addresses=addr, proc=proc, issue=issue)
+
+    def per_processor_counts(self, p: int) -> np.ndarray:
+        """Requests issued by each of ``p`` processors."""
+        if self.n == 0:
+            return np.zeros(p, dtype=np.int64)
+        return np.bincount(self.proc, minlength=p).astype(np.int64)

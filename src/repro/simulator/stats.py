@@ -1,0 +1,69 @@
+"""Simulation results and derived statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SimResult"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of simulating one superstep of memory requests.
+
+    Attributes
+    ----------
+    time:
+        Completion time in cycles: the cycle at which the last request
+        finishes service, plus the machine's superstep overhead ``L``.
+    n:
+        Number of requests simulated.
+    bank_loads:
+        int64 array: requests serviced by each bank.
+    max_wait:
+        Longest time any request spent queued (start - arrival), cycles.
+    mean_wait:
+        Mean queueing time over all requests, cycles.
+    stalled_cycles:
+        Total processor stall cycles (only nonzero for the bounded-queue
+        cycle simulator; the unbounded model never stalls issue).
+    machine_name:
+        Name of the machine config that produced this result.
+    """
+
+    time: float
+    n: int
+    bank_loads: np.ndarray
+    max_wait: float = 0.0
+    mean_wait: float = 0.0
+    stalled_cycles: float = 0.0
+    machine_name: str = ""
+
+    @property
+    def max_bank_load(self) -> int:
+        """``h_b`` realized by the simulated pattern."""
+        return int(self.bank_loads.max()) if self.bank_loads.size else 0
+
+    @property
+    def throughput(self) -> float:
+        """Requests completed per cycle (0 for an empty batch)."""
+        return self.n / self.time if self.time > 0 else 0.0
+
+    @property
+    def bank_utilization(self) -> float:
+        """Mean fraction of banks' time spent busy, assuming each request
+        occupies its bank for the machine's ``d`` cycles is not known here;
+        this reports load balance instead: mean load / max load (1.0 =
+        perfectly balanced, -> 0 = one bank hot)."""
+        if self.bank_loads.size == 0 or self.max_bank_load == 0:
+            return 1.0
+        return float(self.bank_loads.mean() / self.max_bank_load)
+
+    def slowdown_vs(self, predicted: float) -> float:
+        """Measured / predicted time ratio (1.0 = model exact)."""
+        if predicted <= 0:
+            return float("inf") if self.time > 0 else 1.0
+        return self.time / predicted

@@ -1,0 +1,231 @@
+"""A data-parallel front end with built-in cost accounting.
+
+:class:`VectorMachine` lets users write bulk-synchronous array programs
+naturally — ``gather`` / ``scatter`` / ``scan`` / ``map`` — while every
+operation is *executed* (real NumPy results) *and* charged under the
+(d,x)-BSP, with the trace captured for later simulation.  It wraps the
+lower-level pieces (:class:`~repro.workloads.traces.TraceRecorder`,
+:class:`~repro.algorithms._arena.Arena`, the cost laws) into the API a
+downstream user reaches for first::
+
+    vm = VectorMachine(CRAY_J90)
+    x = vm.array(np.random.rand(1 << 16))
+    idx = vm.array(cols)
+    vals = vm.gather(x, idx)          # executed AND costed
+    total = vm.scan(vals)             # regular traffic, contention 1
+    print(vm.predicted_time)          # running (d,x)-BSP total
+    print(vm.simulate().total_time)   # or run the whole trace
+
+Arrays are handles pairing a NumPy array with a base address in the
+simulated memory, so gathers/scatters produce realistic bank footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ._util import as_addresses
+from .errors import ParameterError, PatternError
+from .core.contention import BankMap
+from .core.model import Program
+
+__all__ = ["VMArray", "VectorMachine"]
+
+
+@dataclass(frozen=True)
+class VMArray:
+    """A device-array handle: NumPy data plus its simulated base address."""
+
+    data: np.ndarray
+    base: int
+    name: str = ""
+
+    @property
+    def size(self) -> int:
+        """Element count."""
+        return int(self.data.size)
+
+    def addresses(self, index=None) -> np.ndarray:
+        """Simulated addresses of ``self[index]`` (all elements when
+        ``index`` is None)."""
+        if index is None:
+            return self.base + np.arange(self.data.size, dtype=np.int64)
+        idx = as_addresses(index)
+        if idx.size and idx.max() >= self.data.size:
+            raise PatternError(
+                f"index {int(idx.max())} out of bounds for array "
+                f"{self.name or '<anon>'} of size {self.data.size}"
+            )
+        return self.base + idx
+
+
+class VectorMachine:
+    """Bulk-synchronous array programming with live (d,x)-BSP accounting.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`~repro.simulator.machine.MachineConfig`; its parameters
+        drive both the running analytic cost and :meth:`simulate`.
+    bank_map:
+        Optional memory-to-bank mapping used for costing/simulation.
+    """
+
+    def __init__(self, machine, bank_map: Optional[BankMap] = None) -> None:
+        from .algorithms._arena import Arena  # local to avoid cycles
+        from .workloads.traces import TraceRecorder
+
+        self.machine = machine
+        self.bank_map = bank_map
+        self._arena = Arena()
+        self._recorder = TraceRecorder()
+        self._anon = 0
+
+    # -- array management -------------------------------------------------
+    def array(self, values, name: str = "") -> VMArray:
+        """Place ``values`` into the simulated memory (no traffic charged
+        — inputs are assumed resident, as in the paper's experiments)."""
+        data = np.asarray(values)
+        if data.ndim != 1:
+            raise PatternError(f"arrays must be 1-D, got shape {data.shape}")
+        if not name:
+            self._anon += 1
+            name = f"arr{self._anon}"
+        base = self._arena.alloc(data.size, name)
+        return VMArray(data=data.copy(), base=base, name=name)
+
+    def empty(self, size: int, dtype=np.int64, name: str = "") -> VMArray:
+        """Allocate an uninitialized device array."""
+        if size < 0:
+            raise ParameterError(f"size must be >= 0, got {size}")
+        return self.array(np.zeros(size, dtype=dtype), name or "")
+
+    # -- bulk operations ---------------------------------------------------
+    def gather(self, src: VMArray, index, label: str = "gather") -> VMArray:
+        """``out[i] = src[index[i]]`` — one superstep of irregular reads
+        (the contention-carrying operation of the paper)."""
+        idx = as_addresses(index)
+        self._recorder.record(src.addresses(idx), kind="gather", label=label)
+        return self.array(src.data[idx])
+
+    def scatter(self, dest: VMArray, index, values,
+                label: str = "scatter") -> None:
+        """``dest[index[i]] = values[i]`` — one superstep of irregular
+        writes (queued: last in request order wins on collisions)."""
+        idx = as_addresses(index)
+        vals = np.asarray(values)
+        if vals.shape != idx.shape:
+            raise PatternError("values must match index in shape")
+        self._recorder.record(dest.addresses(idx), kind="scatter", label=label)
+        dest.data[idx] = vals
+
+    def scan(self, src: VMArray, op: str = "add",
+             label: str = "scan") -> VMArray:
+        """Exclusive scan — one regular (contention-1) pass."""
+        from .algorithms.scan import exclusive_scan
+
+        self._recorder.record(src.addresses(), kind="read", label=label)
+        return self.array(exclusive_scan(src.data, op=op))
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray], src: VMArray,
+            label: str = "map") -> VMArray:
+        """Elementwise compute — one regular read pass plus local work."""
+        out = np.asarray(fn(src.data))
+        if out.shape != src.data.shape:
+            raise PatternError("map function must preserve shape")
+        self._recorder.record(src.addresses(), kind="read", label=label)
+        return self.array(out)
+
+    def reduce(self, src: VMArray, op: str = "add",
+               label: str = "reduce") -> float:
+        """Reduction to a scalar — one regular read pass; returns the
+        Python value (no device array)."""
+        self._recorder.record(src.addresses(), kind="read", label=label)
+        if op == "add":
+            return float(src.data.sum())
+        if op in ("max", "min"):
+            if src.size == 0:
+                raise PatternError(f"{op} of an empty array is undefined")
+            return float(src.data.max() if op == "max" else src.data.min())
+        raise ParameterError(f"unknown reduce op {op!r}")
+
+    def segmented_scan(self, src: VMArray, segment_ids, op: str = "add",
+                       exclusive: bool = True,
+                       label: str = "segscan") -> VMArray:
+        """Segmented scan [BHZ93] — one regular pass over values and
+        segment descriptors."""
+        from .algorithms.scan import (
+            segmented_exclusive_scan,
+            segmented_inclusive_scan,
+        )
+
+        seg = np.asarray(segment_ids, dtype=np.int64)
+        fn = segmented_exclusive_scan if exclusive else segmented_inclusive_scan
+        out = fn(src.data, seg, op=op)
+        self._recorder.record(src.addresses(), kind="read", label=label)
+        return self.array(out)
+
+    def pack(self, src: VMArray, mask, label: str = "pack") -> VMArray:
+        """Keep the elements where ``mask`` is true, densely — a scan
+        over the mask plus a contention-free scatter of the survivors."""
+        m = np.asarray(mask).astype(bool)
+        if m.shape != src.data.shape:
+            raise PatternError("mask must match the array in shape")
+        ranks = np.cumsum(m) - 1
+        self._recorder.record(src.addresses(), kind="read",
+                              label=f"{label}/scan")
+        out = self.array(src.data[m])
+        if out.size:
+            self._recorder.record(out.base + ranks[m], kind="scatter",
+                                  label=f"{label}/place")
+        return out
+
+    def permute(self, src: VMArray, positions,
+                label: str = "permute") -> VMArray:
+        """``out[positions[i]] = src[i]`` for a permutation ``positions``
+        — a contention-1 scatter (validated)."""
+        pos = as_addresses(positions)
+        if pos.shape != src.data.shape:
+            raise PatternError("positions must match the array in shape")
+        if pos.size and (int(pos.max()) >= src.size
+                         or np.bincount(pos, minlength=src.size).max() > 1):
+            raise PatternError("positions must form a permutation")
+        out = self.array(np.empty_like(src.data))
+        out.data[pos] = src.data
+        self._recorder.record(out.base + pos, kind="scatter", label=label)
+        return out
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def program(self) -> Program:
+        """The trace recorded so far."""
+        return self._recorder.program
+
+    @property
+    def predicted_time(self) -> float:
+        """Running (d,x)-BSP total of everything executed so far."""
+        return self.program.cost_dxbsp(
+            self.machine.params(), self.bank_map
+        ).total
+
+    @property
+    def predicted_time_bsp(self) -> float:
+        """Running bank-oblivious BSP total (the wrong one, for
+        contrast)."""
+        return self.program.cost_bsp(self.machine.params()).total
+
+    def simulate(self):
+        """Run the recorded trace through the bank simulator; returns a
+        :class:`~repro.simulator.trace.ProgramSimResult`."""
+        from .simulator.trace import simulate_program
+
+        return simulate_program(self.machine, self.program, self.bank_map)
+
+    def reset(self) -> None:
+        """Drop the recorded trace (arrays stay valid)."""
+        from .workloads.traces import TraceRecorder
+
+        self._recorder = TraceRecorder()

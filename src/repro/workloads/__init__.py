@@ -1,0 +1,43 @@
+"""Access-pattern generators (hot spots, entropy families, section-confined
+worst cases) and trace capture for instrumented algorithms."""
+
+from .entropy import (
+    anded_keys,
+    bit_probability,
+    entropy_family,
+    theoretical_entropy_bits,
+)
+from .io import load_program, save_program
+from .nas import nas_is_keys, nas_is_peak_density
+from .patterns import (
+    broadcast,
+    distinct_random,
+    hotspot,
+    multi_hotspot,
+    section_confined,
+    strided,
+    uniform_random,
+    zipf_pattern,
+)
+from .traces import TraceRecorder, maybe_record
+
+__all__ = [
+    "uniform_random",
+    "distinct_random",
+    "hotspot",
+    "multi_hotspot",
+    "broadcast",
+    "strided",
+    "section_confined",
+    "zipf_pattern",
+    "anded_keys",
+    "entropy_family",
+    "bit_probability",
+    "theoretical_entropy_bits",
+    "nas_is_keys",
+    "nas_is_peak_density",
+    "save_program",
+    "load_program",
+    "TraceRecorder",
+    "maybe_record",
+]

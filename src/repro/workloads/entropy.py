@@ -1,0 +1,92 @@
+"""Thearling–Smith entropy-graded key distributions (Experiment 3).
+
+Thearling and Smith [TS92] grade sorting benchmarks by the entropy of the
+key distribution: start from uniformly random ``bits``-bit keys and
+repeatedly AND each key with another key chosen at random.  Each round
+halves the probability that any bit is set, concentrating the distribution
+toward zero: round 0 is uniform scatter, and after enough rounds every key
+is 0 (contention ``n``).  The paper uses this family to verify that the
+(d,x)-BSP predicts scatter time across a *continuum* of contention shapes,
+not just single hot spots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from .._util import as_rng
+from ..errors import ParameterError
+
+__all__ = [
+    "anded_keys",
+    "entropy_family",
+    "bit_probability",
+    "theoretical_entropy_bits",
+]
+
+
+def anded_keys(n: int, bits: int, rounds: int, seed=None) -> np.ndarray:
+    """``n`` keys of ``bits`` bits after ``rounds`` iterations of
+    AND-with-a-random-partner.
+
+    Returns int64 (so ``bits <= 62`` to stay non-negative).
+    """
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if not (1 <= bits <= 62):
+        raise ParameterError(f"bits must be in [1, 62], got {bits}")
+    if rounds < 0:
+        raise ParameterError(f"rounds must be >= 0, got {rounds}")
+    rng = as_rng(seed)
+    keys = rng.integers(0, np.int64(1) << bits, size=n, dtype=np.int64)
+    for _ in range(rounds):
+        partners = keys[rng.integers(0, n, size=n)] if n else keys
+        keys = keys & partners
+    return keys
+
+
+def entropy_family(
+    n: int, bits: int, max_rounds: int, seed=None
+) -> List[np.ndarray]:
+    """The full family for rounds ``0 .. max_rounds`` (one shared starting
+    key set, successively ANDed, as in the benchmark's construction)."""
+    if max_rounds < 0:
+        raise ParameterError(f"max_rounds must be >= 0, got {max_rounds}")
+    rng = as_rng(seed)
+    keys = anded_keys(n, bits, 0, rng)
+    family = [keys.copy()]
+    for _ in range(max_rounds):
+        partners = keys[rng.integers(0, n, size=n)] if n else keys
+        keys = keys & partners
+        family.append(keys.copy())
+    return family
+
+
+def bit_probability(rounds: int) -> float:
+    """Probability that any given bit is 1 after ``rounds`` AND rounds.
+
+    Partners are drawn from the *current* (already ANDed) pool, so the
+    density squares each round: ``p_r = p_{r-1}^2`` with ``p_0 = 1/2``,
+    i.e. ``p_r = 2^-(2^r)``.  (Correlations between keys make this the
+    idealized value; it matches the empirical mean bit density closely
+    for large ``n``.)
+    """
+    if rounds < 0:
+        raise ParameterError(f"rounds must be >= 0, got {rounds}")
+    if rounds > 10:  # 2^-(2^r) underflows long before this
+        return 0.0
+    return 2.0 ** -(2 ** rounds)
+
+
+def theoretical_entropy_bits(bits: int, rounds: int) -> float:
+    """Idealized per-key entropy: ``bits * H(2^-(rounds+1))`` where ``H``
+    is the binary entropy function.  Decreasing in ``rounds`` — the knob
+    Experiment 3 sweeps."""
+    p = bit_probability(rounds)
+    if p in (0.0, 1.0):
+        return 0.0
+    h = -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+    return bits * h

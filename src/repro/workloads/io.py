@@ -1,0 +1,73 @@
+"""Saving and loading programs (trace serialization).
+
+Captured traces are expensive to regenerate (they may come from hours of
+algorithm execution); this module round-trips a
+:class:`repro.core.model.Program` through a single ``.npz`` file so
+traces can be archived, diffed and replayed on other machine
+configurations.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..core.model import Program, Superstep
+from ..errors import PatternError
+
+__all__ = ["save_program", "load_program"]
+
+_FORMAT_VERSION = 1
+
+
+def save_program(program: Program, path: Union[str, pathlib.Path]) -> None:
+    """Write ``program`` to ``path`` as a compressed ``.npz``.
+
+    Layout: one address array per superstep (``step_<i>``) plus a JSON
+    metadata blob with kinds, labels and local work.
+    """
+    path = pathlib.Path(path)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "steps": [
+            {"kind": s.kind, "label": s.label, "local_work": s.local_work}
+            for s in program
+        ],
+    }
+    arrays = {
+        f"step_{i}": s.addresses for i, s in enumerate(program)
+    }
+    arrays["_meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_program(path: Union[str, pathlib.Path]) -> Program:
+    """Read a program previously written by :func:`save_program`."""
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        if "_meta" not in data:
+            raise PatternError(f"{path} is not a saved program (no _meta)")
+        meta = json.loads(bytes(data["_meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise PatternError(
+                f"unsupported trace format version {meta.get('version')!r}"
+            )
+        steps = []
+        for i, info in enumerate(meta["steps"]):
+            key = f"step_{i}"
+            if key not in data:
+                raise PatternError(f"{path} is missing {key}")
+            steps.append(
+                Superstep(
+                    addresses=data[key],
+                    kind=info["kind"],
+                    label=info["label"],
+                    local_work=float(info["local_work"]),
+                )
+            )
+    return Program(steps)

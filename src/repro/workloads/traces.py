@@ -1,0 +1,95 @@
+"""Trace capture for instrumented algorithms.
+
+Algorithms in :mod:`repro.algorithms` accept an optional
+:class:`TraceRecorder`; when given one, every bulk memory operation they
+perform (gathers, scatters, scans) is recorded as a
+:class:`repro.core.model.Superstep`, producing a
+:class:`repro.core.model.Program` that can be costed analytically or run
+through the simulator.  When no recorder is supplied the algorithms simply
+compute their result with zero instrumentation overhead paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.model import Program, Superstep
+
+__all__ = ["TraceRecorder", "maybe_record"]
+
+
+class TraceRecorder:
+    """Accumulates the supersteps an instrumented algorithm performs.
+
+    A current *phase* label (settable via :meth:`phase`) is attached to
+    each recorded step, enabling per-phase accounting like the paper's
+    connected-components breakdown (hook / shortcut / contract / expand).
+    """
+
+    def __init__(self) -> None:
+        self._program = Program()
+        self._phase = ""
+
+    @property
+    def program(self) -> Program:
+        """The program recorded so far."""
+        return self._program
+
+    @property
+    def current_phase(self) -> str:
+        """The label attached to steps recorded now."""
+        return self._phase
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Context manager scoping a phase label; phases nest with ``/``
+        separators (``"contract/scan"``)."""
+        previous = self._phase
+        self._phase = f"{previous}/{label}" if previous else label
+        try:
+            yield
+        finally:
+            self._phase = previous
+
+    def record(
+        self,
+        addresses,
+        kind: str = "mixed",
+        label: str = "",
+        local_work: float = 0.0,
+    ) -> None:
+        """Record one superstep touching ``addresses``.
+
+        ``label`` defaults to the current phase; an explicit label is
+        appended to the phase with a ``/``.
+        """
+        full_label = self._phase
+        if label:
+            full_label = f"{full_label}/{label}" if full_label else label
+        self._program.append(
+            Superstep(
+                addresses=np.asarray(addresses),
+                kind=kind,
+                label=full_label,
+                local_work=local_work,
+            )
+        )
+
+
+def maybe_record(
+    recorder: Optional[TraceRecorder],
+    addresses,
+    kind: str = "mixed",
+    label: str = "",
+    local_work: float = 0.0,
+) -> None:
+    """Record a superstep iff a recorder was supplied (no-op otherwise).
+
+    This keeps instrumentation out of the algorithms' hot paths when the
+    caller only wants the computational result.
+    """
+    if recorder is not None:
+        recorder.record(addresses, kind=kind, label=label, local_work=local_work)

@@ -1,0 +1,50 @@
+"""Tests for the trace-address arena."""
+
+import pytest
+
+from repro.algorithms import Arena
+from repro.errors import ParameterError
+
+
+class TestArena:
+    def test_disjoint_regions(self):
+        a = Arena()
+        b1 = a.alloc(100, "one")
+        b2 = a.alloc(50, "two")
+        assert b2 >= b1 + 100
+
+    def test_alignment(self):
+        a = Arena(align=64)
+        a.alloc(10)
+        b = a.alloc(10)
+        assert b % 64 == 0
+
+    def test_named_regions(self):
+        a = Arena()
+        base = a.alloc(10, "x")
+        assert a.region("x") == (base, 10)
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            Arena().region("nope")
+
+    def test_zero_size(self):
+        a = Arena()
+        base = a.alloc(0)
+        assert base >= 0
+
+    def test_used_monotone(self):
+        a = Arena()
+        a.alloc(5)
+        u1 = a.used
+        a.alloc(5)
+        assert a.used > u1
+
+    @pytest.mark.parametrize("kwargs", [dict(base=-1), dict(align=0)])
+    def test_invalid_init(self, kwargs):
+        with pytest.raises(ParameterError):
+            Arena(**kwargs)
+
+    def test_negative_size(self):
+        with pytest.raises(ParameterError):
+            Arena().alloc(-1)

@@ -1,0 +1,164 @@
+"""Tests for QRQW/EREW binary search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    MIN_SENTINEL,
+    build_implicit_tree,
+    erew_binary_search,
+    qrqw_binary_search,
+    replication_schedule,
+)
+from repro.errors import ParameterError, PatternError
+from repro.workloads import TraceRecorder
+
+
+def oracle(keys, queries):
+    if keys.size == 0:
+        return np.full(len(queries), MIN_SENTINEL, dtype=np.int64)
+    ranks = np.searchsorted(keys, queries, side="right")
+    return np.where(ranks > 0, keys[np.maximum(ranks - 1, 0)], MIN_SENTINEL)
+
+
+class TestBuildTree:
+    def test_padded_to_full(self):
+        tree = build_implicit_tree(np.arange(5))
+        assert tree.size == 7
+
+    def test_exact_full(self):
+        tree = build_implicit_tree(np.arange(7))
+        assert tree.size == 7
+        assert tree[0] == 3  # root = median
+
+    def test_empty(self):
+        tree = build_implicit_tree(np.zeros(0, dtype=np.int64))
+        assert tree.size == 1
+
+    def test_single(self):
+        tree = build_implicit_tree(np.array([42]))
+        assert tree[0] == 42
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(PatternError):
+            build_implicit_tree(np.array([2, 1]))
+
+    def test_bst_property(self):
+        tree = build_implicit_tree(np.arange(15))
+        # in-order traversal of the implicit tree yields sorted keys
+        def inorder(i):
+            if i >= tree.size:
+                return []
+            return inorder(2 * i + 1) + [tree[i]] + inorder(2 * i + 2)
+        vals = [v for v in inorder(0) if v != np.iinfo(np.int64).max]
+        assert vals == list(range(15))
+
+
+class TestReplicationSchedule:
+    def test_decreasing_with_depth(self):
+        c = replication_schedule(4096, 8, target_contention=4)
+        assert (np.diff(c) <= 0).all()
+        assert c.min() >= 1
+
+    def test_root_copies(self):
+        c = replication_schedule(1024, 5, target_contention=8)
+        assert c[0] == 128  # n / tau
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            replication_schedule(10, 0)
+        with pytest.raises(ParameterError):
+            replication_schedule(10, 3, target_contention=0)
+
+
+class TestSearchCorrectness:
+    @given(
+        m=st.integers(0, 300),
+        nq=st.integers(0, 200),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_both_match_oracle(self, m, nq, seed):
+        rng = np.random.default_rng(seed)
+        keys = np.sort(rng.integers(0, 1 << 20, size=m, dtype=np.int64))
+        queries = rng.integers(0, 1 << 20, size=nq, dtype=np.int64)
+        tree = build_implicit_tree(keys)
+        expect = oracle(keys, queries)
+        assert np.array_equal(qrqw_binary_search(tree, queries, seed=seed),
+                              expect)
+        assert np.array_equal(erew_binary_search(keys, queries), expect)
+
+    def test_query_below_all_keys(self):
+        keys = np.array([10, 20, 30])
+        tree = build_implicit_tree(keys)
+        assert qrqw_binary_search(tree, np.array([5]))[0] == MIN_SENTINEL
+        assert erew_binary_search(keys, np.array([5]))[0] == MIN_SENTINEL
+
+    def test_exact_hits(self):
+        keys = np.array([10, 20, 30])
+        tree = build_implicit_tree(keys)
+        out = qrqw_binary_search(tree, np.array([10, 20, 30]))
+        assert (out == [10, 20, 30]).all()
+
+    def test_duplicate_keys(self):
+        keys = np.array([5, 5, 5, 9])
+        tree = build_implicit_tree(keys)
+        q = np.array([5, 7, 9])
+        assert np.array_equal(qrqw_binary_search(tree, q), oracle(keys, q))
+
+    def test_bad_tree_size(self):
+        with pytest.raises(PatternError):
+            qrqw_binary_search(np.arange(6), np.array([1]))
+
+
+class TestSearchTraces:
+    def test_qrqw_trace_contention_bounded(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.integers(0, 1 << 20, size=1023, dtype=np.int64))
+        tree = build_implicit_tree(keys)
+        queries = rng.integers(0, 1 << 20, size=4096, dtype=np.int64)
+        rec = TraceRecorder()
+        qrqw_binary_search(tree, queries, target_contention=8, seed=2,
+                           recorder=rec)
+        worst = max(s.stats().max_location_contention for s in rec.program)
+        # Expected contention tau=8; whp well under n.
+        assert worst <= 64
+        assert len(rec.program) == 10  # one gather per level
+
+    def test_unreplicated_root_would_be_hot(self):
+        # Sanity contrast: with tau = n there is a single copy per node and
+        # the root-level step has contention ~n.
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.integers(0, 1 << 20, size=255, dtype=np.int64))
+        tree = build_implicit_tree(keys)
+        queries = rng.integers(0, 1 << 20, size=512, dtype=np.int64)
+        rec = TraceRecorder()
+        qrqw_binary_search(tree, queries, target_contention=512, seed=4,
+                           recorder=rec)
+        root_step = rec.program[0]
+        assert root_step.stats().max_location_contention == 512
+
+    def test_erew_trace_contention_free(self):
+        rng = np.random.default_rng(5)
+        keys = np.sort(rng.integers(0, 1 << 16, size=256, dtype=np.int64))
+        queries = rng.integers(0, 1 << 16, size=512, dtype=np.int64)
+        rec = TraceRecorder()
+        erew_binary_search(keys, queries, recorder=rec)
+        for step in rec.program:
+            if "histogram" in step.label:
+                continue  # private histograms: bounded per-proc counts
+            assert step.stats().max_location_contention <= 2, step.label
+
+    def test_erew_trace_includes_sort_and_merge(self):
+        rec = TraceRecorder()
+        erew_binary_search(
+            np.arange(64, dtype=np.int64),
+            np.arange(64, dtype=np.int64),
+            recorder=rec,
+        )
+        labels = [s.label for s in rec.program]
+        assert any("radix" in l for l in labels)
+        assert any("merge" in l for l in labels)
+        assert any("unpermute" in l for l in labels)

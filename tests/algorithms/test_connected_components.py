@@ -1,0 +1,172 @@
+"""Tests for connected components, including a union-find oracle and a
+networkx cross-check."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    connected_components,
+    grid_edges,
+    random_graph_edges,
+    star_edges,
+)
+from repro.errors import ParameterError, PatternError
+from repro.workloads import TraceRecorder
+
+
+def union_find_labels(n, edges):
+    parent = list(range(n))
+
+    def find(a):
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for u, v in edges:
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    # canonical label: min vertex of the component
+    out = np.array([find(i) for i in range(n)])
+    # one more sweep: path compression may leave non-min roots? find()
+    # fully resolves, and unions always point larger to smaller, so the
+    # root IS the min vertex.
+    return out
+
+
+class TestCorrectness:
+    @given(
+        n=st.integers(1, 120),
+        m=st.integers(0, 300),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30)
+    def test_matches_union_find(self, n, m, seed):
+        edges = random_graph_edges(n, m, seed=seed)
+        labels, _ = connected_components(n, edges)
+        assert np.array_equal(labels, union_find_labels(n, edges))
+
+    def test_matches_networkx(self):
+        edges = random_graph_edges(200, 300, seed=42)
+        labels, _ = connected_components(200, edges)
+        g = nx.Graph()
+        g.add_nodes_from(range(200))
+        g.add_edges_from(map(tuple, edges))
+        for comp in nx.connected_components(g):
+            comp_labels = {int(labels[v]) for v in comp}
+            assert len(comp_labels) == 1
+            assert comp_labels.pop() == min(comp)
+
+    def test_no_edges(self):
+        labels, stats = connected_components(5, np.zeros((0, 2), dtype=np.int64))
+        assert (labels == np.arange(5)).all()
+        assert stats.outer_rounds == 0
+
+    def test_self_loops_ignored(self):
+        edges = np.array([[0, 0], [1, 1]])
+        labels, _ = connected_components(3, edges)
+        assert (labels == [0, 1, 2]).all()
+
+    def test_star(self):
+        # Center carries the max label so every hook writes to one root.
+        labels, stats = connected_components(100, star_edges(100, center=99))
+        assert (labels == 0).all()
+        # a star collapses in one hook round
+        assert stats.outer_rounds <= 2
+        assert max(stats.hook_contention) >= 50
+
+    def test_grid(self):
+        labels, _ = connected_components(30, grid_edges(5, 6))
+        assert (labels == 0).all()
+
+    def test_two_components(self):
+        edges = np.array([[0, 1], [1, 2], [3, 4]])
+        labels, _ = connected_components(5, edges)
+        assert (labels == [0, 0, 0, 3, 3]).all()
+
+    def test_zero_vertices(self):
+        labels, _ = connected_components(0, np.zeros((0, 2), dtype=np.int64))
+        assert labels.size == 0
+
+
+class TestValidation:
+    def test_bad_edge_shape(self):
+        with pytest.raises(PatternError):
+            connected_components(4, np.zeros((3, 3), dtype=np.int64))
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(PatternError):
+            connected_components(4, np.array([[0, 4]]))
+
+    def test_negative_n(self):
+        with pytest.raises(ParameterError):
+            connected_components(-1, np.zeros((0, 2), dtype=np.int64))
+
+
+class TestGenerators:
+    def test_star_edges_count(self):
+        e = star_edges(10, center=3)
+        assert e.shape == (9, 2)
+        assert (e[:, 0] == 3).all()
+        assert 3 not in e[:, 1]
+
+    def test_grid_edges_count(self):
+        e = grid_edges(3, 4)
+        assert e.shape[0] == 3 * 3 + 2 * 4  # horiz + vert
+
+    def test_random_graph_edges_range(self):
+        e = random_graph_edges(10, 50, seed=1)
+        assert e.min() >= 0 and e.max() < 10
+
+    @pytest.mark.parametrize("fn,args", [
+        (star_edges, (0,)),
+        (grid_edges, (0, 3)),
+        (random_graph_edges, (0, 3)),
+    ])
+    def test_invalid_generators(self, fn, args):
+        with pytest.raises(ParameterError):
+            fn(*args)
+
+
+class TestTraces:
+    def test_phases_recorded(self):
+        rec = TraceRecorder()
+        connected_components(64, star_edges(64), recorder=rec)
+        labels = [s.label for s in rec.program]
+        assert any("hook" in l for l in labels)
+        assert any("shortcut" in l for l in labels)
+        assert any("contract" in l for l in labels)
+        assert any("expand" in l for l in labels)
+
+    def test_star_hook_writes_hot_when_center_is_max_label(self):
+        rec = TraceRecorder()
+        connected_components(256, star_edges(256, center=255), recorder=rec)
+        hot = max(
+            s.stats().max_location_contention
+            for s in rec.program if "hook/write-roots" in s.label
+        )
+        assert hot == 255  # every leaf's label is written over one root
+
+    def test_star_hook_reads_hot_when_center_is_min_label(self):
+        # With the center holding the minimum label, the writes spread over
+        # distinct leaf roots but every edge still READS the center's
+        # parent: the gather is the hot step.
+        rec = TraceRecorder()
+        connected_components(256, star_edges(256, center=0), recorder=rec)
+        hot = max(
+            s.stats().max_location_contention
+            for s in rec.program if "hook/read-parents" in s.label
+        )
+        assert hot == 255
+
+    def test_grid_hook_is_cool(self):
+        rec = TraceRecorder()
+        connected_components(36, grid_edges(6, 6), recorder=rec)
+        first_hook = [
+            s for s in rec.program if "hook/write-roots" in s.label
+        ][0]
+        assert first_hook.stats().max_location_contention <= 4

@@ -1,0 +1,75 @@
+"""Tests for list ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import list_rank, random_list
+from repro.errors import ParameterError, PatternError
+from repro.workloads import TraceRecorder
+
+
+class TestListRank:
+    @given(n=st.integers(1, 500), seed=st.integers(0, 200))
+    @settings(max_examples=25)
+    def test_matches_sequential(self, n, seed):
+        succ, order = random_list(n, seed=seed)
+        ranks = list_rank(succ)
+        # order[i] is at distance n-1-i from the tail
+        assert np.array_equal(ranks[order], np.arange(n - 1, -1, -1))
+
+    def test_single_node(self):
+        assert list_rank(np.array([0]))[0] == 0
+
+    def test_two_lists(self):
+        # 0 -> 1 -> 1 (tail), 2 -> 3 -> 3 (tail)
+        succ = np.array([1, 1, 3, 3])
+        assert (list_rank(succ) == [1, 0, 1, 0]).all()
+
+    def test_cycle_detected(self):
+        succ = np.array([1, 0])
+        with pytest.raises(PatternError, match="cycle"):
+            list_rank(succ)
+
+    def test_out_of_range(self):
+        with pytest.raises(PatternError):
+            list_rank(np.array([5]))
+
+    def test_empty(self):
+        assert list_rank(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_logarithmic_rounds_recorded(self):
+        succ, _ = random_list(1024, seed=1)
+        rec = TraceRecorder()
+        list_rank(succ, recorder=rec)
+        # 2 records per round, ~lg n + 1 rounds.
+        rounds = len(rec.program) // 2
+        assert rounds <= 13
+
+    def test_tail_becomes_hot(self):
+        # After a few jump rounds many nodes point at the tail: gather
+        # contention grows — the contention signature of pointer jumping.
+        succ, _ = random_list(512, seed=2)
+        rec = TraceRecorder()
+        list_rank(succ, recorder=rec)
+        conts = [
+            s.stats().max_location_contention
+            for s in rec.program if "read-succ" in s.label
+        ]
+        assert conts[-1] > conts[0]
+        assert max(conts) >= 128
+
+
+class TestRandomList:
+    def test_structure(self):
+        succ, order = random_list(100, seed=3)
+        tail = order[-1]
+        assert succ[tail] == tail
+        # every non-tail node has a unique successor
+        non_tail = np.delete(np.arange(100), tail)
+        assert np.unique(succ[non_tail]).size == 99
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            random_list(0)

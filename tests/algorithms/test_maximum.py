@@ -1,0 +1,91 @@
+"""Tests for queued-tournament maximum finding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import (
+    erew_maximum,
+    qrqw_maximum,
+    tournament_rounds,
+)
+from repro.errors import ParameterError, PatternError
+from repro.workloads import TraceRecorder
+
+nonempty = hnp.arrays(
+    dtype=np.int64, shape=st.integers(1, 500),
+    elements=st.integers(-10_000, 10_000),
+)
+
+
+class TestTournamentRounds:
+    @pytest.mark.parametrize("n,f,expect", [
+        (1, 2, 0), (2, 2, 1), (8, 2, 3), (9, 2, 4),
+        (64, 8, 2), (65, 8, 3), (0, 4, 0),
+    ])
+    def test_values(self, n, f, expect):
+        assert tournament_rounds(n, f) == expect
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            tournament_rounds(4, 1)
+        with pytest.raises(ParameterError):
+            tournament_rounds(-1, 2)
+
+
+class TestCorrectness:
+    @given(nonempty, st.sampled_from([2, 3, 8, 64]))
+    @settings(max_examples=30)
+    def test_qrqw_matches_numpy(self, values, fan_in):
+        assert qrqw_maximum(values, fan_in) == values.max()
+
+    @given(nonempty)
+    @settings(max_examples=25)
+    def test_erew_matches_numpy(self, values):
+        assert erew_maximum(values) == values.max()
+
+    def test_floats(self):
+        v = np.array([0.5, -1.25, 3.75, 2.0])
+        assert qrqw_maximum(v, 3) == 3.75
+        assert erew_maximum(v) == 3.75
+
+    def test_single_element(self):
+        assert qrqw_maximum(np.array([42]), 4) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            qrqw_maximum(np.zeros(0))
+        with pytest.raises(PatternError):
+            erew_maximum(np.zeros(0))
+
+    def test_bad_fan_in(self):
+        with pytest.raises(ParameterError):
+            qrqw_maximum(np.array([1, 2]), fan_in=1)
+
+
+class TestTraces:
+    def test_qrqw_round_count_and_contention(self):
+        rec = TraceRecorder()
+        n, f = 4096, 8
+        qrqw_maximum(np.arange(n), fan_in=f, recorder=rec)
+        assert len(rec.program) == tournament_rounds(n, f)
+        # Full groups have contention exactly fan_in.
+        assert rec.program[0].stats().max_location_contention == f
+
+    def test_erew_trace_contention_free(self):
+        rec = TraceRecorder()
+        erew_maximum(np.arange(1000), recorder=rec)
+        for step in rec.program:
+            assert step.stats().max_location_contention == 1
+
+    def test_fan_in_trades_rounds_for_contention(self):
+        n = 1 << 12
+        rec2, rec64 = TraceRecorder(), TraceRecorder()
+        qrqw_maximum(np.arange(n), fan_in=2, recorder=rec2)
+        qrqw_maximum(np.arange(n), fan_in=64, recorder=rec64)
+        assert len(rec64.program) < len(rec2.program)
+        k2 = max(s.stats().max_location_contention for s in rec2.program)
+        k64 = max(s.stats().max_location_contention for s in rec64.program)
+        assert k64 > k2

@@ -1,0 +1,86 @@
+"""Tests for the cross-ranking merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import merge_sorted
+from repro.errors import PatternError
+from repro.workloads import TraceRecorder
+
+sorted_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(0, 300),
+    elements=st.integers(0, 1000),
+).map(np.sort)
+
+
+class TestCorrectness:
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=40)
+    def test_matches_numpy(self, a, b):
+        out = merge_sorted(a, b)
+        assert np.array_equal(out, np.sort(np.concatenate([a, b])))
+
+    def test_stability_a_before_b(self):
+        # Equal keys: the a-element must land first.  Track via position.
+        a = np.array([5])
+        b = np.array([5])
+        out = merge_sorted(a, b)
+        assert (out == [5, 5]).all()
+        # Positional check through the rank arithmetic: a goes to slot 0.
+        rank_a = np.searchsorted(b, a, side="left")
+        assert rank_a[0] + 0 == 0
+
+    def test_one_empty(self):
+        a = np.array([1, 3, 5])
+        assert np.array_equal(merge_sorted(a, []), a)
+        assert np.array_equal(merge_sorted([], a), a)
+
+    def test_both_empty(self):
+        assert merge_sorted([], []).size == 0
+
+    def test_interleaved(self):
+        out = merge_sorted([1, 3, 5], [2, 4, 6])
+        assert (out == [1, 2, 3, 4, 5, 6]).all()
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(PatternError):
+            merge_sorted([2, 1], [3])
+        with pytest.raises(PatternError):
+            merge_sorted([1], [3, 2])
+
+
+class TestTrace:
+    def test_trace_has_both_descents_and_place(self):
+        rng = np.random.default_rng(0)
+        a = np.sort(rng.integers(0, 1 << 16, size=256, dtype=np.int64))
+        b = np.sort(rng.integers(0, 1 << 16, size=512, dtype=np.int64))
+        rec = TraceRecorder()
+        merge_sorted(a, b, recorder=rec)
+        labels = [s.label for s in rec.program]
+        assert any("rank-a-in-b" in l for l in labels)
+        assert any("rank-b-in-a" in l for l in labels)
+        assert labels[-1] == "merge/place"
+
+    def test_place_step_is_permutation(self):
+        rng = np.random.default_rng(1)
+        a = np.sort(rng.integers(0, 100, size=64, dtype=np.int64))
+        b = np.sort(rng.integers(0, 100, size=64, dtype=np.int64))
+        rec = TraceRecorder()
+        merge_sorted(a, b, recorder=rec)
+        place = [s for s in rec.program if s.label == "merge/place"][0]
+        assert place.stats().max_location_contention == 1
+
+    def test_descent_contention_bounded(self):
+        rng = np.random.default_rng(2)
+        a = np.sort(rng.integers(0, 1 << 20, size=1023, dtype=np.int64))
+        b = np.sort(rng.integers(0, 1 << 20, size=2048, dtype=np.int64))
+        rec = TraceRecorder()
+        merge_sorted(a, b, target_contention=8, seed=3, recorder=rec)
+        worst = max(
+            s.stats().max_location_contention
+            for s in rec.program if "rank-" in s.label
+        )
+        assert worst <= 64

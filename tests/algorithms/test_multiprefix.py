@@ -1,0 +1,67 @@
+"""Tests for the multiprefix extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import multiprefix, multiprefix_direct
+from repro.errors import ParameterError, PatternError
+from repro.workloads import TraceRecorder
+
+
+def oracle(keys, values, n_keys):
+    run = np.zeros(n_keys, dtype=np.int64)
+    prefix = np.zeros(len(keys), dtype=np.int64)
+    for i, (k, v) in enumerate(zip(keys, values)):
+        prefix[i] = run[k]
+        run[k] += v
+    return prefix, run
+
+
+class TestMultiprefix:
+    @given(
+        n=st.integers(0, 300),
+        n_keys=st.integers(1, 10),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25)
+    def test_matches_oracle(self, n, n_keys, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, n_keys, size=n, dtype=np.int64)
+        values = rng.integers(0, 20, size=n, dtype=np.int64)
+        for fn in (multiprefix, multiprefix_direct):
+            prefix, totals = fn(keys, values, n_keys)
+            exp_prefix, exp_totals = oracle(keys, values, n_keys)
+            assert np.array_equal(prefix, exp_prefix), fn.__name__
+            assert np.array_equal(totals, exp_totals), fn.__name__
+
+    def test_float_values(self):
+        prefix, totals = multiprefix(
+            np.array([0, 0, 1]), np.array([0.5, 1.5, 2.0]), 2
+        )
+        assert np.allclose(prefix, [0.0, 0.5, 0.0])
+        assert np.allclose(totals, [2.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            multiprefix(np.array([0, 1]), np.array([1]), 2)
+        with pytest.raises(PatternError):
+            multiprefix(np.array([2]), np.array([1]), 2)
+        with pytest.raises(ParameterError):
+            multiprefix(np.array([0]), np.array([1]), 0)
+
+    def test_direct_trace_contention_is_key_multiplicity(self):
+        keys = np.array([3] * 17 + [1, 2], dtype=np.int64)
+        rec = TraceRecorder()
+        multiprefix_direct(keys, np.ones(19, dtype=np.int64), 5, recorder=rec)
+        step = rec.program[0]
+        assert step.stats().max_location_contention == 17
+
+    def test_sorted_trace_has_radix_steps(self):
+        rec = TraceRecorder()
+        rng = np.random.default_rng(0)
+        multiprefix(rng.integers(0, 8, size=64), np.ones(64, dtype=np.int64),
+                    8, recorder=rec)
+        assert any("radix" in s.label for s in rec.program)
+        assert any("unpermute" in s.label for s in rec.program)

@@ -1,0 +1,116 @@
+"""Tests for the instrumented radix sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import radix_sort
+from repro.errors import ParameterError, PatternError
+from repro.workloads import TraceRecorder
+
+keys_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(0, 400),
+    elements=st.integers(0, 1 << 40),
+)
+
+
+class TestCorrectness:
+    @given(keys_arrays, st.sampled_from([4, 8, 11]))
+    def test_matches_numpy_sort(self, keys, radix_bits):
+        s, order, _ = radix_sort(keys, radix_bits=radix_bits)
+        assert np.array_equal(s, np.sort(keys))
+        assert np.array_equal(keys[order], s)
+
+    def test_stability(self):
+        # Equal keys keep input order.
+        keys = np.array([5, 3, 5, 3, 5], dtype=np.int64)
+        _, order, _ = radix_sort(keys)
+        threes = order[:2]
+        fives = order[2:]
+        assert (np.diff(threes) > 0).all()
+        assert (np.diff(fives) > 0).all()
+
+    def test_empty(self):
+        s, order, stats = radix_sort(np.zeros(0, dtype=np.int64))
+        assert s.size == 0 and order.size == 0
+
+    def test_already_sorted(self):
+        keys = np.arange(100, dtype=np.int64)
+        s, order, _ = radix_sort(keys)
+        assert (order == keys).all()
+
+    def test_duplicates_only(self):
+        keys = np.full(50, 7, dtype=np.int64)
+        s, order, _ = radix_sort(keys)
+        assert (s == 7).all()
+        assert (order == np.arange(50)).all()  # stability
+
+
+class TestValidation:
+    def test_negative_keys_rejected(self):
+        with pytest.raises(PatternError):
+            radix_sort(np.array([-1]))
+
+    def test_float_keys_rejected(self):
+        with pytest.raises(PatternError):
+            radix_sort(np.array([1.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(PatternError):
+            radix_sort(np.zeros((2, 2), dtype=np.int64))
+
+    @pytest.mark.parametrize("rb", [0, 25])
+    def test_bad_radix_bits(self, rb):
+        with pytest.raises(ParameterError):
+            radix_sort(np.array([1]), radix_bits=rb)
+
+    def test_bad_p(self):
+        with pytest.raises(ParameterError):
+            radix_sort(np.array([1]), p=0)
+
+
+class TestStatsAndTrace:
+    def test_pass_count(self):
+        _, _, stats = radix_sort(np.array([1, 2, 3]), bits=24, radix_bits=8)
+        assert stats.n_passes == 3
+
+    def test_pass_count_rounds_up(self):
+        _, _, stats = radix_sort(np.array([1]), bits=20, radix_bits=8)
+        assert stats.n_passes == 3
+
+    def test_bits_inferred(self):
+        _, _, stats = radix_sort(np.array([255], dtype=np.int64))
+        assert stats.bits == 8
+
+    def test_trace_structure(self):
+        rec = TraceRecorder()
+        radix_sort(np.arange(256, dtype=np.int64), bits=16, radix_bits=8,
+                   recorder=rec)
+        labels = [s.label for s in rec.program]
+        # 4 supersteps per pass (histogram, rank-scan, permute, read-keys).
+        assert len(labels) == 2 * 4
+        assert any("histogram" in l for l in labels)
+        assert any("permute" in l for l in labels)
+
+    def test_permute_step_is_contention_free(self):
+        rec = TraceRecorder()
+        rng = np.random.default_rng(0)
+        radix_sort(rng.integers(0, 1 << 16, size=512), recorder=rec)
+        for step in rec.program:
+            if "permute" in step.label:
+                assert step.stats().max_location_contention == 1
+
+    def test_histogram_contention_bounded_by_proc_digit_counts(self):
+        rec = TraceRecorder()
+        keys = np.zeros(64, dtype=np.int64)  # all same digit
+        radix_sort(keys, bits=8, p=8, recorder=rec)
+        hist = [s for s in rec.program if "histogram" in s.label][0]
+        # 64 keys, 8 procs, all digit 0: contention = per-proc count = 8.
+        assert hist.stats().max_location_contention == 8
+
+    def test_untraced_has_no_overhead_paths(self):
+        # Without a recorder the function must not build rank arrays etc.
+        s, order, _ = radix_sort(np.arange(1000, dtype=np.int64)[::-1].copy())
+        assert (s == np.arange(1000)).all()

@@ -1,0 +1,102 @@
+"""Tests for random permutation generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import erew_random_permutation, qrqw_random_permutation
+from repro.errors import ParameterError
+from repro.workloads import TraceRecorder
+
+
+def is_permutation(perm, n):
+    return perm.size == n and np.array_equal(np.sort(perm), np.arange(n))
+
+
+class TestQrqwPermutation:
+    @given(n=st.integers(0, 2000), seed=st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_always_a_permutation(self, n, seed):
+        perm, _ = qrqw_random_permutation(n, seed=seed)
+        assert is_permutation(perm, n)
+
+    def test_deterministic_per_seed(self):
+        a, _ = qrqw_random_permutation(500, seed=9)
+        b, _ = qrqw_random_permutation(500, seed=9)
+        assert (a == b).all()
+
+    def test_rounds_logarithmic(self):
+        _, stats = qrqw_random_permutation(1 << 16, seed=1)
+        assert stats.rounds <= 40  # ~log_{1/(1-e^{-1})}(n) + slack
+
+    def test_rounds_shrink_geometrically(self):
+        _, stats = qrqw_random_permutation(1 << 14, seed=2)
+        act = stats.per_round_active
+        # after the first few rounds each round loses a constant fraction
+        for a, b in zip(act, act[2:]):
+            assert b < a
+
+    def test_total_darts_linear(self):
+        n = 1 << 14
+        _, stats = qrqw_random_permutation(n, seed=3)
+        # Expected sum of geometric series ~ n / e^{-1} ~ 2.72 n.
+        assert stats.total_darts < 4.5 * n
+
+    def test_contention_small_whp(self):
+        _, stats = qrqw_random_permutation(1 << 14, seed=4)
+        assert max(stats.per_round_contention) <= 12
+
+    def test_larger_slots_factor_fewer_rounds(self):
+        _, s1 = qrqw_random_permutation(1 << 13, slots_factor=1.0, seed=5)
+        _, s4 = qrqw_random_permutation(1 << 13, slots_factor=4.0, seed=5)
+        assert s4.rounds < s1.rounds
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            qrqw_random_permutation(-1)
+        with pytest.raises(ParameterError):
+            qrqw_random_permutation(10, slots_factor=0.5)
+
+    def test_trace_has_throw_and_pack(self):
+        rec = TraceRecorder()
+        qrqw_random_permutation(256, seed=6, recorder=rec)
+        labels = [s.label for s in rec.program]
+        assert any("throw" in l for l in labels)
+        assert any("pack-scan" in l for l in labels)
+
+    def test_distribution_not_degenerate(self):
+        # Weak uniformity check: position of element 0 varies with seed.
+        positions = {
+            int(qrqw_random_permutation(64, seed=s)[0][0]) for s in range(20)
+        }
+        assert len(positions) > 5
+
+
+class TestErewPermutation:
+    @given(n=st.integers(0, 1500), seed=st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_always_a_permutation(self, n, seed):
+        perm = erew_random_permutation(n, seed=seed)
+        assert is_permutation(perm, n)
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            erew_random_permutation(-1)
+        with pytest.raises(ParameterError):
+            erew_random_permutation(10, key_bits=0)
+
+    def test_trace_is_radix_sort(self):
+        rec = TraceRecorder()
+        erew_random_permutation(256, key_bits=16, seed=7, recorder=rec)
+        assert all("radix" in s.label for s in rec.program)
+
+    def test_traffic_exceeds_qrqw(self):
+        # The headline of Figure 11 in request counts: the sort-based EREW
+        # algorithm moves more data than dart throwing.
+        n = 1 << 13
+        rec_e = TraceRecorder()
+        erew_random_permutation(n, seed=8, recorder=rec_e)
+        rec_q = TraceRecorder()
+        qrqw_random_permutation(n, seed=8, recorder=rec_q)
+        assert rec_e.program.total_requests > rec_q.program.total_requests

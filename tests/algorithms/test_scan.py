@@ -1,0 +1,154 @@
+"""Tests for scan / segmented-scan primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import (
+    exclusive_scan,
+    inclusive_scan,
+    segment_ids_from_flags,
+    segmented_exclusive_scan,
+    segmented_inclusive_scan,
+    segmented_max,
+    segmented_sum,
+)
+from repro.errors import ParameterError, PatternError
+
+int_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(0, 200),
+    elements=st.integers(-1000, 1000),
+)
+
+
+def reference_segscan(values, seg, op, inclusive):
+    out = np.empty(len(values), dtype=np.float64)
+    acc = None
+    prev = None
+    f = (lambda a, b: a + b) if op == "add" else max
+    ident = 0 if op == "add" else -np.inf
+    for i, (v, s) in enumerate(zip(values, seg)):
+        if s != prev:
+            acc = ident
+            prev = s
+        if inclusive:
+            acc = f(acc, v)
+            out[i] = acc
+        else:
+            out[i] = acc
+            acc = f(acc, v)
+    return out
+
+
+class TestUnsegmented:
+    def test_inclusive_add(self):
+        assert (inclusive_scan(np.array([1, 2, 3])) == [1, 3, 6]).all()
+
+    def test_exclusive_add(self):
+        assert (exclusive_scan(np.array([1, 2, 3])) == [0, 1, 3]).all()
+
+    def test_inclusive_max(self):
+        assert (inclusive_scan(np.array([1, 5, 2]), op="max") == [1, 5, 5]).all()
+
+    def test_exclusive_max_identity_head(self):
+        out = exclusive_scan(np.array([3, 1, 4]), op="max")
+        assert out[0] == np.iinfo(np.int64).min
+        assert (out[1:] == [3, 3]).all()
+
+    def test_empty(self):
+        assert inclusive_scan(np.zeros(0, dtype=np.int64)).size == 0
+        assert exclusive_scan(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_unknown_op(self):
+        with pytest.raises(ParameterError):
+            inclusive_scan(np.array([1]), op="mul")
+
+    def test_2d_rejected(self):
+        with pytest.raises(PatternError):
+            inclusive_scan(np.zeros((2, 2)))
+
+    @given(int_arrays)
+    def test_exclusive_shifts_inclusive(self, v):
+        inc = inclusive_scan(v)
+        exc = exclusive_scan(v)
+        assert np.array_equal(exc[1:], inc[:-1])
+
+
+class TestSegmentIdsFromFlags:
+    def test_basic(self):
+        ids = segment_ids_from_flags([1, 0, 1, 0, 0, 1])
+        assert (ids == [0, 0, 1, 1, 1, 2]).all()
+
+    def test_implicit_first_head(self):
+        ids = segment_ids_from_flags([0, 0, 1, 0])
+        assert (ids == [0, 0, 1, 1]).all()
+
+    def test_empty(self):
+        assert segment_ids_from_flags([]).size == 0
+
+
+class TestSegmented:
+    @given(
+        data=st.data(),
+        n=st.integers(1, 150),
+        op=st.sampled_from(["add", "max"]),
+        inclusive=st.booleans(),
+    )
+    def test_matches_reference(self, data, n, op, inclusive):
+        values = data.draw(hnp.arrays(np.int64, n,
+                                      elements=st.integers(-50, 50)))
+        seg = np.sort(data.draw(hnp.arrays(np.int64, n,
+                                           elements=st.integers(0, 5))))
+        fn = segmented_inclusive_scan if inclusive else segmented_exclusive_scan
+        got = fn(values, seg, op=op)
+        ref = reference_segscan(values, seg, op, inclusive)
+        finite = np.isfinite(ref)
+        assert np.array_equal(got[finite].astype(np.float64), ref[finite])
+        if not finite.all():  # exclusive-max identities at segment heads
+            assert (got[~finite] == np.iinfo(np.int64).min).all()
+
+    def test_float_values(self):
+        v = np.array([0.5, 1.5, 2.5])
+        seg = np.array([0, 0, 1])
+        assert np.allclose(segmented_inclusive_scan(v, seg), [0.5, 2.0, 2.5])
+
+    def test_non_monotone_segments_rejected(self):
+        with pytest.raises(PatternError):
+            segmented_inclusive_scan(np.arange(3), np.array([0, 1, 0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PatternError):
+            segmented_inclusive_scan(np.arange(3), np.arange(4))
+
+    def test_empty(self):
+        out = segmented_inclusive_scan(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        assert out.size == 0
+
+
+class TestSegmentedReductions:
+    def test_segmented_sum(self):
+        out = segmented_sum(np.array([1.0, 2, 3, 4]), np.array([0, 0, 2, 2]), 3)
+        assert np.allclose(out, [3, 0, 7])
+
+    def test_segmented_sum_unsorted_ids_ok(self):
+        out = segmented_sum(np.array([1.0, 2, 3]), np.array([2, 0, 2]), 3)
+        assert np.allclose(out, [2, 0, 4])
+
+    def test_segmented_max(self):
+        out = segmented_max(np.array([1, 9, 3]), np.array([0, 0, 1]), 3)
+        assert out[0] == 9 and out[1] == 3
+        assert out[2] == np.iinfo(np.int64).min  # empty segment identity
+
+    def test_ids_out_of_range(self):
+        with pytest.raises(PatternError):
+            segmented_sum(np.array([1.0]), np.array([3]), 2)
+
+    @given(int_arrays, st.integers(1, 8))
+    def test_sum_partition(self, v, nseg):
+        seg = np.sort(np.arange(v.size) % nseg)
+        out = segmented_sum(v, seg, nseg)
+        assert out.sum() == v.sum()

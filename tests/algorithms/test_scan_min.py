@@ -1,0 +1,62 @@
+"""Tests for the min scan op (and identity handling across ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import (
+    exclusive_scan,
+    inclusive_scan,
+    segmented_exclusive_scan,
+    segmented_inclusive_scan,
+)
+
+int_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(1, 200),
+    elements=st.integers(-1000, 1000),
+)
+
+
+class TestMinScan:
+    def test_inclusive(self):
+        assert (inclusive_scan(np.array([3, 1, 4]), "min") == [3, 1, 1]).all()
+
+    def test_exclusive_identity_head(self):
+        out = exclusive_scan(np.array([3, 1, 4]), "min")
+        assert out[0] == np.iinfo(np.int64).max
+        assert (out[1:] == [3, 1]).all()
+
+    def test_float_identity(self):
+        out = exclusive_scan(np.array([2.5, 1.0]), "min")
+        assert out[0] == np.inf
+
+    @given(int_arrays)
+    def test_min_is_negated_max(self, v):
+        got = inclusive_scan(v, "min")
+        ref = -inclusive_scan(-v, "max")
+        assert np.array_equal(got, ref)
+
+    @given(int_arrays, st.integers(1, 6))
+    @settings(max_examples=25)
+    def test_segmented_min_matches_reference(self, v, nseg):
+        seg = np.sort(np.arange(v.size) % nseg)
+        got = segmented_inclusive_scan(v, seg, "min")
+        # reference: per-segment running min
+        ref = np.empty_like(v)
+        for s in np.unique(seg):
+            mask = seg == s
+            ref[mask] = np.minimum.accumulate(v[mask])
+        assert np.array_equal(got, ref)
+
+    def test_segmented_exclusive_min_heads(self):
+        v = np.array([5, 3, 7, 2])
+        seg = np.array([0, 0, 1, 1])
+        out = segmented_exclusive_scan(v, seg, "min")
+        big = np.iinfo(np.int64).max
+        assert (out == [big, 5, big, 7]).all()
+
+    def test_min_scan_on_negatives(self):
+        v = np.array([-5, -10, -1])
+        assert (inclusive_scan(v, "min") == [-5, -10, -10]).all()

@@ -1,0 +1,136 @@
+"""Tests for the instrumented SpMV and its workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.algorithms import CSRMatrix, dense_column_csr, random_csr, spmv
+from repro.core import max_location_contention
+from repro.errors import ParameterError, PatternError
+from repro.workloads import TraceRecorder
+
+
+class TestCSRMatrix:
+    def test_valid_construction(self):
+        m = CSRMatrix(
+            indptr=np.array([0, 2, 3]),
+            indices=np.array([0, 1, 2]),
+            data=np.array([1.0, 2.0, 3.0]),
+            shape=(2, 3),
+        )
+        assert m.nnz == 3
+        assert (m.row_ids() == [0, 0, 1]).all()
+
+    @pytest.mark.parametrize(
+        "indptr,indices,shape",
+        [
+            (np.array([0, 2]), np.array([0, 1]), (2, 3)),     # indptr short
+            (np.array([1, 2, 2]), np.array([0]), (2, 3)),     # not from 0
+            (np.array([0, 2, 1]), np.array([0]), (2, 3)),     # decreasing
+            (np.array([0, 1, 2]), np.array([0]), (2, 3)),     # nnz mismatch
+            (np.array([0, 1, 2]), np.array([0, 3]), (2, 3)),  # col range
+        ],
+    )
+    def test_invalid_construction(self, indptr, indices, shape):
+        with pytest.raises((PatternError, ParameterError)):
+            CSRMatrix(indptr=indptr, indices=indices,
+                      data=np.ones(indices.size), shape=shape)
+
+    def test_to_dense_accumulates_duplicates(self):
+        m = CSRMatrix(
+            indptr=np.array([0, 2]),
+            indices=np.array([1, 1]),
+            data=np.array([2.0, 3.0]),
+            shape=(1, 2),
+        )
+        assert m.to_dense()[0, 1] == 5.0
+
+    def test_max_column_count(self):
+        m = dense_column_csr(100, 50, 2, dense_len=30, seed=0)
+        assert m.max_column_count() >= 30
+
+
+class TestGenerators:
+    def test_random_csr_shape(self):
+        m = random_csr(10, 20, 3, seed=1)
+        assert m.shape == (10, 20)
+        assert m.nnz == 30
+        assert (np.diff(m.indptr) == 3).all()
+
+    def test_random_csr_zero_nnz(self):
+        m = random_csr(5, 5, 0, seed=1)
+        assert m.nnz == 0
+
+    def test_dense_column_lengths(self):
+        m = dense_column_csr(100, 100, 2, dense_len=40, dense_col=7, seed=2)
+        col_count = np.bincount(m.indices, minlength=100)[7]
+        assert col_count >= 40
+        assert (np.diff(m.indptr)[:40] == 3).all()
+        assert (np.diff(m.indptr)[40:] == 2).all()
+
+    def test_dense_column_zero_len(self):
+        m = dense_column_csr(10, 10, 2, dense_len=0, seed=3)
+        assert m.nnz == 20
+
+    def test_dense_column_full_len(self):
+        m = dense_column_csr(10, 10, 1, dense_len=10, dense_col=0, seed=4)
+        assert np.bincount(m.indices, minlength=10)[0] >= 10
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_rows=10, n_cols=10, nnz_per_row=1, dense_len=11),
+        dict(n_rows=10, n_cols=10, nnz_per_row=1, dense_len=1, dense_col=10),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            dense_column_csr(**kwargs)
+
+
+class TestSpmv:
+    @given(
+        n_rows=st.integers(1, 60),
+        n_cols=st.integers(1, 60),
+        nnz=st.integers(0, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25)
+    def test_matches_scipy(self, n_rows, n_cols, nnz, seed):
+        m = random_csr(n_rows, n_cols, nnz, seed=seed)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n_cols)
+        ref = sparse.csr_matrix(
+            (m.data, m.indices, m.indptr), shape=m.shape
+        ) @ x
+        assert np.allclose(spmv(m, x), ref)
+
+    def test_dense_column_correct(self):
+        m = dense_column_csr(50, 40, 3, dense_len=20, seed=5)
+        x = np.random.default_rng(5).standard_normal(40)
+        assert np.allclose(spmv(m, x), m.to_dense() @ x)
+
+    def test_wrong_x_shape(self):
+        m = random_csr(4, 6, 2, seed=6)
+        with pytest.raises(PatternError):
+            spmv(m, np.zeros(5))
+
+    def test_gather_contention_equals_column_count(self):
+        m = dense_column_csr(200, 100, 2, dense_len=77, dense_col=3, seed=7)
+        rec = TraceRecorder()
+        spmv(m, np.zeros(100), recorder=rec)
+        gather = [s for s in rec.program if s.label == "spmv/gather-x"][0]
+        assert gather.stats().max_location_contention == m.max_column_count()
+
+    def test_result_write_contention_free(self):
+        m = random_csr(64, 64, 2, seed=8)
+        rec = TraceRecorder()
+        spmv(m, np.zeros(64), recorder=rec)
+        write = [s for s in rec.program if s.label == "spmv/write-y"][0]
+        assert write.stats().max_location_contention == 1
+
+    def test_trace_total_requests(self):
+        m = random_csr(32, 32, 4, seed=9)
+        rec = TraceRecorder()
+        spmv(m, np.zeros(32), recorder=rec)
+        # cols + gather + vals + segsum + y = 4*nnz + n_rows
+        assert rec.program.total_requests == 4 * m.nnz + 32

@@ -1,0 +1,66 @@
+"""Tests for parameter estimation from measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    estimate_bank_delay,
+    measure_contention_curve,
+)
+from repro.errors import ParameterError
+from repro.simulator import CRAY_C90, CRAY_J90, toy_machine
+
+
+class TestEstimateBankDelay:
+    @pytest.mark.parametrize("machine,true_d", [
+        (CRAY_J90, 14.0),
+        (CRAY_C90, 6.0),
+        (toy_machine(p=4, x=8, d=25), 25.0),
+    ], ids=["J90", "C90", "toy-d25"])
+    def test_recovers_d_from_simulated_sweep(self, machine, true_d):
+        ks, ts = measure_contention_curve(machine, n=16 * 1024, seed=1)
+        est = estimate_bank_delay(ks, ts)
+        assert est.d == pytest.approx(true_d, rel=0.08)
+
+    def test_recovers_floor_and_knee(self):
+        m = toy_machine(p=8, x=16, d=10)
+        ks, ts = measure_contention_curve(m, n=8192, seed=2)
+        est = estimate_bank_delay(ks, ts)
+        assert est.floor == pytest.approx(8192 / 8, rel=0.1)
+        assert est.knee == pytest.approx(8192 / (8 * 10), rel=0.2)
+        assert est.n_points_used >= 2
+
+    def test_synthetic_exact(self):
+        k = np.array([1, 2, 4, 100, 200, 400, 800], dtype=float)
+        t = np.maximum(50.0, 3.0 * k)
+        est = estimate_bank_delay(k, t)
+        assert est.d == pytest.approx(3.0)
+        assert est.floor == pytest.approx(50.0)
+
+    def test_flat_sweep_rejected(self):
+        k = np.array([1.0, 2, 3, 4])
+        t = np.full(4, 100.0)
+        with pytest.raises(ParameterError, match="serialized"):
+            estimate_bank_delay(k, t)
+
+    @pytest.mark.parametrize("k,t", [
+        ([1, 2, 3], [1, 2, 3]),          # too few points
+        ([1, 2, 3, 0], [1, 2, 3, 4]),    # non-positive contention
+        ([1, 2, 3, 4], [1, 2, 3, -4]),   # non-positive time
+    ])
+    def test_invalid_inputs(self, k, t):
+        with pytest.raises(ParameterError):
+            estimate_bank_delay(np.asarray(k, float), np.asarray(t, float))
+
+
+class TestMeasureContentionCurve:
+    def test_shapes_and_monotonicity(self):
+        m = toy_machine(p=4, x=4, d=6)
+        ks, ts = measure_contention_curve(m, n=4096, seed=3)
+        assert ks.shape == ts.shape
+        # Times non-decreasing in contention up to simulation noise.
+        assert ts[-1] > ts[0]
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            measure_contention_curve(toy_machine(), n=0)

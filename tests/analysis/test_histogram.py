@@ -1,0 +1,81 @@
+"""Tests for the histogram-based predictor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_max_bank_load_mc,
+    predict_scatter_from_histogram,
+)
+from repro.core import DXBSPParams, location_contention
+from repro.errors import ParameterError
+from repro.mapping import RandomMap
+from repro.simulator import simulate_scatter, toy_machine
+from repro.workloads import hotspot, uniform_random
+
+PARAMS = DXBSPParams(p=8, d=14, x=16)
+
+
+class TestExpectedMaxBankLoadMc:
+    def test_single_location(self):
+        # One location of multiplicity 100: max load is always 100.
+        assert expected_max_bank_load_mc([100], 16, trials=5, seed=0) == 100
+
+    def test_all_singletons_near_balls_in_bins(self):
+        est = expected_max_bank_load_mc(
+            np.ones(4096, dtype=np.int64), 64, trials=10, seed=1
+        )
+        mean = 4096 / 64
+        assert mean < est < 1.5 * mean
+
+    def test_empty(self):
+        assert expected_max_bank_load_mc([], 16) == 0.0
+
+    def test_at_least_max_count(self):
+        est = expected_max_bank_load_mc([50, 1, 1, 1], 32, trials=8, seed=2)
+        assert est >= 50
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(counts=[0], n_banks=4),
+        dict(counts=[1], n_banks=0),
+        dict(counts=[1], n_banks=4, trials=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            expected_max_bank_load_mc(**kwargs)
+
+
+class TestPredictFromHistogram:
+    def test_matches_pattern_simulation(self):
+        # Predicting from the histogram alone must agree with simulating
+        # the actual pattern through a random map.
+        machine = toy_machine(p=8, x=16, d=14)
+        for k in [1, 64, 2048]:
+            addr = hotspot(16_384, k, 1 << 24, seed=k)
+            _, counts = location_contention(addr)
+            pred = predict_scatter_from_histogram(
+                machine.params(), counts, trials=16, seed=3
+            )
+            sim = simulate_scatter(machine, addr, RandomMap(4)).time
+            assert sim == pytest.approx(pred, rel=0.15), k
+
+    def test_throughput_floor(self):
+        pred = predict_scatter_from_histogram(
+            PARAMS, np.ones(8192, dtype=np.int64), trials=4, seed=5
+        )
+        assert pred >= 8192 / 8
+
+    def test_hot_histogram_charged_at_d(self):
+        counts = np.concatenate([[4096], np.ones(1000, dtype=np.int64)])
+        pred = predict_scatter_from_histogram(PARAMS, counts, trials=4, seed=6)
+        assert pred >= 14 * 4096
+
+    def test_uniform_random_pattern_end_to_end(self):
+        machine = toy_machine(p=8, x=16, d=14)
+        addr = uniform_random(16_384, 1 << 20, seed=7)
+        _, counts = location_contention(addr)
+        pred = predict_scatter_from_histogram(
+            machine.params(), counts, trials=16, seed=8
+        )
+        sim = simulate_scatter(machine, addr, RandomMap(9)).time
+        assert sim == pytest.approx(pred, rel=0.15)

@@ -1,0 +1,90 @@
+"""Tests for the prediction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_program,
+    compare_scatter,
+    relative_error,
+    sweep_scatter,
+)
+from repro.core import Program, Superstep
+from repro.simulator import toy_machine
+from repro.workloads import broadcast, hotspot, uniform_random
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_under_prediction_negative(self):
+        assert relative_error(100.0, 50.0) == -0.5
+
+    def test_zero_measured(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(0.0, 1.0) == float("inf")
+
+
+class TestCompareScatter:
+    def test_fields(self, toy):
+        addr = hotspot(1024, 64, 1 << 20, seed=0)
+        cmp = compare_scatter(toy, addr, label="t")
+        assert cmp.label == "t"
+        assert cmp.n == 1024
+        assert cmp.contention == 64
+        assert cmp.simulated_time > 0
+
+    def test_dxbsp_closer_than_bsp_on_hot(self, toy):
+        addr = broadcast(2048, 5)
+        cmp = compare_scatter(toy, addr)
+        assert abs(cmp.dxbsp_error) < abs(cmp.bsp_error)
+        assert cmp.bsp_underprediction > toy.d / toy.g * 0.8
+
+    def test_both_accurate_on_uniform(self):
+        # Enough expansion that the pattern is throughput-bound (x > d/g);
+        # there even the bank-oblivious BSP is fine.
+        machine = toy_machine(p=4, x=16, d=6)
+        addr = uniform_random(16_384, 1 << 24, seed=1)
+        cmp = compare_scatter(machine, addr)
+        assert abs(cmp.dxbsp_error) < 0.35
+        assert abs(cmp.bsp_error) < 0.35
+
+    def test_dxbsp_error_small_across_contention(self, toy):
+        # The paper's headline: the model predicts within a small margin
+        # across the whole contention sweep.
+        for k in [1, 8, 64, 512, 4096]:
+            addr = hotspot(4096, min(k, 4096), 1 << 20, seed=k)
+            cmp = compare_scatter(toy, addr)
+            assert abs(cmp.dxbsp_error) < 0.35, k
+
+    def test_row(self, toy):
+        cmp = compare_scatter(toy, uniform_random(128, 1 << 16, seed=2),
+                              label="r")
+        row = cmp.row()
+        assert row[0] == "r" and row[1] == 128
+
+
+class TestCompareProgram:
+    def test_sums_supersteps(self, toy):
+        prog = Program([
+            Superstep(addresses=uniform_random(512, 1 << 16, seed=3)),
+            Superstep(addresses=broadcast(128, 7)),
+        ])
+        cmp = compare_program(toy, prog)
+        s0 = compare_scatter(toy, prog[0].addresses)
+        s1 = compare_scatter(toy, prog[1].addresses)
+        assert cmp.simulated_time == pytest.approx(
+            s0.simulated_time + s1.simulated_time
+        )
+        assert cmp.n == 640
+        assert cmp.contention == 128
+
+
+class TestSweep:
+    def test_sweep_order_preserved(self, toy):
+        pats = [("a", uniform_random(64, 1 << 10, seed=4)),
+                ("b", broadcast(64, 1))]
+        out = sweep_scatter(toy, pats)
+        assert [c.label for c in out] == ["a", "b"]
+        assert out[1].contention == 64

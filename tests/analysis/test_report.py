@@ -1,0 +1,75 @@
+"""Tests for table/series formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series, csv_lines, format_table
+from repro.errors import ParameterError
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(("a", "bb"), [(1, 2.5), (30, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        out = format_table(("x",), [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ParameterError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_rows(self):
+        out = format_table(("a",), [])
+        assert "a" in out
+
+    def test_float_formatting(self):
+        out = format_table(("v",), [(1234567.0,), (0.0001,), (0.0,)])
+        assert "e" in out  # scientific for extremes
+        assert "0" in out
+
+    def test_strings_passthrough(self):
+        out = format_table(("name",), [("hello",)])
+        assert "hello" in out
+
+
+class TestSeries:
+    def _series(self):
+        s = Series(name="s", x_label="x", x=np.array([1.0, 2.0, 3.0]))
+        s.add("y1", [10, 20, 30])
+        s.add("y2", [1, 2, 3])
+        return s
+
+    def test_headers_and_rows(self):
+        s = self._series()
+        assert s.headers() == ["x", "y1", "y2"]
+        rows = s.rows()
+        assert rows[1] == (2.0, 20.0, 2.0)
+
+    def test_shape_mismatch_rejected(self):
+        s = Series(name="s", x_label="x", x=np.array([1.0]))
+        with pytest.raises(ParameterError):
+            s.add("bad", [1, 2])
+
+    def test_format_contains_everything(self):
+        out = self._series().format()
+        assert "s" in out and "y1" in out and "30" in out
+
+
+class TestCsvLines:
+    def test_header_first(self):
+        lines = csv_lines(("a", "b"), [(1, 2.5)])
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_precision(self):
+        lines = csv_lines(("v",), [(1 / 3,)])
+        assert lines[1].startswith("0.3333333333")
+
+    def test_roundtrip_parse(self):
+        lines = csv_lines(("x", "y"), [(1.5, 2), (3.25, 4)])
+        parsed = [tuple(float(c) for c in l.split(",")) for l in lines[1:]]
+        assert parsed == [(1.5, 2.0), (3.25, 4.0)]

@@ -1,0 +1,74 @@
+"""Tests for mean/CI helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MeanCI, mean_ci, run_until_stable
+from repro.errors import ParameterError
+
+
+class TestMeanCI:
+    def test_single_sample(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0 and ci.half_width == 0.0 and ci.n == 1
+
+    def test_constant_samples(self):
+        ci = mean_ci([3.0] * 10)
+        assert ci.mean == 3.0
+        assert ci.half_width == 0.0
+        assert ci.relative_half_width == 0.0
+
+    def test_known_interval(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=400)
+        ci = mean_ci(samples)
+        assert ci.lo < 10.0 < ci.hi
+        assert ci.half_width == pytest.approx(1.96 * 2 / 20, rel=0.15)
+
+    def test_coverage(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(200):
+            ci = mean_ci(rng.normal(0.0, 1.0, size=20), confidence=0.9)
+            if ci.lo <= 0.0 <= ci.hi:
+                hits += 1
+        assert 0.82 <= hits / 200 <= 0.97
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            mean_ci([])
+        with pytest.raises(ParameterError):
+            mean_ci([1.0], confidence=1.0)
+
+    def test_endpoints(self):
+        ci = MeanCI(mean=10.0, half_width=2.0, n=5, confidence=0.95)
+        assert ci.lo == 8.0 and ci.hi == 12.0
+        assert ci.relative_half_width == 0.2
+
+
+class TestRunUntilStable:
+    def test_deterministic_converges_at_min(self):
+        calls = []
+        ci = run_until_stable(lambda i: (calls.append(i), 7.0)[1],
+                              min_trials=5)
+        assert len(calls) == 5
+        assert ci.mean == 7.0
+
+    def test_noisy_converges(self):
+        rng = np.random.default_rng(2)
+        ci = run_until_stable(lambda i: rng.normal(100.0, 5.0),
+                              target_rel_half_width=0.02)
+        assert ci.relative_half_width <= 0.02 or ci.n == 200
+        assert ci.mean == pytest.approx(100.0, rel=0.05)
+
+    def test_max_trials_cap(self):
+        rng = np.random.default_rng(3)
+        ci = run_until_stable(lambda i: rng.normal(0.0, 100.0),
+                              target_rel_half_width=1e-9, max_trials=10)
+        assert ci.n == 10
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            run_until_stable(lambda i: 1.0, min_trials=1)
+        with pytest.raises(ParameterError):
+            run_until_stable(lambda i: 1.0, target_rel_half_width=0)

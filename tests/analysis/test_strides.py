@@ -1,0 +1,84 @@
+"""Tests for the constant-stride analysis extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    banks_touched,
+    effective_bandwidth,
+    predict_strided_time,
+    stride_sweep,
+)
+from repro.errors import ParameterError
+from repro.simulator import simulate_scatter, toy_machine
+from repro.workloads import strided
+
+
+class TestBanksTouched:
+    @pytest.mark.parametrize("stride,banks,expect", [
+        (1, 16, 16),      # unit stride: all banks
+        (2, 16, 8),
+        (16, 16, 1),      # bank-count stride: one bank
+        (3, 16, 16),      # coprime: all banks
+        (6, 16, 8),
+        (5, 10, 2),
+    ])
+    def test_values(self, stride, banks, expect):
+        assert banks_touched(stride, banks) == expect
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            banks_touched(0, 16)
+
+
+class TestPredictStridedTime:
+    def test_unit_stride_throughput_bound(self):
+        m = toy_machine(p=4, x=8, d=6)  # 32 banks > d per proc
+        n = 3200
+        assert predict_strided_time(m, n, 1) == n / 4
+
+    def test_pathological_stride(self):
+        m = toy_machine(p=4, x=4, d=6)  # 16 banks
+        n = 1600
+        # stride 16 -> every request to one bank -> n*d.
+        assert predict_strided_time(m, n, 16) == n * 6
+
+    def test_empty(self):
+        m = toy_machine(L=3)
+        assert predict_strided_time(m, 0, 4) == 3
+
+    def test_matches_simulator(self):
+        m = toy_machine(p=4, x=4, d=6)
+        for stride in [1, 2, 3, 4, 8, 16, 17]:
+            addr = strided(2000, stride)
+            sim = simulate_scatter(m, addr).time
+            pred = predict_strided_time(m, 2000, stride)
+            assert sim == pytest.approx(pred, rel=0.05), stride
+
+    @given(stride=st.integers(1, 64), n=st.integers(1, 3000))
+    @settings(max_examples=20)
+    def test_lower_bound_of_simulation(self, stride, n):
+        m = toy_machine(p=4, x=4, d=6)
+        sim = simulate_scatter(m, strided(n, stride)).time
+        pred = predict_strided_time(m, n, stride)
+        assert sim >= pred - 1e-9
+
+
+class TestBandwidthAndSweep:
+    def test_bandwidth_ordering(self):
+        m = toy_machine(p=4, x=4, d=6)
+        bw_unit = effective_bandwidth(m, 4096, 1)
+        bw_bad = effective_bandwidth(m, 4096, 16)
+        assert bw_unit > 5 * bw_bad
+
+    def test_sweep_shape(self):
+        m = toy_machine(p=4, x=4, d=6)
+        s = stride_sweep(m, 1024, [1, 2, 4, 8, 16])
+        assert s.headers() == [
+            "stride", "banks_touched", "predicted", "elements_per_cycle"
+        ]
+        touched = s.columns["banks_touched"]
+        assert (np.diff(touched) <= 0).all()  # powers of two: monotone
+        assert touched[0] == 16 and touched[-1] == 1

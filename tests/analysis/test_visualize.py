@@ -1,0 +1,71 @@
+"""Tests for the plain-text visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series, bank_load_strip, series_panel, sparkline
+from repro.errors import ParameterError
+from repro.simulator import SimResult
+
+
+def make_result(loads):
+    loads = np.asarray(loads, dtype=np.int64)
+    return SimResult(time=100.0, n=int(loads.sum()), bank_loads=loads)
+
+
+class TestSparkline:
+    def test_monotone_levels(self):
+        s = sparkline([0, 1, 2, 3, 4])
+        assert len(s) == 5
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_constant_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_custom_vmax(self):
+        s = sparkline([1, 1], vmax=8)
+        assert s[0] != "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_2d_rejected(self):
+        with pytest.raises(ParameterError):
+            sparkline(np.zeros((2, 2)))
+
+
+class TestBankLoadStrip:
+    def test_contains_stats(self):
+        out = bank_load_strip(make_result([10, 0, 0, 0]))
+        assert "max=10" in out
+        assert "4 banks" in out
+
+    def test_width_respected(self):
+        out = bank_load_strip(make_result(np.arange(256)), width=32)
+        strip = out[out.index("[") + 1:out.index("]")]
+        assert len(strip) == 32
+
+    def test_fewer_banks_than_width(self):
+        out = bank_load_strip(make_result([1, 2]), width=64)
+        strip = out[out.index("[") + 1:out.index("]")]
+        assert len(strip) == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ParameterError):
+            bank_load_strip(make_result([1]), width=0)
+
+
+class TestSeriesPanel:
+    def test_all_columns_rendered(self):
+        s = Series(name="demo", x_label="x", x=np.arange(4.0))
+        s.add("alpha", [1, 10, 100, 1000])
+        s.add("beta", [5, 5, 5, 5])
+        out = series_panel(s)
+        assert "demo" in out
+        assert "alpha" in out and "beta" in out
+        assert "1e+03" in out or "1000" in out
+
+    def test_linear_mode(self):
+        s = Series(name="d", x_label="x", x=np.arange(3.0))
+        s.add("c", [0, 1, 2])
+        assert series_panel(s, log=False)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.simulator import MachineConfig, toy_machine
+
+# A leaner default hypothesis profile: the simulators make some property
+# tests moderately expensive, and the suite has hundreds of tests.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def toy() -> MachineConfig:
+    """Small default machine: p=4, 16 banks, d=6, g=1, L=0."""
+    return toy_machine()
+
+
+@pytest.fixture
+def toy_j90ish() -> MachineConfig:
+    """A J90-flavoured small machine: higher bank delay."""
+    return toy_machine(p=4, x=8, d=14)

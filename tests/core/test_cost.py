@@ -1,0 +1,131 @@
+"""Tests for the superstep cost laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    BSPParams,
+    DXBSPParams,
+    bsp_superstep_time,
+    crossover_contention,
+    dxbsp_superstep_time,
+    per_processor_load,
+    predict_scatter_bsp,
+    predict_scatter_dxbsp,
+)
+from repro.errors import ParameterError
+from repro.workloads import broadcast, distinct_random, hotspot
+
+PARAMS = DXBSPParams(p=4, d=6, x=4, g=1, L=0)
+
+
+class TestPerProcessorLoad:
+    @pytest.mark.parametrize("n,p,expect", [(0, 4, 0), (1, 4, 1), (4, 4, 1),
+                                            (5, 4, 2), (100, 7, 15)])
+    def test_values(self, n, p, expect):
+        assert per_processor_load(n, p) == expect
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            per_processor_load(-1, 4)
+        with pytest.raises(ParameterError):
+            per_processor_load(4, 0)
+
+
+class TestSuperstepLaws:
+    def test_dxbsp_law(self):
+        p = DXBSPParams(p=4, d=6, x=4, g=2, L=100)
+        assert dxbsp_superstep_time(p, 10, 3) == 100          # L dominates
+        assert dxbsp_superstep_time(p, 100, 3) == 200         # g*h_p
+        assert dxbsp_superstep_time(p, 10, 50) == 300         # d*h_b
+
+    def test_bsp_law(self):
+        p = BSPParams(p=4, g=2, L=5)
+        assert bsp_superstep_time(p, 10, 3) == 20
+        assert bsp_superstep_time(p, 1, 30) == 60
+        assert bsp_superstep_time(p, 1, 1) == 5
+
+    def test_broadcasting(self):
+        h = np.array([1, 10, 100])
+        out = dxbsp_superstep_time(PARAMS, h, 1)
+        assert out.shape == (3,)
+        assert (out == np.maximum(h, 6)).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            dxbsp_superstep_time(PARAMS, -1, 0)
+        with pytest.raises(ParameterError):
+            bsp_superstep_time(PARAMS, 0, -1)
+
+    @given(
+        h_p=st.integers(0, 10_000),
+        h_b=st.integers(0, 10_000),
+    )
+    def test_dxbsp_dominates_bsp(self, h_p, h_b):
+        # With d >= g and h_b >= k the (d,x)-BSP time is never below the
+        # BSP time for the same pattern (k <= h_b).
+        k = h_b
+        assert dxbsp_superstep_time(PARAMS, h_p, h_b) >= \
+            bsp_superstep_time(PARAMS, h_p, k)
+
+    @given(h_p=st.integers(0, 1000), h_b=st.integers(0, 1000),
+           extra=st.integers(0, 100))
+    def test_monotone_in_loads(self, h_p, h_b, extra):
+        base = dxbsp_superstep_time(PARAMS, h_p, h_b)
+        assert dxbsp_superstep_time(PARAMS, h_p + extra, h_b) >= base
+        assert dxbsp_superstep_time(PARAMS, h_p, h_b + extra) >= base
+
+
+class TestScatterPredictions:
+    def test_distinct_pattern_throughput_bound(self):
+        addr = distinct_random(4096, 1 << 20, seed=0)
+        t = predict_scatter_dxbsp(PARAMS, addr)
+        # All-distinct random pattern: time close to the pipeline bound
+        # but never below it.
+        assert t >= 4096 / 4
+        assert t <= 6 * 4096  # sanity ceiling
+
+    def test_broadcast_pattern(self):
+        addr = broadcast(1000, 42)
+        assert predict_scatter_dxbsp(PARAMS, addr) == 6 * 1000
+        assert predict_scatter_bsp(PARAMS, addr) == 1000
+
+    def test_hotspot_knee(self):
+        n = 4096
+        k_star = crossover_contention(PARAMS, n)
+        below = hotspot(n, max(1, int(k_star // 4)), 1 << 20, seed=1)
+        above = hotspot(n, int(k_star * 8), 1 << 20, seed=1)
+        t_below = predict_scatter_dxbsp(PARAMS, below)
+        t_above = predict_scatter_dxbsp(PARAMS, above)
+        assert t_above > 2 * t_below
+
+    def test_bsp_underpredicts_hot(self):
+        addr = hotspot(4096, 2048, 1 << 20, seed=2)
+        bsp = predict_scatter_bsp(PARAMS, addr)
+        dxbsp = predict_scatter_dxbsp(PARAMS, addr)
+        # Factor approaching d/g on hot patterns.
+        assert dxbsp / bsp > PARAMS.d / PARAMS.g * 0.5
+
+    def test_empty_pattern(self):
+        p = PARAMS.with_(L=7)
+        assert predict_scatter_dxbsp(p, []) == 7
+        assert predict_scatter_bsp(p, []) == 7
+
+
+class TestCrossover:
+    def test_formula(self):
+        p = DXBSPParams(p=8, d=14, x=64, g=1)
+        assert crossover_contention(p, 65536) == pytest.approx(65536 / (8 * 14))
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            crossover_contention(PARAMS, -1)
+
+    @given(n=st.integers(0, 1 << 20))
+    def test_scaling(self, n):
+        # Doubling d halves the knee.
+        k1 = crossover_contention(PARAMS, n)
+        k2 = crossover_contention(PARAMS.with_(d=12), n)
+        assert k2 == pytest.approx(k1 / 2)

@@ -1,0 +1,95 @@
+"""Tests for Superstep / Program accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import DXBSPParams, Program, Superstep
+from repro.errors import PatternError
+
+PARAMS = DXBSPParams(p=4, d=6, x=4, g=1, L=0)
+
+
+class TestSuperstep:
+    def test_basic(self):
+        s = Superstep(addresses=np.array([1, 2, 3]), kind="scatter", label="x")
+        assert s.n == 3
+
+    def test_invalid_kind(self):
+        with pytest.raises(PatternError):
+            Superstep(addresses=np.array([1]), kind="frobnicate")
+
+    def test_negative_local_work(self):
+        with pytest.raises(PatternError):
+            Superstep(addresses=np.array([1]), local_work=-1)
+
+    def test_stats(self):
+        s = Superstep(addresses=np.array([1, 1, 2]))
+        st = s.stats(n_banks=4)
+        assert st.max_location_contention == 2
+        assert st.max_bank_load == 2
+
+    def test_times(self):
+        s = Superstep(addresses=np.full(100, 7), local_work=50)
+        assert s.time_dxbsp(PARAMS) == 600 + 50
+        assert s.time_bsp(PARAMS) == 100 + 50
+
+    def test_addresses_validated(self):
+        with pytest.raises(PatternError):
+            Superstep(addresses=np.array([-1]))
+
+
+class TestProgram:
+    def _program(self):
+        return Program([
+            Superstep(addresses=np.arange(100), label="a"),
+            Superstep(addresses=np.full(10, 3), label="b"),
+            Superstep(addresses=np.arange(50), label="a"),
+        ])
+
+    def test_len_iter_index(self):
+        p = self._program()
+        assert len(p) == 3
+        assert [s.label for s in p] == ["a", "b", "a"]
+        assert p[1].label == "b"
+
+    def test_total_requests(self):
+        assert self._program().total_requests == 160
+
+    def test_append_type_checked(self):
+        p = Program()
+        with pytest.raises(PatternError):
+            p.append("not a superstep")  # type: ignore[arg-type]
+        with pytest.raises(PatternError):
+            Program(["nope"])  # type: ignore[list-item]
+
+    def test_extend(self):
+        p = Program()
+        p.extend(self._program())
+        assert len(p) == 3
+
+    def test_cost_breakdown_total(self):
+        p = self._program()
+        cb = p.cost_dxbsp(PARAMS)
+        assert cb.total == pytest.approx(sum(
+            s.time_dxbsp(PARAMS) for s in p
+        ))
+        assert len(cb.step_times) == 3
+
+    def test_cost_by_label(self):
+        cb = self._program().cost_dxbsp(PARAMS)
+        by = cb.by_label()
+        assert set(by) == {"a", "b"}
+        assert by["a"] + by["b"] == pytest.approx(cb.total)
+
+    def test_bsp_cost_not_above_dxbsp(self):
+        p = self._program()
+        assert p.cost_bsp(PARAMS).total <= p.cost_dxbsp(PARAMS).total
+
+    def test_program_contention(self):
+        assert self._program().max_location_contention() == 10
+
+    def test_empty_program(self):
+        p = Program()
+        assert p.total_requests == 0
+        assert p.cost_dxbsp(PARAMS).total == 0.0
+        assert p.max_location_contention() == 0

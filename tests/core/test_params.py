@@ -1,0 +1,89 @@
+"""Tests for the BSP / (d,x)-BSP parameter sets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import BSPParams, DXBSPParams, expansion_sweep
+from repro.errors import ParameterError
+
+
+class TestBSPParams:
+    def test_defaults(self):
+        p = BSPParams(p=8)
+        assert p.g == 1.0 and p.L == 0.0
+
+    @pytest.mark.parametrize("bad_p", [0, -1, 2.5])
+    def test_invalid_p(self, bad_p):
+        with pytest.raises(ParameterError):
+            BSPParams(p=bad_p)
+
+    def test_invalid_g(self):
+        with pytest.raises(ParameterError):
+            BSPParams(p=4, g=0)
+
+    def test_negative_L(self):
+        with pytest.raises(ParameterError):
+            BSPParams(p=4, L=-1)
+
+    def test_with_(self):
+        p = BSPParams(p=4).with_(g=2.0)
+        assert p.g == 2.0 and p.p == 4
+
+    def test_frozen(self):
+        p = BSPParams(p=4)
+        with pytest.raises(Exception):
+            p.p = 8  # type: ignore[misc]
+
+
+class TestDXBSPParams:
+    def test_n_banks(self):
+        assert DXBSPParams(p=8, d=14, x=64).n_banks == 512
+
+    def test_fractional_expansion(self):
+        assert DXBSPParams(p=8, d=6, x=0.5).n_banks == 4
+
+    def test_expansion_below_one_bank_rejected(self):
+        with pytest.raises(ParameterError):
+            DXBSPParams(p=2, d=6, x=0.1)
+
+    @pytest.mark.parametrize("field,value", [("d", 0), ("x", 0), ("g", -1)])
+    def test_invalid_fields(self, field, value):
+        kwargs = dict(p=4, d=6.0, x=4.0)
+        kwargs[field] = value
+        with pytest.raises(ParameterError):
+            DXBSPParams(**kwargs)
+
+    def test_balanced_expansion(self):
+        p = DXBSPParams(p=4, d=14, x=4, g=2)
+        assert p.balanced_expansion == 7.0
+
+    def test_bandwidth_ratio(self):
+        p = DXBSPParams(p=4, d=6, x=6, g=1)
+        assert p.bandwidth_ratio == pytest.approx(1.0)
+
+    def test_to_bsp_roundtrip(self):
+        dx = DXBSPParams(p=4, d=6, x=4, g=2, L=10)
+        bsp = dx.to_bsp()
+        assert bsp == BSPParams(p=4, g=2, L=10)
+        assert DXBSPParams.from_bsp(bsp, d=6, x=4) == dx
+
+    def test_expansion_sweep(self):
+        base = DXBSPParams(p=4, d=6, x=1)
+        swept = list(expansion_sweep(base, [1, 2, 4]))
+        assert [s.n_banks for s in swept] == [4, 8, 16]
+        assert all(s.d == 6 for s in swept)
+
+    @given(
+        p=st.integers(1, 128),
+        d=st.floats(0.5, 100),
+        x=st.floats(0.5, 256),
+    )
+    def test_n_banks_consistent(self, p, d, x):
+        try:
+            params = DXBSPParams(p=p, d=d, x=x)
+        except ParameterError:
+            assert round(x * p) < 1
+            return
+        assert params.n_banks == round(x * p)
+        assert params.n_banks >= 1

@@ -1,0 +1,82 @@
+"""Tests for Program concatenation/filtering and contention summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import contention_summary, format_table
+from repro.core import Program, Superstep
+from repro.simulator import toy_machine
+from repro.workloads import uniform_random
+
+
+def prog(labels_and_sizes):
+    return Program([
+        Superstep(addresses=uniform_random(n, 1 << 16, seed=i), label=lbl)
+        for i, (lbl, n) in enumerate(labels_and_sizes)
+    ])
+
+
+class TestProgramAlgebra:
+    def test_concat(self):
+        a = prog([("x", 10)])
+        b = prog([("y", 20), ("z", 5)])
+        c = a + b
+        assert len(c) == 3
+        assert [s.label for s in c] == ["x", "y", "z"]
+        assert c.total_requests == 35
+        # originals untouched
+        assert len(a) == 1 and len(b) == 2
+
+    def test_concat_type_error(self):
+        assert Program().__add__(42) is NotImplemented
+
+    def test_filter(self):
+        p = prog([("hook", 10), ("scan", 20), ("hook", 5)])
+        hooks = p.filter(lambda s: s.label == "hook")
+        assert len(hooks) == 2
+        assert hooks.total_requests == 15
+
+    def test_by_label(self):
+        p = prog([("round0/hook", 10), ("round0/scan", 20),
+                  ("round1/hook", 5)])
+        assert len(p.by_label("hook")) == 2
+        assert len(p.by_label("round0")) == 2
+        assert len(p.by_label("nothing")) == 0
+
+    def test_phase_isolation_costing(self, toy):
+        # The idiom: isolate a phase and cost it separately.
+        p = prog([("hook", 100), ("scan", 300)])
+        params = toy.params()
+        total = p.cost_dxbsp(params).total
+        parts = (p.by_label("hook").cost_dxbsp(params).total
+                 + p.by_label("scan").cost_dxbsp(params).total)
+        assert parts == pytest.approx(total)
+
+
+class TestContentionSummary:
+    def test_rows_without_machine(self):
+        p = prog([("a", 10), ("b", 20)])
+        rows = contention_summary(p)
+        assert len(rows) == 2
+        idx, label, n, k, h_b, t = rows[0]
+        assert (idx, label, n) == (0, "a", 10)
+        assert h_b is None and t is None
+
+    def test_rows_with_machine(self, toy):
+        p = prog([("a", 64)])
+        rows = contention_summary(p, toy)
+        _, _, n, k, h_b, t = rows[0]
+        assert n == 64
+        assert h_b >= k >= 1
+        assert t >= 64 / toy.p
+
+    def test_formats_as_table(self, toy):
+        p = prog([("a", 16), ("b", 8)])
+        out = format_table(
+            ("step", "label", "n", "k", "h_b", "dxbsp"),
+            contention_summary(p, toy),
+        )
+        assert "a" in out and "b" in out
+
+    def test_empty_program(self):
+        assert contention_summary(Program()) == []

@@ -1,0 +1,58 @@
+"""Cross-feature tests: CRCW semantics need combining hardware.
+
+The paper argues the CRCW rule is unrealistic for bank-based machines —
+*unless* the network combines (footnote 1).  With both the CRCW PRAM and
+the combining machine option in the library, that argument is testable:
+a CRCW program's unit-cost accounting is met by the simulator exactly
+when combining is on, and violated by a factor ~d·k when it is off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emulation import CRCWPram, emulate_qrqw, QRQWPram
+from repro.mapping import linear_hash
+from repro.simulator import simulate_scatter, toy_machine
+from repro.workloads import broadcast, hotspot
+
+
+class TestCrcwNeedsCombining:
+    def setup_method(self):
+        self.machine = toy_machine(p=8, x=16, d=14)
+        self.n, self.k = 8192, 1024
+        self.addr = hotspot(self.n, self.k, 1 << 22, seed=0)
+
+    def test_crcw_charges_unit_cost(self):
+        pram = CRCWPram(p=8, memory_size=1 << 22)
+        pram.write(self.addr, np.arange(self.n))
+        # CRCW time: ceil(n/p), contention free.
+        assert pram.time == self.n // 8
+
+    def test_plain_machine_misses_crcw_by_d(self):
+        sim = simulate_scatter(self.machine, self.addr, linear_hash(1)).time
+        crcw_cycles = self.machine.g * (self.n / 8)
+        assert sim > 10 * crcw_cycles  # d*k dominates: CRCW accounting wrong
+
+    def test_combining_machine_meets_crcw(self):
+        m = self.machine.with_(combining=True)
+        sim = simulate_scatter(m, self.addr, linear_hash(1)).time
+        crcw_cycles = self.machine.g * (self.n / 8)
+        assert sim <= 1.5 * crcw_cycles
+
+    def test_broadcast_extreme(self):
+        m = self.machine.with_(combining=True)
+        addr = broadcast(8192, 7)
+        sim = simulate_scatter(m, addr).time
+        assert sim <= 8192 / 8 + self.machine.d + 2
+
+    def test_qrqw_unaffected_by_combining_when_k_small(self):
+        # Sanity: for low-contention programs the combining option barely
+        # matters — QRQW and CRCW agree there anyway.
+        pram = QRQWPram(p=8, memory_size=1 << 22)
+        pram.write(hotspot(8192, 2, 1 << 22, seed=1), np.arange(8192))
+        plain = emulate_qrqw(self.machine, pram, seed=2)
+        combined = emulate_qrqw(self.machine.with_(combining=True), pram,
+                                seed=2)
+        assert combined.simulated_time == pytest.approx(
+            plain.simulated_time, rel=0.1
+        )

@@ -1,0 +1,144 @@
+"""Tests for the QRQW → (d,x)-BSP emulation (Theorems 5.1/5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DXBSPParams
+from repro.emulation import (
+    QRQWPram,
+    delta_for_whp,
+    emulate_qrqw,
+    emulation_overhead,
+    inevitable_overhead,
+    step_time_bound,
+)
+from repro.errors import ParameterError
+from repro.simulator import toy_machine
+from repro.workloads import hotspot
+
+
+class TestInevitableOverhead:
+    def test_below_balance(self):
+        # x < d/g: banks cannot keep up; factor d/(gx).
+        p = DXBSPParams(p=4, d=12, x=3, g=1)
+        assert inevitable_overhead(p) == pytest.approx(4.0)
+
+    def test_above_balance_is_one(self):
+        p = DXBSPParams(p=4, d=6, x=64, g=1)
+        assert inevitable_overhead(p) == 1.0
+
+    def test_gap_scales(self):
+        p = DXBSPParams(p=4, d=12, x=3, g=2)
+        assert inevitable_overhead(p) == pytest.approx(2.0)
+
+
+class TestDeltaForWhp:
+    def test_positive(self):
+        assert delta_for_whp(10_000, 1, 64) > 0
+
+    def test_decreasing_in_slack(self):
+        # More requests per bank (larger mu) -> tighter concentration.
+        d_small = delta_for_whp(1_000, 1, 64)
+        d_big = delta_for_whp(100_000, 1, 64)
+        assert d_big < d_small
+
+    def test_increasing_in_contention(self):
+        # Higher k -> fewer independent units -> weaker concentration.
+        assert delta_for_whp(10_000, 100, 64) > delta_for_whp(10_000, 1, 64)
+
+    def test_meets_target(self):
+        from repro.mapping import raghavan_spencer_tail
+
+        n, k, b, fp = 50_000, 4, 128, 1e-6
+        delta = delta_for_whp(n, k, b, fp)
+        mu = n / (k * b)
+        assert b * raghavan_spencer_tail(mu, delta) <= fp * 1.001
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_ops=0, k=1, n_banks=4),
+            dict(n_ops=10, k=0, n_banks=4),
+            dict(n_ops=10, k=11, n_banks=4),
+            dict(n_ops=10, k=1, n_banks=0),
+            dict(n_ops=10, k=1, n_banks=4, fail_prob=0.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            delta_for_whp(**kwargs)
+
+
+class TestStepTimeBound:
+    PARAMS = DXBSPParams(p=8, d=14, x=64, g=1, L=0)
+
+    def test_empty_step(self):
+        assert step_time_bound(self.PARAMS.with_(L=5), 0, 1) == 5
+
+    def test_contention_floor(self):
+        # d*k is a hard floor of the bound.
+        assert step_time_bound(self.PARAMS, 1000, 500) >= 14 * 500
+
+    def test_pipeline_floor(self):
+        assert step_time_bound(self.PARAMS, 80_000, 1) >= 10_000
+
+    def test_simulation_within_bound(self):
+        # The whp bound must (comfortably) cover actual simulated times.
+        machine = toy_machine(p=8, x=16, d=6)
+        params = machine.params()
+        for k in [1, 16, 256]:
+            addr = hotspot(16_384, k, 1 << 22, seed=k)
+            pram = QRQWPram(p=8, memory_size=1 << 22)
+            pram.write(addr, np.arange(addr.size))
+            res = emulate_qrqw(machine, pram, seed=3)
+            assert res.simulated_time <= res.bound_time * 1.05, k
+
+    @given(x=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128]))
+    @settings(max_examples=8)
+    def test_overhead_decreasing_in_expansion(self, x):
+        p1 = DXBSPParams(p=8, d=14, x=x, g=1)
+        p2 = DXBSPParams(p=8, d=14, x=2 * x, g=1)
+        o1 = emulation_overhead(p1, 32_768, 4)
+        o2 = emulation_overhead(p2, 32_768, 4)
+        assert o2 <= o1 * 1.001
+
+
+class TestEmulateQrqw:
+    def _pram(self, p=4, steps=3, n=2048, k=32):
+        pram = QRQWPram(p=p, memory_size=1 << 20)
+        for s in range(steps):
+            addr = hotspot(n, k, 1 << 20, seed=s)
+            pram.write(addr, np.arange(n))
+        return pram
+
+    def test_result_fields(self, toy):
+        pram = self._pram()
+        res = emulate_qrqw(toy, pram, seed=0)
+        assert res.n_steps == 3
+        assert res.n_ops == 3 * 2048
+        assert res.qrqw_time == pram.time
+        assert res.simulated_time > 0
+
+    def test_measured_overhead_at_least_inevitable(self, toy):
+        res = emulate_qrqw(toy, self._pram(), seed=1)
+        # Overhead can't beat the bandwidth imbalance floor (within noise).
+        assert res.measured_overhead >= \
+            0.9 * inevitable_overhead(toy.params())
+
+    def test_bound_tightness_le_one(self, toy):
+        res = emulate_qrqw(toy, self._pram(), seed=2)
+        assert res.bound_tightness <= 1.05
+
+    def test_empty_program(self, toy):
+        pram = QRQWPram(p=4, memory_size=10)
+        res = emulate_qrqw(toy, pram)
+        assert res.simulated_time == 0.0
+        assert res.measured_overhead == 1.0
+
+    def test_expansion_helps_measured(self):
+        pram = self._pram(p=8, n=8192, k=8)
+        slow = emulate_qrqw(toy_machine(p=8, x=1, d=14), pram, seed=4)
+        fast = emulate_qrqw(toy_machine(p=8, x=64, d=14), pram, seed=4)
+        assert fast.simulated_time < slow.simulated_time

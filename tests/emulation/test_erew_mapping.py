@@ -1,0 +1,39 @@
+"""Tests for the EREW-mapping helpers (the paper's other high-level-model
+scenario)."""
+
+import pytest
+
+from repro.core import DXBSPParams
+from repro.emulation import (
+    emulation_overhead,
+    erew_emulation_overhead,
+    erew_step_time_bound,
+    step_time_bound,
+)
+
+
+class TestErewBound:
+    def test_is_k1_special_case(self):
+        p = DXBSPParams(p=8, d=14, x=64)
+        assert erew_step_time_bound(p, 10_000) == \
+            step_time_bound(p, 10_000, 1)
+
+    def test_empty_step(self):
+        p = DXBSPParams(p=8, d=14, x=64, L=3)
+        assert erew_step_time_bound(p, 0) == 3
+
+    def test_overhead_near_one_on_high_bandwidth(self):
+        # x well beyond d/g with lots of slack: essentially free mapping.
+        p = DXBSPParams(p=8, d=14, x=64, g=1)
+        assert erew_emulation_overhead(p, 64 * 1024) < 1.2
+
+    def test_overhead_is_dx_below_parity(self):
+        p = DXBSPParams(p=8, d=14, x=2, g=1)
+        oh = erew_emulation_overhead(p, 64 * 1024)
+        assert oh == pytest.approx(14 / 2, rel=0.25)
+
+    def test_erew_never_costlier_than_qrqw(self):
+        p = DXBSPParams(p=8, d=14, x=16)
+        for k in [1, 4, 64, 1024]:
+            assert erew_emulation_overhead(p, 32_768) <= \
+                emulation_overhead(p, 32_768, k) + 1e-9

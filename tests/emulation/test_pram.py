@@ -1,0 +1,85 @@
+"""Tests for shared PRAM machinery."""
+
+import numpy as np
+import pytest
+
+from repro.emulation import SharedMemory, StepLog
+from repro.errors import ParameterError, PatternError
+
+
+class TestSharedMemory:
+    def test_init_fill(self):
+        mem = SharedMemory(8, fill=7)
+        assert (mem.read(np.arange(8)) == 7).all()
+
+    def test_write_read_roundtrip(self):
+        mem = SharedMemory(10)
+        mem.write([1, 3, 5], [10, 30, 50])
+        assert (mem.read([5, 3, 1]) == [50, 30, 10]).all()
+
+    def test_scalar_broadcast_write(self):
+        mem = SharedMemory(5)
+        mem.write([0, 1, 2], 9)
+        assert (mem.read([0, 1, 2]) == 9).all()
+
+    def test_colliding_writes_last_wins(self):
+        mem = SharedMemory(4)
+        mem.write([2, 2, 2], [1, 2, 3])
+        assert mem.read([2])[0] == 3
+
+    def test_out_of_range(self):
+        mem = SharedMemory(4)
+        with pytest.raises(PatternError):
+            mem.read([4])
+        with pytest.raises(PatternError):
+            mem.write([5], [1])
+
+    def test_shape_mismatch(self):
+        mem = SharedMemory(4)
+        with pytest.raises(PatternError):
+            mem.write([1, 2], [1, 2, 3])
+
+    def test_negative_size(self):
+        with pytest.raises(ParameterError):
+            SharedMemory(-1)
+
+    def test_snapshot_is_copy(self):
+        mem = SharedMemory(3)
+        snap = mem.snapshot()
+        mem.write([0], [99])
+        assert snap[0] == 0
+
+    def test_read_returns_copy(self):
+        mem = SharedMemory(3)
+        out = mem.read([0, 1])
+        out[0] = 42
+        assert mem.read([0])[0] == 0
+
+
+class TestStepLog:
+    def test_contention_split(self):
+        log = StepLog()
+        rec = log.log(reads=np.array([1, 1, 2]), writes=np.array([5, 6]))
+        assert rec.read_contention == 2
+        assert rec.write_contention == 1
+        assert rec.max_contention == 2
+        assert rec.n_ops == 5
+
+    def test_addresses_concatenated(self):
+        log = StepLog()
+        rec = log.log(reads=np.array([1]), writes=np.array([2, 3]))
+        assert (rec.addresses == [1, 2, 3]).all()
+
+    def test_empty_step(self):
+        log = StepLog()
+        rec = log.log()
+        assert rec.n_ops == 0 and rec.max_contention == 0
+
+    def test_indexing_and_iteration(self):
+        log = StepLog()
+        log.log(reads=np.array([1]), label="a")
+        log.log(writes=np.array([2]), label="b")
+        assert len(log) == 2
+        assert [r.label for r in log] == ["a", "b"]
+        assert log[1].label == "b"
+        assert [r.label for r in log.records] == ["a", "b"]

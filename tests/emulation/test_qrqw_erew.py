@@ -1,0 +1,121 @@
+"""Tests for the QRQW / EREW / CRCW cost rules."""
+
+import numpy as np
+import pytest
+
+from repro.emulation import CRCWPram, EREWPram, QRQWPram
+from repro.errors import ContentionRuleError, ParameterError
+
+
+class TestQRQW:
+    def test_step_time_is_max_contention(self):
+        pram = QRQWPram(p=4, memory_size=100)
+        pram.write(np.array([7] * 10 + [1, 2]), np.arange(12))
+        # ceil(12/4) = 3 per proc, contention 10 -> step time 10.
+        assert pram.time == 10
+
+    def test_per_proc_term(self):
+        pram = QRQWPram(p=2, memory_size=100)
+        pram.write(np.arange(10), np.arange(10))  # contention 1, 5/proc
+        assert pram.time == 5
+
+    def test_work(self):
+        pram = QRQWPram(p=4, memory_size=10)
+        pram.read(np.array([3, 3]))
+        assert pram.work == 4 * pram.time
+
+    def test_combined_step_counts_once(self):
+        pram = QRQWPram(p=8, memory_size=10)
+        out = pram.step(reads=np.array([1, 2]), writes=np.array([3]),
+                        values=np.array([9]))
+        assert out is not None and (out == 0).all()
+        assert len(pram.log) == 1
+        assert pram.memory.read([3])[0] == 9
+
+    def test_reads_see_pre_step_memory(self):
+        pram = QRQWPram(p=2, memory_size=4)
+        pram.write(np.array([0]), np.array([5]))
+        out = pram.step(reads=np.array([0]), writes=np.array([0]),
+                        values=np.array([6]))
+        assert out[0] == 5
+        assert pram.memory.read([0])[0] == 6
+
+    def test_max_contention_tracked(self):
+        pram = QRQWPram(p=2, memory_size=10)
+        pram.write(np.array([1, 1, 1]), np.zeros(3, dtype=np.int64))
+        pram.read(np.array([2, 3]))
+        assert pram.max_contention == 3
+
+    def test_step_times_vector(self):
+        pram = QRQWPram(p=4, memory_size=10)
+        pram.write(np.array([1] * 8), np.arange(8))
+        pram.read(np.arange(4))
+        assert (pram.step_times() == [8, 1]).all()
+
+    def test_invalid_p(self):
+        with pytest.raises(ParameterError):
+            QRQWPram(p=0, memory_size=10)
+
+    def test_empty_program(self):
+        assert QRQWPram(p=4, memory_size=4).time == 0
+
+
+class TestEREW:
+    def test_exclusive_ok(self):
+        pram = EREWPram(p=4, memory_size=10)
+        pram.write(np.arange(8), np.arange(8))
+        assert (pram.read(np.arange(8)) == np.arange(8)).all()
+        assert pram.time == 2 * 2  # ceil(8/4) per step
+
+    def test_concurrent_read_raises(self):
+        pram = EREWPram(p=4, memory_size=10)
+        with pytest.raises(ContentionRuleError):
+            pram.read(np.array([5, 5]))
+
+    def test_concurrent_write_raises_before_mutation(self):
+        pram = EREWPram(p=4, memory_size=10)
+        with pytest.raises(ContentionRuleError):
+            pram.write(np.array([5, 5]), np.array([1, 2]))
+        assert pram.memory.read([5])[0] == 0  # untouched
+
+    def test_error_message_names_step(self):
+        pram = EREWPram(p=4, memory_size=10)
+        with pytest.raises(ContentionRuleError, match="contention 2"):
+            pram.read(np.array([1, 1]), label="bad-step")
+
+
+class TestCRCW:
+    def test_contention_free_cost(self):
+        pram = CRCWPram(p=4, memory_size=10)
+        pram.write(np.array([3] * 100), np.arange(100))
+        # 100 ops on 4 procs: 25 per proc; contention never charged.
+        assert pram.time == 25
+        assert pram.max_contention == 100
+
+    def test_arbitrary_winner_is_last(self):
+        pram = CRCWPram(p=4, memory_size=10)
+        pram.write(np.array([3, 3]), np.array([8, 9]))
+        assert pram.memory.read([3])[0] == 9
+
+
+class TestRuleOrdering:
+    def test_same_program_cost_ordering(self):
+        # For any legal-everywhere program: CRCW time <= QRQW time, and a
+        # contention-1 program costs the same under all three rules.
+        addr = np.arange(16)
+        vals = np.arange(16)
+        crcw = CRCWPram(p=4, memory_size=20)
+        qrqw = QRQWPram(p=4, memory_size=20)
+        erew = EREWPram(p=4, memory_size=20)
+        for pram in (crcw, qrqw, erew):
+            pram.write(addr, vals)
+            pram.read(addr)
+        assert crcw.time == qrqw.time == erew.time
+
+    def test_contended_program_ordering(self):
+        hot = np.array([1] * 12)
+        crcw = CRCWPram(p=4, memory_size=4)
+        qrqw = QRQWPram(p=4, memory_size=4)
+        crcw.write(hot, np.arange(12))
+        qrqw.write(hot, np.arange(12))
+        assert crcw.time < qrqw.time

@@ -1,0 +1,98 @@
+"""Tests for the explicit-slackness emulation scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.emulation import QRQWPram, SlackPoint, slackness_sweep
+from repro.errors import ParameterError
+from repro.simulator import toy_machine
+from repro.workloads import hotspot, uniform_random
+
+
+def build_pram(p_virtual=64, steps=3, n_per_step=8192, k=4, seed=0):
+    pram = QRQWPram(p=p_virtual, memory_size=1 << 24)
+    for s in range(steps):
+        addr = hotspot(n_per_step, k, 1 << 24, seed=seed + s)
+        pram.write(addr, np.arange(n_per_step), label=f"s{s}")
+    return pram
+
+
+class TestSlacknessSweep:
+    def test_points_shape(self):
+        pram = build_pram()
+        template = toy_machine(p=64, x=16, d=14)
+        pts = slackness_sweep(pram, template, sigmas=[1, 4, 16])
+        assert [p.sigma for p in pts] == [1, 4, 16]
+        assert [p.machine_p for p in pts] == [64, 16, 4]
+        for p in pts:
+            assert p.emulated_time > 0
+            assert 0 < p.efficiency <= 1.05
+
+    def test_efficiency_improves_with_slack(self):
+        # With a per-superstep overhead L, slack amortizes it: efficiency
+        # grows with sigma (the work-preservation claim).
+        pram = build_pram()
+        template = toy_machine(p=64, x=16, d=14, L=2000)
+        pts = slackness_sweep(pram, template, sigmas=[1, 4, 16])
+        effs = [p.efficiency for p in pts]
+        assert effs[-1] > effs[0]
+
+    def test_high_slack_efficiency_near_constant(self):
+        # Work preservation: doubling sigma beyond the threshold roughly
+        # doubles the time (constant efficiency).
+        pram = build_pram()
+        template = toy_machine(p=64, x=16, d=14)
+        pts = slackness_sweep(pram, template, sigmas=[8, 16, 32])
+        times = [p.emulated_time for p in pts]
+        assert times[1] == pytest.approx(2 * times[0], rel=0.2)
+        assert times[2] == pytest.approx(2 * times[1], rel=0.2)
+
+    def test_bad_sigma_rejected(self):
+        pram = build_pram(p_virtual=64)
+        template = toy_machine(p=64, x=4)
+        with pytest.raises(ParameterError):
+            slackness_sweep(pram, template, sigmas=[3])  # doesn't divide
+        with pytest.raises(ParameterError):
+            slackness_sweep(pram, template, sigmas=[0])
+        with pytest.raises(ParameterError):
+            slackness_sweep(pram, template, sigmas=[])
+
+    def test_empty_steps_cost_L(self):
+        pram = QRQWPram(p=8, memory_size=16)
+        pram.log.log()  # an empty step
+        template = toy_machine(p=8, x=4, L=10)
+        pts = slackness_sweep(pram, template, sigmas=[1])
+        assert pts[0].emulated_time == 10
+
+
+class TestMachineClock:
+    def test_seconds_conversion(self):
+        from repro.simulator import CRAY_J90
+
+        # 100 MHz: 1e8 cycles = 1 second.
+        assert CRAY_J90.seconds(1e8) == pytest.approx(1.0)
+
+    def test_presets_have_clocks(self):
+        from repro.simulator import TABLE1_MACHINES
+
+        for m in TABLE1_MACHINES:
+            assert m.clock_mhz and m.clock_mhz > 0
+
+    def test_unset_clock_raises(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            toy_machine().seconds(100)
+
+    def test_negative_cycles_rejected(self):
+        from repro.errors import ParameterError
+        from repro.simulator import CRAY_C90
+
+        with pytest.raises(ParameterError):
+            CRAY_C90.seconds(-1)
+
+    def test_invalid_clock(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            toy_machine().with_(clock_mhz=0)

@@ -1,0 +1,29 @@
+"""Tests for the `python -m repro.experiments` runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "F12" in out
+
+    def test_run_one(self, capsys):
+        assert main(["T1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== T1" in out
+        assert "Cray C90" in out
+
+    def test_unknown_id_errors(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["NOPE"])
+        assert exc.value.code != 0
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_multiple_ids(self, capsys):
+        assert main(["T1", "FN"]) == 0
+        out = capsys.readouterr().out
+        assert "=== T1" in out and "=== FN" in out

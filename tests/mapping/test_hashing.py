@@ -1,0 +1,148 @@
+"""Tests for bank mappings and the universal hash families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.mapping import (
+    HASH_FAMILIES,
+    InterleavedMap,
+    PolynomialHashMap,
+    RandomMap,
+    cubic_hash,
+    hash_flop_count,
+    linear_hash,
+    quadratic_hash,
+)
+
+
+class TestInterleavedMap:
+    def test_modulo(self):
+        m = InterleavedMap()
+        assert (m(np.arange(10), 4) == np.arange(10) % 4).all()
+
+    def test_invalid_banks(self):
+        with pytest.raises(MappingError):
+            InterleavedMap()(np.arange(3), 0)
+
+    def test_strided_pathology(self):
+        # Power-of-two stride under interleaving: everything to one bank.
+        m = InterleavedMap()
+        addr = 16 * np.arange(100)
+        assert np.unique(m(addr, 16)).size == 1
+
+
+class TestRandomMap:
+    def test_deterministic_per_seed(self):
+        a = RandomMap(seed=1)(np.arange(100), 16)
+        b = RandomMap(seed=1)(np.arange(100), 16)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RandomMap(seed=1)(np.arange(1000), 16)
+        b = RandomMap(seed=2)(np.arange(1000), 16)
+        assert (a != b).any()
+
+    def test_range(self):
+        out = RandomMap(seed=3)(np.arange(10_000), 7)
+        assert out.min() >= 0 and out.max() < 7
+
+    def test_roughly_uniform(self):
+        out = RandomMap(seed=4)(np.arange(64_000), 16)
+        loads = np.bincount(out, minlength=16)
+        assert loads.min() > 0.8 * 64_000 / 16
+        assert loads.max() < 1.2 * 64_000 / 16
+
+    def test_non_power_of_two_banks_ok(self):
+        out = RandomMap(seed=5)(np.arange(100), 10)
+        assert out.max() < 10
+
+
+class TestPolynomialHashMap:
+    def test_factories_degrees(self):
+        assert linear_hash(0).degree == 1
+        assert quadratic_hash(0).degree == 2
+        assert cubic_hash(0).degree == 3
+
+    def test_names(self):
+        assert linear_hash(0).name == "h1"
+        assert quadratic_hash(0).name == "h2"
+        assert cubic_hash(0).name == "h3"
+
+    def test_range_and_dtype(self):
+        h = linear_hash(1)
+        out = h(np.arange(10_000), 64)
+        assert out.dtype == np.int64
+        assert out.min() >= 0 and out.max() < 64
+
+    def test_requires_power_of_two_banks(self):
+        with pytest.raises(MappingError):
+            linear_hash(1)(np.arange(10), 12)
+
+    def test_single_bank(self):
+        out = linear_hash(1)(np.arange(10), 1)
+        assert (out == 0).all()
+
+    def test_even_coefficient_rejected(self):
+        with pytest.raises(MappingError):
+            PolynomialHashMap((4,))
+
+    def test_coefficient_range_checked(self):
+        with pytest.raises(MappingError):
+            PolynomialHashMap((1 << 70,))
+        with pytest.raises(MappingError):
+            PolynomialHashMap((0,))
+
+    def test_bad_u(self):
+        with pytest.raises(MappingError):
+            PolynomialHashMap((1,), u=65)
+
+    def test_small_u_masks(self):
+        h = PolynomialHashMap((5,), u=8)
+        out = h(np.arange(256), 16)
+        assert out.min() >= 0 and out.max() < 16
+
+    def test_deterministic(self):
+        h = PolynomialHashMap((12345,))
+        a = h(np.arange(100), 8)
+        b = h(np.arange(100), 8)
+        assert (a == b).all()
+
+    def test_linear_hash_balances_dense_range(self):
+        # Multiplicative hashing of a dense range must spread well (it is
+        # 2-universal); the max load should be within ~2.5x of the mean.
+        h = linear_hash(7)
+        out = h(np.arange(64_000, dtype=np.int64), 64)
+        loads = np.bincount(out, minlength=64)
+        assert loads.max() < 2.5 * 64_000 / 64
+
+    @given(seed=st.integers(0, 100), degree=st.integers(1, 3))
+    @settings(max_examples=15)
+    def test_collision_rate_near_universal(self, seed, degree):
+        # 2-universality: collision probability of two distinct keys about
+        # 1/m.  Empirically: hash 2000 random pairs into 256 bins.
+        rng = np.random.default_rng(seed)
+        factory = [linear_hash, quadratic_hash, cubic_hash][degree - 1]
+        h = factory(seed)
+        xs = rng.integers(0, 1 << 60, size=2000, dtype=np.int64)
+        ys = rng.integers(0, 1 << 60, size=2000, dtype=np.int64)
+        distinct = xs != ys
+        coll = (h(xs, 256) == h(ys, 256))[distinct].mean()
+        assert coll < 4.0 / 256 + 0.02
+
+
+class TestFlopCount:
+    @pytest.mark.parametrize("deg,ops", [(1, 2), (2, 4), (3, 6)])
+    def test_linear_in_degree(self, deg, ops):
+        assert hash_flop_count(deg) == ops
+
+    def test_invalid_degree(self):
+        with pytest.raises(MappingError):
+            hash_flop_count(0)
+
+    def test_families_registry(self):
+        assert set(HASH_FAMILIES) == {"h1", "h2", "h3"}
+        for name, factory in HASH_FAMILIES.items():
+            assert factory(0).name == name

@@ -1,0 +1,120 @@
+"""Tests for layout helpers and the XOR-fold interleaving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bank_loads, max_bank_load
+from repro.errors import MappingError, ParameterError, PatternError
+from repro.mapping import (
+    XorFoldMap,
+    padded,
+    padded_width,
+    row_major,
+    staggered,
+)
+from repro.simulator import simulate_scatter, toy_machine
+from repro.workloads import strided, zipf_pattern
+
+
+class TestLayouts:
+    def test_row_major_values(self):
+        out = row_major([0, 1], [3, 3], p=2, width=8)
+        assert (out == [3, 11]).all()
+
+    def test_staggered_values(self):
+        out = staggered([0, 1], [3, 3], p=2, width=8)
+        assert (out == [6, 7]).all()
+
+    def test_padded_width(self):
+        assert padded_width(8) == 9
+        assert padded_width(7) == 7
+        with pytest.raises(ParameterError):
+            padded_width(0)
+
+    def test_padded_values(self):
+        out = padded([0, 1], [0, 0], p=2, width=8)
+        assert (out == [0, 9]).all()
+
+    @given(
+        p=st.integers(1, 8),
+        width=st.integers(1, 64),
+        seed=st.integers(0, 100),
+        layout=st.sampled_from([row_major, staggered, padded]),
+    )
+    @settings(max_examples=25)
+    def test_layouts_injective(self, p, width, seed, layout):
+        # Distinct (proc, slot) pairs map to distinct addresses.
+        rng = np.random.default_rng(seed)
+        procs, slots = np.meshgrid(np.arange(p), np.arange(width))
+        addr = layout(procs.ravel(), slots.ravel(), p=p, width=width)
+        assert np.unique(addr).size == p * width
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            row_major([0], [9], p=2, width=8)  # slot out of range
+        with pytest.raises(PatternError):
+            row_major([2], [0], p=2, width=8)  # proc out of range
+        with pytest.raises(PatternError):
+            row_major([0, 1], [0], p=2, width=8)  # shape mismatch
+
+    def test_hot_slot_bank_spread(self):
+        # The motivating fact: same hot slot from all processors.
+        p, width, banks = 8, 512, 128
+        procs = np.arange(p)
+        hot = np.full(p, 37)
+        rm = row_major(procs, hot, p=p, width=width)
+        stg = staggered(procs, hot, p=p, width=width)
+        pad = padded(procs, hot, p=p, width=width)
+        assert np.unique(rm % banks).size == 1     # all on one bank!
+        assert np.unique(stg % banks).size == p    # spread over p banks
+        assert np.unique(pad % banks).size == p    # padding also spreads
+
+    def test_end_to_end_speedup(self):
+        # Simulated: the staggered layout beats row-major on skewed keys.
+        m = toy_machine(p=8, x=16, d=14)
+        n, width = 16 * 1024, 512
+        keys = zipf_pattern(n, width, alpha=1.4, seed=3)
+        procs = np.arange(n) % 8
+        t_rm = simulate_scatter(m, row_major(procs, keys, 8, width)).time
+        t_st = simulate_scatter(m, staggered(procs, keys, 8, width)).time
+        assert t_st < t_rm / 2
+
+
+class TestXorFoldMap:
+    def test_range_and_determinism(self):
+        m = XorFoldMap()
+        out = m(np.arange(10_000), 64)
+        assert out.min() >= 0 and out.max() < 64
+        assert (out == m(np.arange(10_000), 64)).all()
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(MappingError):
+            XorFoldMap()(np.arange(4), 12)
+
+    def test_single_bank(self):
+        assert (XorFoldMap()(np.arange(5), 1) == 0).all()
+
+    def test_unit_stride_balanced(self):
+        loads = bank_loads(np.arange(64 * 64), 64, XorFoldMap())
+        assert loads.max() == loads.min()
+
+    def test_breaks_bank_count_stride(self):
+        # stride == n_banks is pathological under plain interleaving but
+        # spread by the fold (the second field varies).
+        banks = 64
+        addr = strided(4096, banks)
+        plain = max_bank_load(addr, banks)
+        folded = max_bank_load(addr, banks, XorFoldMap())
+        assert plain == 4096
+        assert folded <= 4096 / banks * 2
+
+    def test_adversarial_collisions_exist(self):
+        # Unlike the universal families, the fixed fold is invertible by
+        # an adversary: addresses with equal folded fields collide.
+        banks = 16  # m = 4 bits
+        # addresses k * (2^4 + 1) have both fields equal -> bank = 0
+        addr = np.arange(256) * 17
+        folded = XorFoldMap()(addr, banks)
+        assert np.unique(folded).size < 16

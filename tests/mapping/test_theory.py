@@ -1,0 +1,150 @@
+"""Tests for the probabilistic bounds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mapping import (
+    expected_max_load,
+    hoeffding_tail,
+    max_load_tail,
+    max_load_whp,
+    raghavan_spencer_tail,
+)
+
+
+class TestHoeffding:
+    def test_decreasing_in_n(self):
+        assert hoeffding_tail(100, 0.1) < hoeffding_tail(10, 0.1)
+
+    def test_decreasing_in_t(self):
+        assert hoeffding_tail(50, 0.2) < hoeffding_tail(50, 0.1)
+
+    def test_t_zero_is_one(self):
+        assert hoeffding_tail(10, 0.0) == 1.0
+
+    def test_known_value(self):
+        assert hoeffding_tail(100, 0.1) == pytest.approx(math.exp(-2.0))
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            hoeffding_tail(0, 0.1)
+        with pytest.raises(ParameterError):
+            hoeffding_tail(10, 0.1, spread=0)
+
+
+class TestRaghavanSpencer:
+    def test_in_unit_interval(self):
+        for delta in [0.1, 1.0, 10.0]:
+            b = raghavan_spencer_tail(5.0, delta)
+            assert 0.0 < b < 1.0
+
+    def test_decreasing_in_delta(self):
+        deltas = np.array([0.5, 1.0, 2.0, 4.0])
+        bounds = raghavan_spencer_tail(3.0, deltas)
+        assert (np.diff(bounds) < 0).all()
+
+    def test_decreasing_in_mu(self):
+        assert raghavan_spencer_tail(10.0, 1.0) < raghavan_spencer_tail(1.0, 1.0)
+
+    def test_no_overflow_large_delta(self):
+        assert raghavan_spencer_tail(2.0, 1e6) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            raghavan_spencer_tail(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            raghavan_spencer_tail(1.0, 0.0)
+
+    def test_vectorized(self):
+        out = raghavan_spencer_tail(1.0, np.array([1.0, 2.0]))
+        assert out.shape == (2,)
+
+
+class TestMaxLoadTail:
+    def test_trivial_cases(self):
+        assert max_load_tail(10, 4, 0) == 1.0
+        assert max_load_tail(10, 4, 11) == 0.0
+
+    def test_monotone_in_m(self):
+        vals = [max_load_tail(100, 10, m) for m in range(1, 40)]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_clipped_to_one(self):
+        assert max_load_tail(1000, 1000, 1) <= 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            max_load_tail(-1, 4, 2)
+
+    def test_empirical_calibration(self):
+        # The union bound must over-cover: simulate and check.
+        rng = np.random.default_rng(0)
+        n, b = 1000, 32
+        m = max_load_whp(n, b, failure_prob=0.01)
+        exceed = 0
+        trials = 200
+        for _ in range(trials):
+            loads = np.bincount(rng.integers(0, b, size=n), minlength=b)
+            if loads.max() >= m:
+                exceed += 1
+        assert exceed / trials <= 0.01 + 0.02  # slack for sampling noise
+
+
+class TestMaxLoadWhp:
+    def test_at_least_mean(self):
+        assert max_load_whp(1000, 10) >= 100
+
+    def test_zero_balls(self):
+        assert max_load_whp(0, 10) == 0
+
+    def test_single_bin(self):
+        # Deterministic: the load IS 50, so P(load >= 50) = 1 and the
+        # smallest threshold the load stays below whp is 51.
+        assert max_load_whp(50, 1) == 51
+
+    def test_monotone_in_failure_prob(self):
+        assert max_load_whp(1000, 32, 1e-6) >= max_load_whp(1000, 32, 1e-1)
+
+    def test_invalid_prob(self):
+        with pytest.raises(ParameterError):
+            max_load_whp(10, 4, 0.0)
+
+    @given(n=st.integers(1, 5000), b=st.integers(1, 256))
+    def test_bounds_sane(self, n, b):
+        m = max_load_whp(n, b, 1e-3)
+        assert math.ceil(n / b) <= m <= n + 1
+
+
+class TestExpectedMaxLoad:
+    def test_zero(self):
+        assert expected_max_load(0, 10) == 0.0
+
+    def test_single_bin(self):
+        assert expected_max_load(42, 1) == 42.0
+
+    def test_heavy_regime_close_to_mean(self):
+        est = expected_max_load(100_000, 16)
+        assert 100_000 / 16 < est < 1.2 * 100_000 / 16
+
+    def test_light_regime_small(self):
+        est = expected_max_load(64, 4096)
+        assert 1.0 <= est < 16
+
+    def test_empirically_reasonable(self):
+        rng = np.random.default_rng(1)
+        n, b = 8192, 64
+        est = expected_max_load(n, b)
+        sample = np.mean([
+            np.bincount(rng.integers(0, b, size=n), minlength=b).max()
+            for _ in range(30)
+        ])
+        assert est == pytest.approx(sample, rel=0.25)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            expected_max_load(-1, 4)

@@ -1,0 +1,66 @@
+"""Tests for gather aliasing and blocked (supersteped) scatters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulator import (
+    simulate_gather,
+    simulate_scatter,
+    simulate_scatter_blocked,
+    toy_machine,
+)
+from repro.workloads import hotspot, uniform_random
+
+
+class TestGatherAlias:
+    def test_identical_to_scatter(self, toy):
+        addr = hotspot(1000, 100, 1 << 16, seed=0)
+        assert simulate_gather(toy, addr).time == \
+            simulate_scatter(toy, addr).time
+
+
+class TestBlockedScatter:
+    def test_single_block_equals_plain(self, toy):
+        addr = uniform_random(1000, 1 << 16, seed=1)
+        blocked = simulate_scatter_blocked(toy, addr, superstep_size=10_000)
+        plain = simulate_scatter(toy, addr)
+        assert blocked.time == plain.time
+        assert (blocked.bank_loads == plain.bank_loads).all()
+
+    def test_time_is_sum_of_chunks(self, toy):
+        addr = uniform_random(1000, 1 << 16, seed=2)
+        blocked = simulate_scatter_blocked(toy, addr, superstep_size=250)
+        chunks = sum(
+            simulate_scatter(toy, addr[i:i + 250]).time
+            for i in range(0, 1000, 250)
+        )
+        assert blocked.time == pytest.approx(chunks)
+
+    def test_L_per_superstep(self):
+        m = toy_machine(L=50)
+        addr = uniform_random(1000, 1 << 16, seed=3)
+        t = simulate_scatter_blocked(m, addr, superstep_size=250).time
+        t0 = simulate_scatter_blocked(m.with_(L=0), addr, 250).time
+        assert t == pytest.approx(t0 + 4 * 50)
+
+    def test_blocking_never_faster(self, toy):
+        # Barriers lose overlap: blocked time >= unblocked.
+        addr = hotspot(2000, 300, 1 << 16, seed=4)
+        blocked = simulate_scatter_blocked(toy, addr, superstep_size=100)
+        plain = simulate_scatter(toy, addr)
+        assert blocked.time >= plain.time
+
+    def test_loads_conserved(self, toy):
+        addr = uniform_random(777, 1 << 16, seed=5)
+        blocked = simulate_scatter_blocked(toy, addr, superstep_size=100)
+        assert blocked.bank_loads.sum() == 777
+        assert blocked.n == 777
+
+    def test_empty(self):
+        m = toy_machine(L=7)
+        assert simulate_scatter_blocked(m, [], 100).time == 7
+
+    def test_invalid_superstep_size(self, toy):
+        with pytest.raises(ParameterError):
+            simulate_scatter_blocked(toy, [1], 0)

@@ -1,0 +1,115 @@
+"""Tests for the Omega/butterfly network model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulator import (
+    omega_ports,
+    simulate_scatter,
+    simulate_scatter_butterfly,
+    toy_machine,
+)
+from repro.workloads import broadcast, uniform_random
+
+
+def bitrev(v, bits):
+    out = np.zeros_like(v)
+    for i in range(bits):
+        out |= ((v >> i) & 1) << (bits - 1 - i)
+    return out
+
+
+class TestOmegaPorts:
+    def test_last_stage_is_destination(self):
+        # After the final stage the port equals the destination bank.
+        n_banks = 16
+        src = np.arange(16)
+        dst = np.arange(16)[::-1].copy()
+        ports = omega_ports(src, dst, n_banks, stage=3)
+        assert (ports == dst).all()
+
+    def test_ports_in_range(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 64, size=100)
+        dst = rng.integers(0, 64, size=100)
+        for stage in range(6):
+            p = omega_ports(src, dst, 64, stage)
+            assert p.min() >= 0 and p.max() < 64
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            omega_ports(np.arange(4), np.arange(4), 12, 0)
+        with pytest.raises(ParameterError):
+            omega_ports(np.arange(4), np.arange(4), 16, 9)
+
+
+class TestButterflySimulation:
+    def test_transparent_matches_plain(self):
+        m = toy_machine(p=8, x=8, d=6)
+        addr = uniform_random(4096, 1 << 20, seed=1)
+        bf = simulate_scatter_butterfly(
+            m, addr, link_gap=0.0, switch_latency=0.0
+        )
+        plain = simulate_scatter(m, addr)
+        assert bf.time == plain.time
+        assert (bf.bank_loads == plain.bank_loads).all()
+
+    def test_switch_latency_shifts_only(self):
+        m = toy_machine(p=8, x=8, d=6)
+        addr = uniform_random(2048, 1 << 20, seed=2)
+        t0 = simulate_scatter_butterfly(m, addr, link_gap=0.0,
+                                        switch_latency=0.0).time
+        t1 = simulate_scatter_butterfly(m, addr, link_gap=0.0,
+                                        switch_latency=2.0).time
+        n_stages = 6  # 64 banks
+        assert t1 == pytest.approx(t0 + 2.0 * n_stages)
+
+    def test_uniform_traffic_mildly_affected(self):
+        m = toy_machine(p=8, x=8, d=6)
+        addr = uniform_random(8192, 1 << 20, seed=3)
+        plain = simulate_scatter(m, addr).time
+        bf = simulate_scatter_butterfly(m, addr).time
+        assert bf < 1.3 * plain
+
+    def test_bit_reversal_congestion(self):
+        # The classic multistage worst case: a bank-balanced permutation
+        # pattern that concentrates on internal links — invisible to the
+        # bank-only model, heavily penalized by the butterfly.
+        m = toy_machine(p=64, x=1, d=1)
+        n = 64 * 128
+        proc_of = np.arange(n) % 64
+        addr = bitrev(proc_of, 6).astype(np.int64)
+        plain = simulate_scatter(m, addr).time
+        bf = simulate_scatter_butterfly(m, addr).time
+        assert bf > 5 * plain
+        # Identity traffic through the same network is near-free.
+        ident = simulate_scatter_butterfly(
+            m, proc_of.astype(np.int64)
+        ).time
+        assert ident < 1.5 * plain
+
+    def test_hot_bank_still_dominates(self):
+        # Location contention is not hidden by the network model.
+        m = toy_machine(p=8, x=8, d=6)
+        res = simulate_scatter_butterfly(m, broadcast(512, 3))
+        assert res.time >= 6 * 512
+
+    def test_empty(self):
+        m = toy_machine(p=4, x=4, L=5)
+        assert simulate_scatter_butterfly(m, []).time == 5
+
+    def test_requires_power_of_two_banks(self):
+        m = toy_machine(p=3, x=4)  # 12 banks
+        with pytest.raises(ParameterError):
+            simulate_scatter_butterfly(m, [1, 2])
+
+    def test_requires_p_le_banks(self):
+        m = toy_machine(p=8, x=0.5)  # 4 banks
+        with pytest.raises(ParameterError):
+            simulate_scatter_butterfly(m, [1, 2])
+
+    def test_negative_gap_rejected(self):
+        m = toy_machine(p=4, x=4)
+        with pytest.raises(ParameterError):
+            simulate_scatter_butterfly(m, [1], link_gap=-1.0)

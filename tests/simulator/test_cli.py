@@ -1,0 +1,49 @@
+"""Tests for the `python -m repro.simulator` CLI."""
+
+import pytest
+
+from repro.simulator.__main__ import main
+
+
+class TestSimulatorCli:
+    def test_default_run(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Cray J90" in out
+        assert "dxbsp" in out and "simulated" in out
+        assert "banks" in out
+
+    def test_hotspot_numbers(self, capsys):
+        main(["--machine", "j90", "--pattern", "hotspot",
+              "--n", "65536", "--k", "4096"])
+        out = capsys.readouterr().out
+        assert "k=4096" in out
+        assert "8,192 cycles" in out       # the flat BSP line
+        # dxbsp line is d*k-dominated: ~57k cycles (seed-dependent tail)
+        dxbsp_line = [l for l in out.splitlines() if l.startswith("dxbsp")][0]
+        value = float(dxbsp_line.split()[1].replace(",", ""))
+        assert 14 * 4096 <= value <= 14 * 4096 + 3000
+
+    def test_stride_pattern(self, capsys):
+        main(["--machine", "toy", "--pattern", "stride",
+              "--n", "4096", "--stride", "16"])
+        assert "stride" in capsys.readouterr().out
+
+    def test_hash_mapping(self, capsys):
+        main(["--machine", "c90", "--pattern", "uniform",
+              "--n", "8192", "--hash", "h2"])
+        assert "h2" in capsys.readouterr().out
+
+    def test_overrides(self, capsys):
+        main(["--machine", "toy", "--d", "3", "--banks", "64",
+              "--pattern", "uniform", "--n", "1024"])
+        out = capsys.readouterr().out
+        assert "banks=64" in out and "d=3" in out
+
+    def test_broadcast(self, capsys):
+        main(["--machine", "toy", "--pattern", "broadcast", "--n", "256"])
+        assert "k=256" in capsys.readouterr().out
+
+    def test_bad_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--machine", "cray-3"])

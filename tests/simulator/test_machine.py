@@ -1,0 +1,94 @@
+"""Tests for MachineConfig and presets."""
+
+import pytest
+
+from repro.core import DXBSPParams
+from repro.errors import ParameterError
+from repro.simulator import (
+    CRAY_C90,
+    CRAY_J90,
+    TABLE1_MACHINES,
+    MachineConfig,
+    toy_machine,
+)
+
+
+class TestMachineConfig:
+    def test_expansion(self):
+        m = MachineConfig(name="m", p=4, n_banks=32, d=6)
+        assert m.x == 8.0
+
+    def test_params_roundtrip(self):
+        m = MachineConfig(name="m", p=4, n_banks=32, d=6, g=2, L=10)
+        p = m.params()
+        assert isinstance(p, DXBSPParams)
+        assert (p.p, p.d, p.g, p.L, p.n_banks) == (4, 6, 2, 10, 32)
+        m2 = MachineConfig.from_params(p, name="m")
+        assert (m2.p, m2.n_banks, m2.d) == (m.p, m.n_banks, m.d)
+
+    def test_from_params_overrides(self):
+        p = DXBSPParams(p=4, d=6, x=4)
+        m = MachineConfig.from_params(p, n_sections=4)
+        assert m.n_sections == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(p=0, n_banks=4, d=6),
+            dict(p=4, n_banks=0, d=6),
+            dict(p=4, n_banks=4, d=0),
+            dict(p=4, n_banks=4, d=6, g=0),
+            dict(p=4, n_banks=4, d=6, L=-1),
+            dict(p=4, n_banks=4, d=6, n_sections=0),
+            dict(p=4, n_banks=4, d=6, n_sections=8),
+            dict(p=4, n_banks=4, d=6, section_gap=-1),
+            dict(p=4, n_banks=4, d=6, queue_capacity=0),
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ParameterError):
+            MachineConfig(name="bad", **kwargs)
+
+    def test_banks_per_section(self):
+        m = MachineConfig(name="m", p=4, n_banks=32, d=6, n_sections=4)
+        assert m.banks_per_section == 8
+
+    def test_banks_per_section_indivisible(self):
+        m = MachineConfig(name="m", p=4, n_banks=30, d=6, n_sections=4)
+        with pytest.raises(ParameterError):
+            _ = m.banks_per_section
+
+    def test_with_(self):
+        m = toy_machine().with_(d=99)
+        assert m.d == 99
+
+
+class TestPresets:
+    def test_c90_facts(self):
+        # The paper states these outright: d=6 (SRAM), high expansion.
+        assert CRAY_C90.d == 6.0
+        assert CRAY_C90.x == 64.0
+
+    def test_j90_facts(self):
+        # d=14 (DRAM), 8-processor experimental system, 4 network sections.
+        assert CRAY_J90.d == 14.0
+        assert CRAY_J90.p == 8
+        assert CRAY_J90.n_sections == 4
+
+    def test_table1_all_expanded(self):
+        # The table's whole point: every machine has more banks than procs.
+        for m in TABLE1_MACHINES:
+            assert m.x >= 2.0, m.name
+
+    def test_reconstructed_entries_marked(self):
+        notes = {m.name: m.note for m in TABLE1_MACHINES}
+        assert "[reconstructed]" not in notes["Cray C90"]
+        assert "[reconstructed]" not in notes["Cray J90"]
+        assert all(
+            "[reconstructed]" in notes[n]
+            for n in notes if n not in ("Cray C90", "Cray J90")
+        )
+
+    def test_toy_machine_shape(self):
+        m = toy_machine(p=2, x=3, d=5)
+        assert (m.p, m.n_banks, m.d) == (2, 6, 5)

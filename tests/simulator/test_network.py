@@ -1,0 +1,103 @@
+"""Tests for the network-section model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulator import (
+    predict_scatter_sections,
+    section_loads,
+    section_of_banks,
+    simulate_scatter,
+    toy_machine,
+)
+from repro.workloads import section_confined, uniform_random
+
+
+def sectioned(p=4, x=8, d=6, n_sections=4, section_gap=1.0):
+    return toy_machine(p=p, x=x, d=d).with_(
+        n_sections=n_sections, section_gap=section_gap
+    )
+
+
+class TestSectionMapping:
+    def test_contiguous_grouping(self):
+        m = sectioned()
+        banks = np.arange(m.n_banks)
+        sections = section_of_banks(m, banks)
+        assert sections[0] == 0 and sections[-1] == m.n_sections - 1
+        # Each section gets the same number of banks.
+        assert (np.bincount(sections) == m.banks_per_section).all()
+
+    def test_out_of_range_banks(self):
+        m = sectioned()
+        with pytest.raises(ParameterError):
+            section_of_banks(m, np.array([m.n_banks]))
+
+    def test_section_loads(self):
+        m = sectioned()
+        loads = section_loads(m, np.zeros(10, dtype=np.int64))
+        assert loads[0] == 10 and loads[1:].sum() == 0
+
+
+class TestSectionLimitedSimulation:
+    def test_confined_pattern_link_bound(self):
+        # Plenty of banks per section so the link, not the banks, is the
+        # bottleneck for a section-confined pattern.
+        m = sectioned(x=32, section_gap=1.0)
+        n = 4096
+        addr = section_confined(m, n, 0, seed=1)
+        res = simulate_scatter(m, addr)
+        # One link carrying all n requests at 1/cycle: time >= n.
+        assert res.time >= n
+        # And without section limits it is much faster.
+        free = simulate_scatter(m.with_(section_gap=0.0), addr)
+        assert res.time > 2.5 * free.time
+
+    def test_uniform_pattern_unaffected(self):
+        m = sectioned(section_gap=1.0)
+        addr = uniform_random(4096, 1 << 20, seed=2)
+        limited = simulate_scatter(m, addr).time
+        free = simulate_scatter(m.with_(section_gap=0.0), addr).time
+        # 4 links at 1/cycle carry 4/cycle aggregate = peak issue of p=4.
+        assert limited <= 1.5 * free
+
+    def test_sections_disabled_by_gap_zero(self):
+        m = sectioned(section_gap=0.0)
+        addr = section_confined(m, 1000, 0, seed=3)
+        plain = toy_machine(p=4, x=8, d=6)
+        assert simulate_scatter(m, addr).time == \
+            simulate_scatter(plain, addr).time
+
+
+class TestSectionPrediction:
+    def test_degrades_to_dxbsp_without_sections(self):
+        from repro.core import predict_scatter_dxbsp
+
+        m = toy_machine()
+        addr = uniform_random(500, 1 << 16, seed=4)
+        assert predict_scatter_sections(m, addr) == \
+            predict_scatter_dxbsp(m.params(), addr)
+
+    def test_predicts_confined_blowup(self):
+        m = sectioned(section_gap=1.0)
+        addr = section_confined(m, 4096, 0, seed=5)
+        pred = predict_scatter_sections(m, addr)
+        assert pred >= 4096  # the link term
+        sim = simulate_scatter(m, addr).time
+        assert sim == pytest.approx(pred, rel=0.2)
+
+    def test_empty(self):
+        m = sectioned()
+        assert predict_scatter_sections(m, []) == m.L
+
+    def test_prediction_tracks_simulation_mixed(self):
+        m = sectioned(section_gap=2.0)
+        rng = np.random.default_rng(6)
+        half = section_confined(m, 1000, 1, seed=7)
+        noise = uniform_random(1000, 1 << 20, seed=8)
+        addr = np.concatenate([half, noise])
+        rng.shuffle(addr)
+        sim = simulate_scatter(m, addr).time
+        pred = predict_scatter_sections(m, addr)
+        assert sim == pytest.approx(pred, rel=0.35)

@@ -1,0 +1,71 @@
+"""Tests for RequestBatch construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.simulator import RequestBatch, toy_machine
+
+
+class TestRoundRobin:
+    def test_proc_assignment(self):
+        m = toy_machine(p=4)
+        b = RequestBatch.from_addresses(np.arange(10), m)
+        assert (b.proc == np.arange(10) % 4).all()
+
+    def test_issue_times(self):
+        m = toy_machine(p=4, g=2)
+        b = RequestBatch.from_addresses(np.arange(10), m)
+        # processor q's j-th request issues at j*g
+        assert (b.issue == (np.arange(10) // 4) * 2).all()
+
+    def test_counts_balanced(self):
+        m = toy_machine(p=4)
+        b = RequestBatch.from_addresses(np.arange(10), m)
+        counts = b.per_processor_counts(4)
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+
+class TestBlock:
+    def test_contiguous_chunks(self):
+        m = toy_machine(p=4)
+        b = RequestBatch.from_addresses(np.arange(8), m, assignment="block")
+        assert (b.proc == [0, 0, 1, 1, 2, 2, 3, 3]).all()
+        assert (b.issue == [0, 1, 0, 1, 0, 1, 0, 1]).all()
+
+    def test_uneven(self):
+        m = toy_machine(p=4)
+        b = RequestBatch.from_addresses(np.arange(10), m, assignment="block")
+        counts = b.per_processor_counts(4)
+        assert counts.sum() == 10
+        assert counts.max() == 3
+
+
+class TestEdges:
+    def test_empty(self):
+        m = toy_machine()
+        b = RequestBatch.from_addresses([], m)
+        assert b.n == 0
+        assert (b.per_processor_counts(m.p) == 0).all()
+
+    def test_unknown_assignment(self):
+        with pytest.raises(ParameterError):
+            RequestBatch.from_addresses([1], toy_machine(), assignment="zigzag")
+
+    @given(n=st.integers(0, 500), p=st.integers(1, 16),
+           assignment=st.sampled_from(["round_robin", "block"]))
+    def test_every_request_assigned_once(self, n, p, assignment):
+        m = toy_machine(p=p)
+        b = RequestBatch.from_addresses(np.arange(n), m, assignment=assignment)
+        assert b.n == n
+        assert b.per_processor_counts(p).sum() == n
+        if n:
+            assert b.proc.min() >= 0 and b.proc.max() < p
+            # issue times within each processor strictly increase by g
+            for q in range(p):
+                mine = b.issue[b.proc == q]
+                if mine.size > 1:
+                    assert (np.diff(mine) == m.g).all()

@@ -1,0 +1,42 @@
+"""Tests for SimResult derived statistics."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import SimResult
+
+
+def make(time=100.0, n=50, loads=(25, 25, 0, 0), **kw):
+    return SimResult(
+        time=time, n=n, bank_loads=np.asarray(loads, dtype=np.int64), **kw
+    )
+
+
+class TestSimResult:
+    def test_max_bank_load(self):
+        assert make().max_bank_load == 25
+
+    def test_throughput(self):
+        assert make().throughput == pytest.approx(0.5)
+
+    def test_throughput_zero_time(self):
+        assert make(time=0.0).throughput == 0.0
+
+    def test_balance_perfect(self):
+        r = make(loads=(10, 10, 10, 10))
+        assert r.bank_utilization == pytest.approx(1.0)
+
+    def test_balance_skewed(self):
+        r = make(loads=(40, 0, 0, 0))
+        assert r.bank_utilization == pytest.approx(0.25)
+
+    def test_balance_empty(self):
+        r = make(n=0, loads=())
+        assert r.bank_utilization == 1.0
+
+    def test_slowdown_vs(self):
+        assert make(time=150.0).slowdown_vs(100.0) == pytest.approx(1.5)
+
+    def test_slowdown_vs_zero_prediction(self):
+        assert make(time=1.0).slowdown_vs(0.0) == float("inf")
+        assert make(time=0.0).slowdown_vs(0.0) == 1.0

@@ -1,0 +1,53 @@
+"""Tests for whole-program simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Program, Superstep
+from repro.simulator import simulate_program, simulate_scatter, toy_machine
+from repro.workloads import uniform_random
+
+
+def make_program():
+    return Program([
+        Superstep(addresses=uniform_random(500, 1 << 16, seed=1), label="a"),
+        Superstep(addresses=uniform_random(300, 1 << 16, seed=2), label="b",
+                  local_work=25),
+        Superstep(addresses=uniform_random(200, 1 << 16, seed=3), label="a"),
+    ])
+
+
+class TestSimulateProgram:
+    def test_total_is_sum_of_steps(self, toy):
+        prog = make_program()
+        res = simulate_program(toy, prog)
+        per_step = sum(
+            simulate_scatter(toy, s.addresses).time for s in prog
+        )
+        assert res.total_time == pytest.approx(per_step + 25)
+
+    def test_total_requests(self, toy):
+        assert simulate_program(toy, make_program()).total_requests == 1000
+
+    def test_time_by_label(self, toy):
+        res = simulate_program(toy, make_program())
+        by = res.time_by_label()
+        assert set(by) == {"a", "b"}
+        assert by["a"] + by["b"] == pytest.approx(res.total_time - 25)
+
+    def test_empty_program(self, toy):
+        res = simulate_program(toy, Program())
+        assert res.total_time == 0.0
+        assert res.total_requests == 0
+
+    def test_L_charged_per_superstep(self):
+        m = toy_machine(L=10)
+        prog = make_program()
+        res = simulate_program(m, prog)
+        res0 = simulate_program(m.with_(L=0), prog)
+        assert res.total_time == pytest.approx(res0.total_time + 10 * len(prog))
+
+    def test_step_results_align_with_labels(self, toy):
+        res = simulate_program(toy, make_program())
+        assert res.step_labels == ("a", "b", "a")
+        assert len(res.step_results) == 3

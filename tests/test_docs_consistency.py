@@ -1,0 +1,95 @@
+"""Referential integrity between code and documentation.
+
+DESIGN.md promises a per-experiment index and bench targets;
+EXPERIMENTS.md records outcomes; README.md lists examples.  These tests
+keep those promises synchronized with the code so documentation rot
+fails CI rather than misleading readers.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import REGISTRY
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestDesignMd:
+    def test_every_registry_id_in_design_index(self):
+        design = read("DESIGN.md")
+        for key in REGISTRY:
+            assert re.search(rf"^\|\s*{key}\s*\|", design, re.M), \
+                f"experiment {key} missing from DESIGN.md index"
+
+    def test_bench_targets_exist(self):
+        design = read("DESIGN.md")
+        for target in re.findall(r"`benchmarks/(test_\w+\.py)`", design):
+            assert (ROOT / "benchmarks" / target).exists(), target
+
+    def test_module_references_exist(self):
+        design = read("DESIGN.md")
+        # `experiments.<name>` references must be real modules.
+        for mod in set(re.findall(r"`experiments\.(\w+)`", design)):
+            assert any(
+                m.__name__.endswith(mod) for m in REGISTRY.values()
+            ), f"DESIGN.md references unknown experiments.{mod}"
+
+
+class TestExperimentsMd:
+    def test_every_registry_id_has_a_section(self):
+        experiments = read("EXPERIMENTS.md")
+        for key in REGISTRY:
+            assert re.search(rf"^##+ .*\b{key}\b", experiments, re.M), \
+                f"experiment {key} has no section in EXPERIMENTS.md"
+
+    def test_referenced_results_are_generated_names(self):
+        experiments = read("EXPERIMENTS.md")
+        names = set(re.findall(r"`(\w+)\.txt`", experiments))
+        assert names, "EXPERIMENTS.md should reference result files"
+        # Each referenced result name must be produced by some bench
+        # (search the bench sources for the save_result key).
+        bench_src = "".join(
+            p.read_text() for p in (ROOT / "benchmarks").glob("test_*.py")
+        )
+        for name in names:
+            assert f'"{name}"' in bench_src, \
+                f"EXPERIMENTS.md references {name}.txt, no bench saves it"
+
+
+class TestReadmeMd:
+    def test_example_rows_exist(self):
+        readme = read("README.md")
+        for rel in re.findall(r"`examples/(\w+\.py)`", readme):
+            assert (ROOT / "examples" / rel).exists(), rel
+
+    def test_examples_dir_fully_listed(self):
+        readme = read("README.md")
+        for path in (ROOT / "examples").glob("*.py"):
+            assert path.name in readme, \
+                f"examples/{path.name} not mentioned in README.md"
+
+    def test_docs_exist(self):
+        for doc in ("docs/model.md", "docs/simulator.md",
+                    "docs/algorithms.md", "docs/api.md"):
+            assert (ROOT / doc).exists(), doc
+
+
+class TestApiMd:
+    def test_api_docs_not_stale(self):
+        # docs/api.md must match the current public surface exactly;
+        # regenerate with `python tools/gen_api_docs.py`.
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "gen_api_docs", ROOT / "tools" / "gen_api_docs.py"
+        )
+        gen = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gen)
+        assert (ROOT / "docs" / "api.md").read_text() == gen.render(), \
+            "docs/api.md is stale — run `python tools/gen_api_docs.py`"

@@ -1,0 +1,85 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.emulation import EmulationResult
+from repro.errors import SimulationError
+from repro.simulator import simulate_scatter_cycle, toy_machine
+from repro.workloads import broadcast
+
+
+class TestCycleSimulatorGuards:
+    def test_max_cycles_exceeded_raises(self):
+        m = toy_machine(p=2, x=1, d=6)
+        # broadcast of 100 needs ~600 cycles; cap far below that.
+        with pytest.raises(SimulationError, match="cycles"):
+            simulate_scatter_cycle(m, broadcast(100, 1), max_cycles=50)
+
+    def test_max_cycles_generous_succeeds(self):
+        m = toy_machine(p=2, x=1, d=6)
+        res = simulate_scatter_cycle(m, broadcast(20, 1), max_cycles=10_000)
+        assert res.n == 20
+
+
+class TestEmulationResultProperties:
+    def test_measured_overhead_zero_ideal(self):
+        r = EmulationResult(
+            simulated_time=10.0, bound_time=20.0, qrqw_time=0,
+            qrqw_time_scaled=0.0, n_steps=0, n_ops=0,
+        )
+        assert r.measured_overhead == 1.0
+
+    def test_bound_tightness_zero_bound(self):
+        r = EmulationResult(
+            simulated_time=0.0, bound_time=0.0, qrqw_time=0,
+            qrqw_time_scaled=0.0, n_steps=0, n_ops=0,
+        )
+        assert r.bound_tightness == 1.0
+
+    def test_normal_ratios(self):
+        r = EmulationResult(
+            simulated_time=50.0, bound_time=100.0, qrqw_time=10,
+            qrqw_time_scaled=25.0, n_steps=2, n_ops=100,
+        )
+        assert r.measured_overhead == 2.0
+        assert r.bound_tightness == 0.5
+
+
+class TestReportFormatting:
+    def test_fmt_extremes(self):
+        from repro.analysis import format_table
+
+        out = format_table(
+            ("v",),
+            [(1.5e9,), (2.5e-7,), (0.0,), (-3.25,), (42,), ("txt",)],
+        )
+        assert "1.500e+09" in out
+        assert "2.500e-07" in out
+        assert "txt" in out
+
+    def test_trailing_zeros_stripped(self):
+        from repro.analysis import format_table
+
+        out = format_table(("v",), [(2.0,)])
+        assert out.splitlines()[-1] == "2" and "2.000" not in out
+
+
+class TestNumericalRobustness:
+    def test_simulator_large_values(self):
+        # Large addresses and counts: no overflow in the lifted cummax.
+        m = toy_machine(p=4, x=4, d=100)
+        addr = np.full(10_000, (1 << 60) + 5, dtype=np.int64)
+        res = __import__("repro.simulator", fromlist=["simulate_scatter"]) \
+            .simulate_scatter(m, addr)
+        assert res.time >= 100 * 10_000
+
+    def test_fractional_g(self):
+        from repro.core import predict_scatter_dxbsp
+        from repro.simulator import simulate_scatter
+
+        m = toy_machine(p=4, x=8, d=6, g=1.5)
+        addr = np.arange(2000) % 500
+        sim = simulate_scatter(m, addr).time
+        pred = predict_scatter_dxbsp(m.params(), addr)
+        assert sim == pytest.approx(pred, rel=0.3)

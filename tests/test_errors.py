@@ -1,0 +1,43 @@
+"""The exception hierarchy contract: one catchable base type."""
+
+import pytest
+
+from repro.errors import (
+    ContentionRuleError,
+    MappingError,
+    ParameterError,
+    PatternError,
+    ReproError,
+    SimulationError,
+)
+
+ALL = [
+    ParameterError,
+    PatternError,
+    SimulationError,
+    MappingError,
+    ContentionRuleError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_parameter_error_is_value_error():
+    # API ergonomics: bad arguments also behave like stdlib ValueError.
+    assert issubclass(ParameterError, ValueError)
+    assert issubclass(PatternError, ValueError)
+    assert issubclass(MappingError, ValueError)
+
+
+def test_simulation_error_is_runtime_error():
+    assert issubclass(SimulationError, RuntimeError)
+    assert issubclass(ContentionRuleError, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    for exc in ALL:
+        with pytest.raises(ReproError):
+            raise exc("boom")

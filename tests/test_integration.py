@@ -1,0 +1,136 @@
+"""End-to-end integration tests: whole pipelines across subsystem
+boundaries, asserting the paper's headline claims at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    build_implicit_tree,
+    connected_components,
+    dense_column_csr,
+    erew_binary_search,
+    qrqw_binary_search,
+    qrqw_random_permutation,
+    spmv,
+    star_edges,
+)
+from repro.analysis import compare_program, compare_scatter
+from repro.core import crossover_contention, predict_scatter_dxbsp
+from repro.emulation import QRQWPram, emulate_qrqw, step_time_bound
+from repro.mapping import linear_hash
+from repro.simulator import (
+    CRAY_C90,
+    CRAY_J90,
+    simulate_program,
+    simulate_scatter,
+    toy_machine,
+)
+from repro.workloads import TraceRecorder, hotspot, uniform_random
+
+
+class TestHeadlineClaim:
+    """The paper's core claim: the (d,x)-BSP predicts irregular scatter
+    performance where the BSP fails, on both studied machines."""
+
+    @pytest.mark.parametrize("machine", [CRAY_J90, CRAY_C90],
+                             ids=["J90", "C90"])
+    def test_full_contention_sweep(self, machine):
+        n = 16 * 1024
+        knee = crossover_contention(machine.params(), n)
+        for k in [1, int(knee / 2), int(knee * 4), n]:
+            k = max(1, min(k, n))
+            cmp = compare_scatter(machine, hotspot(n, k, 1 << 24, seed=k))
+            assert abs(cmp.dxbsp_error) < 0.3, (machine.name, k)
+        hot = compare_scatter(machine, hotspot(n, n, 1 << 24, seed=0))
+        assert hot.bsp_underprediction > machine.d / machine.g * 0.8
+
+    def test_c90_j90_qualitatively_similar(self):
+        # "cray C90 results are qualitatively similar": same shape,
+        # different slope d.
+        n = 8192
+        addr = hotspot(n, n, 1 << 24, seed=1)
+        tj = simulate_scatter(CRAY_J90, addr).time
+        tc = simulate_scatter(CRAY_C90, addr).time
+        assert tj / tc == pytest.approx(14 / 6, rel=0.15)
+
+
+class TestAlgorithmToModelPipeline:
+    """Instrumented algorithm -> trace -> analytic cost AND simulation,
+    crossing algorithms / workloads / core / simulator."""
+
+    def test_spmv_whole_pipeline(self):
+        machine = toy_machine(p=8, x=16, d=14)
+        matrix = dense_column_csr(2048, 2048, 4, dense_len=1024, seed=2)
+        x = np.random.default_rng(2).standard_normal(2048)
+        rec = TraceRecorder()
+        y = spmv(matrix, x, recorder=rec)
+        assert np.allclose(y, matrix.to_dense() @ x)  # result correct
+        cmp = compare_program(machine, rec.program)
+        assert cmp.contention >= 1024        # the dense column shows up
+        assert abs(cmp.dxbsp_error) < 0.25   # and is predicted
+
+    def test_search_agreement_and_cost_ordering(self):
+        machine = toy_machine(p=8, x=16, d=14)
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.integers(0, 1 << 20, size=4096, dtype=np.int64))
+        tree = build_implicit_tree(keys)
+        queries = rng.integers(0, 1 << 20, size=2048, dtype=np.int64)
+        rec_q, rec_e = TraceRecorder(), TraceRecorder()
+        rq = qrqw_binary_search(tree, queries, seed=4, recorder=rec_q)
+        re_ = erew_binary_search(keys, queries, recorder=rec_e)
+        assert np.array_equal(rq, re_)
+        tq = simulate_program(machine, rec_q.program).total_time
+        te = simulate_program(machine, rec_e.program).total_time
+        assert tq < te  # QRQW wins at this slack (Figure-10 regime)
+
+    def test_cc_trace_feeds_emulation_bound(self):
+        # CC trace steps, replayed as QRQW steps, stay under the
+        # Theorem-5 bound when emulated via hashing.
+        machine = toy_machine(p=8, x=32, d=6)
+        rec = TraceRecorder()
+        connected_components(512, star_edges(512, center=511), recorder=rec)
+        pram = QRQWPram(p=8, memory_size=1 << 20)
+        for step in rec.program:
+            if step.n:
+                pram.write(step.addresses, np.zeros(step.n, dtype=np.int64))
+        res = emulate_qrqw(machine, pram, seed=5)
+        assert res.bound_tightness <= 1.05
+
+    def test_permutation_trace_hashed_vs_interleaved(self):
+        # Crossing mapping x algorithms: hashing can't beat interleaving
+        # on this trace (its sequential pack-scans are interleave-optimal)
+        # and the module-map overhead it adds is bounded — exactly the
+        # Section-4 trade-off.
+        machine = toy_machine(p=8, x=16, d=14)
+        rec = TraceRecorder()
+        qrqw_random_permutation(8192, seed=6, recorder=rec)
+        t_interleave = simulate_program(machine, rec.program).total_time
+        t_hashed = simulate_program(
+            machine, rec.program, bank_map=linear_hash(7)
+        ).total_time
+        assert t_interleave <= t_hashed <= 1.6 * t_interleave
+
+
+class TestModelSimulatorContract:
+    """The analytic model is a tight lower bound on the simulator for
+    default dealing — the contract everything else relies on."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_prediction_bounds_simulation(self, seed):
+        machine = toy_machine(p=4, x=4, d=6)
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(100, 5000))
+        k = int(rng.integers(1, n + 1))
+        addr = hotspot(n, k, 1 << 22, seed=seed)
+        pred = predict_scatter_dxbsp(machine.params(), addr)
+        sim = simulate_scatter(machine, addr).time
+        assert pred - 1e-9 <= sim <= pred * 1.35 + machine.d + machine.g * machine.p
+
+    def test_step_bound_covers_hashed_simulation(self):
+        machine = toy_machine(p=8, x=8, d=14)
+        params = machine.params()
+        for k in [1, 32, 1024]:
+            addr = hotspot(8192, k, 1 << 22, seed=k)
+            sim = simulate_scatter(machine, addr, linear_hash(k)).time
+            bound = step_time_bound(params, 8192, k)
+            assert sim <= bound * 1.05, k

@@ -1,0 +1,182 @@
+"""Cross-module property-based tests: invariants that must hold between
+the model, the mappings, the simulators and the algorithms for *any*
+input hypothesis can draw."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import (
+    multiprefix,
+    qrqw_random_permutation,
+    radix_sort,
+    segmented_sum,
+    spmv,
+)
+from repro.algorithms.spmv import random_csr
+from repro.core import (
+    PatternStats,
+    max_bank_load,
+    max_location_contention,
+    predict_scatter_bsp,
+    predict_scatter_dxbsp,
+)
+from repro.mapping import InterleavedMap, RandomMap, linear_hash
+from repro.simulator import simulate_scatter, toy_machine
+from repro.workloads import TraceRecorder
+
+addresses = hnp.arrays(
+    dtype=np.int64, shape=st.integers(1, 400),
+    elements=st.integers(0, 5000),
+)
+
+machines = st.builds(
+    toy_machine,
+    p=st.integers(1, 8),
+    x=st.sampled_from([1, 2, 4, 8]),
+    d=st.sampled_from([1.0, 2.0, 6.0, 14.0]),
+    g=st.sampled_from([1.0, 2.0]),
+)
+
+
+class TestModelOrdering:
+    @given(addresses, machines)
+    @settings(max_examples=40)
+    def test_bsp_never_exceeds_dxbsp(self, addr, machine):
+        # The domination holds in the paper's regime: banks no faster
+        # than processors (d >= g).
+        assume(machine.d >= machine.g)
+        params = machine.params()
+        assert predict_scatter_bsp(params, addr) <= \
+            predict_scatter_dxbsp(params, addr) + 1e-9
+
+    @given(addresses, machines)
+    @settings(max_examples=40)
+    def test_prediction_lower_bounds_simulation(self, addr, machine):
+        # Lower-bound property also needs d >= g: with banks faster than
+        # the issue rate the g*ceil(n/p) term overstates the tail.
+        assume(machine.d >= machine.g)
+        pred = predict_scatter_dxbsp(machine.params(), addr)
+        sim = simulate_scatter(machine, addr).time
+        assert sim >= pred - 1e-9
+
+    @given(addresses, machines)
+    @settings(max_examples=30)
+    def test_simulation_upper_envelope(self, addr, machine):
+        # Completion can exceed the analytic max() only by overlap slack:
+        # the sum of terms (plus one service) is always an upper bound.
+        sim = simulate_scatter(machine, addr).time
+        n = addr.size
+        h_b = max_bank_load(addr, machine.n_banks)
+        upper = machine.L + machine.g * (-(-n // machine.p)) \
+            + machine.d * h_b + machine.d
+        assert sim <= upper + 1e-9
+
+    @given(addresses, machines, st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_simulation_monotone_in_d(self, addr, machine, seed):
+        slower = machine.with_(d=machine.d * 2)
+        t1 = simulate_scatter(machine, addr).time
+        t2 = simulate_scatter(slower, addr).time
+        assert t2 >= t1 - 1e-9
+
+
+class TestMappingInvariants:
+    @given(addresses, st.sampled_from([1, 2, 8, 64]),
+           st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_all_mappings_preserve_request_count(self, addr, banks, seed):
+        for mapping in (InterleavedMap(), RandomMap(seed),
+                        linear_hash(seed)):
+            loads = np.bincount(mapping(addr, banks), minlength=banks)
+            assert loads.sum() == addr.size
+
+    @given(addresses, st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_hash_respects_location_contention_floor(self, addr, seed):
+        # No mapping can push the max bank load below the location
+        # contention: same location -> same bank, always.
+        for mapping in (RandomMap(seed), linear_hash(seed)):
+            assert max_bank_load(addr, 64, mapping) >= \
+                max_location_contention(addr)
+
+    @given(addresses, st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_mapping_determinism(self, addr, seed):
+        m1 = linear_hash(seed)
+        assert np.array_equal(m1(addr, 32), m1(addr, 32))
+
+
+class TestTraceInvariants:
+    @given(st.integers(1, 500), st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_dart_trace_contention_matches_stats(self, n, seed):
+        rec = TraceRecorder()
+        _, stats = qrqw_random_permutation(n, seed=seed, recorder=rec)
+        throws = [s for s in rec.program if "throw" in s.label]
+        assert len(throws) == stats.rounds
+        for step, expected in zip(throws, stats.per_round_contention):
+            assert step.stats().max_location_contention == expected
+
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 5),
+           st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_spmv_trace_request_conservation(self, rows, cols, nnz, seed):
+        matrix = random_csr(rows, cols, nnz, seed=seed)
+        rec = TraceRecorder()
+        spmv(matrix, np.zeros(cols), recorder=rec)
+        assert rec.program.total_requests == 4 * matrix.nnz + rows
+
+    @given(hnp.arrays(np.int64, st.integers(0, 300),
+                      elements=st.integers(0, 1 << 30)),
+           st.integers(0, 50))
+    @settings(max_examples=20)
+    def test_radix_trace_steps_scale_with_passes(self, keys, seed):
+        rec = TraceRecorder()
+        _, _, stats = radix_sort(keys, recorder=rec)
+        assert len(rec.program) == 4 * stats.n_passes
+
+
+class TestAlgorithmOracles:
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_multiprefix_totals_partition_sum(self, data):
+        n = data.draw(st.integers(0, 200))
+        n_keys = data.draw(st.integers(1, 8))
+        keys = data.draw(hnp.arrays(np.int64, n,
+                                    elements=st.integers(0, n_keys - 1)))
+        values = data.draw(hnp.arrays(np.int64, n,
+                                      elements=st.integers(0, 50)))
+        prefix, totals = multiprefix(keys, values, n_keys)
+        assert totals.sum() == values.sum()
+        # prefix of the last occurrence of k + its value == totals[k]
+        for k in range(n_keys):
+            where = np.flatnonzero(keys == k)
+            if where.size:
+                last = where[-1]
+                assert prefix[last] + values[last] == totals[k]
+
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_segmented_sum_equals_bincount(self, data):
+        n = data.draw(st.integers(0, 300))
+        nseg = data.draw(st.integers(1, 10))
+        seg = data.draw(hnp.arrays(np.int64, n,
+                                   elements=st.integers(0, nseg - 1)))
+        vals = data.draw(hnp.arrays(np.float64, n,
+                                    elements=st.floats(-10, 10)))
+        out = segmented_sum(vals, seg, nseg)
+        ref = np.bincount(seg, weights=vals, minlength=nseg)
+        assert np.allclose(out, ref)
+
+
+class TestStatsInvariants:
+    @given(addresses, machines)
+    @settings(max_examples=30)
+    def test_pattern_stats_vs_simulator_loads(self, addr, machine):
+        stats = PatternStats.from_addresses(addr, machine.n_banks)
+        res = simulate_scatter(machine, addr)
+        assert res.max_bank_load == stats.max_bank_load
+        assert res.bank_loads.sum() == stats.n

@@ -1,0 +1,157 @@
+"""Tests for the VectorMachine data-parallel front end."""
+
+import numpy as np
+import pytest
+
+from repro import VectorMachine
+from repro.errors import ParameterError, PatternError
+from repro.simulator import toy_machine
+from repro.mapping import linear_hash
+
+
+@pytest.fixture
+def vm(toy):
+    return VectorMachine(toy)
+
+
+class TestArrays:
+    def test_array_copies_input(self, vm):
+        src = np.arange(5)
+        a = vm.array(src)
+        src[0] = 99
+        assert a.data[0] == 0
+
+    def test_disjoint_bases(self, vm):
+        a = vm.array(np.arange(100))
+        b = vm.array(np.arange(50))
+        assert b.base >= a.base + 100
+
+    def test_named(self, vm):
+        a = vm.array(np.arange(3), name="x")
+        assert a.name == "x"
+
+    def test_empty_alloc(self, vm):
+        a = vm.empty(10)
+        assert a.size == 10
+        assert (a.data == 0).all()
+
+    def test_2d_rejected(self, vm):
+        with pytest.raises(PatternError):
+            vm.array(np.zeros((2, 2)))
+
+    def test_negative_size(self, vm):
+        with pytest.raises(ParameterError):
+            vm.empty(-1)
+
+    def test_addresses(self, vm):
+        a = vm.array(np.arange(4))
+        assert (a.addresses() == a.base + np.arange(4)).all()
+        assert (a.addresses([2, 0]) == [a.base + 2, a.base]).all()
+
+    def test_address_bounds_checked(self, vm):
+        a = vm.array(np.arange(4))
+        with pytest.raises(PatternError):
+            a.addresses([4])
+
+
+class TestOperations:
+    def test_gather_values(self, vm):
+        x = vm.array(np.array([10, 20, 30, 40]))
+        out = vm.gather(x, [3, 0, 0])
+        assert (out.data == [40, 10, 10]).all()
+
+    def test_gather_records_contention(self, vm):
+        x = vm.array(np.arange(8))
+        vm.gather(x, [5] * 7 + [1])
+        assert vm.program.max_location_contention() == 7
+
+    def test_scatter_values(self, vm):
+        d = vm.empty(4)
+        vm.scatter(d, [1, 3], [100, 300])
+        assert (d.data == [0, 100, 0, 300]).all()
+
+    def test_scatter_last_wins(self, vm):
+        d = vm.empty(2)
+        vm.scatter(d, [0, 0], [1, 2])
+        assert d.data[0] == 2
+
+    def test_scatter_shape_checked(self, vm):
+        d = vm.empty(4)
+        with pytest.raises(PatternError):
+            vm.scatter(d, [0, 1], [1])
+
+    def test_scan(self, vm):
+        x = vm.array(np.array([1, 2, 3]))
+        out = vm.scan(x)
+        assert (out.data == [0, 1, 3]).all()
+
+    def test_map(self, vm):
+        x = vm.array(np.arange(4))
+        out = vm.map(lambda v: v * 2, x)
+        assert (out.data == [0, 2, 4, 6]).all()
+
+    def test_map_shape_checked(self, vm):
+        x = vm.array(np.arange(4))
+        with pytest.raises(PatternError):
+            vm.map(lambda v: v[:2], x)
+
+
+class TestAccounting:
+    def test_predicted_time_accumulates(self, vm):
+        x = vm.array(np.arange(1000))
+        assert vm.predicted_time == 0.0
+        vm.gather(x, np.zeros(1000, dtype=np.int64))
+        t1 = vm.predicted_time
+        assert t1 >= vm.machine.d * 1000  # broadcast gather: d*k
+        vm.scan(x)
+        assert vm.predicted_time > t1
+
+    def test_bsp_vs_dxbsp_contrast(self, vm):
+        x = vm.array(np.arange(1000))
+        vm.gather(x, np.zeros(1000, dtype=np.int64))
+        assert vm.predicted_time > 3 * vm.predicted_time_bsp
+
+    def test_simulate_matches_prediction(self, vm):
+        x = vm.array(np.arange(4096))
+        rng = np.random.default_rng(0)
+        vm.gather(x, rng.integers(0, 4096, size=4096))
+        vm.scan(x)
+        sim = vm.simulate().total_time
+        assert sim == pytest.approx(vm.predicted_time, rel=0.3)
+
+    def test_reset(self, vm):
+        x = vm.array(np.arange(10))
+        vm.scan(x)
+        vm.reset()
+        assert len(vm.program) == 0
+        assert vm.predicted_time == 0.0
+        vm.scan(x)  # arrays still usable
+        assert len(vm.program) == 1
+
+    def test_bank_map_respected(self):
+        machine = toy_machine(p=4, x=4, d=6)
+        vm_h = VectorMachine(machine, bank_map=linear_hash(3))
+        x = vm_h.array(np.arange(1024))
+        # Strided gather that is pathological under interleaving.
+        idx = (np.arange(64) * 16) % 1024
+        vm_h.gather(x, idx)
+        hashed = vm_h.predicted_time
+        vm_i = VectorMachine(machine)
+        y = vm_i.array(np.arange(1024))
+        vm_i.gather(y, idx)
+        assert hashed < vm_i.predicted_time
+
+
+class TestEndToEnd:
+    def test_histogram_program(self, vm):
+        # A realistic mini-program: histogram by gather/scatter.
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 16, size=2048)
+        hist = vm.empty(16)
+        ones = np.ones(2048, dtype=np.int64)
+        # counts via numpy oracle; the vm only needs the traffic pattern
+        vm.scatter(hist, keys, ones, label="hist")
+        labels = [s.label for s in vm.program]
+        assert labels == ["hist"]
+        k = vm.program.max_location_contention()
+        assert k == np.bincount(keys).max()

@@ -1,0 +1,109 @@
+"""Tests for the extended VectorMachine operations."""
+
+import numpy as np
+import pytest
+
+from repro import VectorMachine
+from repro.errors import ParameterError, PatternError
+
+
+@pytest.fixture
+def vm(toy):
+    return VectorMachine(toy)
+
+
+class TestReduce:
+    def test_add(self, vm):
+        assert vm.reduce(vm.array(np.arange(5))) == 10.0
+
+    def test_max_min(self, vm):
+        a = vm.array(np.array([3, -1, 7]))
+        assert vm.reduce(a, "max") == 7.0
+        assert vm.reduce(a, "min") == -1.0
+
+    def test_empty_max_rejected(self, vm):
+        with pytest.raises(PatternError):
+            vm.reduce(vm.empty(0), "max")
+
+    def test_unknown_op(self, vm):
+        with pytest.raises(ParameterError):
+            vm.reduce(vm.array(np.arange(3)), "mul")
+
+    def test_charged_one_pass(self, vm):
+        vm.reduce(vm.array(np.arange(100)))
+        assert vm.program.total_requests == 100
+
+
+class TestSegmentedScan:
+    def test_exclusive(self, vm):
+        a = vm.array(np.array([1, 2, 3, 4]))
+        out = vm.segmented_scan(a, [0, 0, 1, 1])
+        assert (out.data == [0, 1, 0, 3]).all()
+
+    def test_inclusive_max(self, vm):
+        a = vm.array(np.array([1, 5, 2, 9]))
+        out = vm.segmented_scan(a, [0, 0, 1, 1], op="max", exclusive=False)
+        assert (out.data == [1, 5, 2, 9]).all()
+
+
+class TestPack:
+    def test_values(self, vm):
+        a = vm.array(np.array([10, 20, 30, 40]))
+        out = vm.pack(a, [True, False, True, False])
+        assert (out.data == [10, 30]).all()
+
+    def test_trace_has_scan_and_place(self, vm):
+        a = vm.array(np.arange(8))
+        vm.pack(a, np.arange(8) % 2 == 0)
+        labels = [s.label for s in vm.program]
+        assert "pack/scan" in labels and "pack/place" in labels
+
+    def test_place_contention_free(self, vm):
+        a = vm.array(np.arange(64))
+        vm.pack(a, np.random.default_rng(0).random(64) < 0.5)
+        place = [s for s in vm.program if s.label == "pack/place"][0]
+        assert place.stats().max_location_contention == 1
+
+    def test_empty_result(self, vm):
+        a = vm.array(np.arange(4))
+        out = vm.pack(a, [False] * 4)
+        assert out.size == 0
+
+    def test_mask_shape_checked(self, vm):
+        with pytest.raises(PatternError):
+            vm.pack(vm.array(np.arange(4)), [True])
+
+
+class TestPermute:
+    def test_values(self, vm):
+        a = vm.array(np.array([10, 20, 30]))
+        out = vm.permute(a, [2, 0, 1])
+        assert (out.data == [20, 30, 10]).all()
+
+    def test_non_permutation_rejected(self, vm):
+        a = vm.array(np.arange(3))
+        with pytest.raises(PatternError):
+            vm.permute(a, [0, 0, 1])
+        with pytest.raises(PatternError):
+            vm.permute(a, [0, 1, 3])
+
+    def test_contention_one(self, vm):
+        a = vm.array(np.arange(16))
+        vm.permute(a, np.random.default_rng(1).permutation(16))
+        assert vm.program.max_location_contention() == 1
+
+
+class TestComposition:
+    def test_histogram_then_pack(self, vm):
+        # Mini pipeline exercising several ops against numpy oracles.
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 16, size=512)
+        hist_oracle = np.bincount(keys, minlength=16)
+        hist = vm.array(hist_oracle)     # pretend it was computed
+        nonzero = vm.pack(hist, hist.data > 0)
+        assert (np.sort(nonzero.data) ==
+                np.sort(hist_oracle[hist_oracle > 0])).all()
+        total = vm.reduce(hist)
+        assert total == 512
+        assert vm.predicted_time > 0
+        assert vm.simulate().total_time >= vm.program.total_requests / vm.machine.p

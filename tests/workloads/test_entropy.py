@@ -1,0 +1,86 @@
+"""Tests for the Thearling–Smith entropy family."""
+
+import numpy as np
+import pytest
+
+from repro.core import empirical_entropy, max_location_contention
+from repro.errors import ParameterError
+from repro.workloads import (
+    anded_keys,
+    bit_probability,
+    entropy_family,
+    theoretical_entropy_bits,
+)
+
+
+class TestAndedKeys:
+    def test_round_zero_uniform(self):
+        keys = anded_keys(10_000, 16, 0, seed=0)
+        assert keys.min() >= 0 and keys.max() < (1 << 16)
+        # near-uniform: high empirical entropy
+        assert empirical_entropy(keys) > 12
+
+    def test_keys_shrink_with_rounds(self):
+        k0 = anded_keys(5000, 32, 0, seed=1)
+        k5 = anded_keys(5000, 32, 5, seed=1)
+        assert k5.mean() < k0.mean()
+
+    def test_many_rounds_all_zero(self):
+        keys = anded_keys(2000, 8, 30, seed=2)
+        assert (keys == 0).all()
+
+    def test_bit_density_tracks_theory(self):
+        for rounds in [0, 1, 2, 3]:
+            keys = anded_keys(50_000, 32, rounds, seed=3)
+            density = np.mean([(keys >> b) & 1 for b in range(32)])
+            assert density == pytest.approx(bit_probability(rounds), rel=0.15)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            anded_keys(10, 0, 1)
+        with pytest.raises(ParameterError):
+            anded_keys(10, 63, 1)
+        with pytest.raises(ParameterError):
+            anded_keys(10, 8, -1)
+        with pytest.raises(ParameterError):
+            anded_keys(-1, 8, 0)
+
+
+class TestEntropyFamily:
+    def test_length(self):
+        fam = entropy_family(1000, 16, 4, seed=0)
+        assert len(fam) == 5
+
+    def test_entropy_monotone_decreasing(self):
+        fam = entropy_family(20_000, 20, 6, seed=1)
+        ents = [empirical_entropy(k) for k in fam]
+        assert all(a >= b - 0.1 for a, b in zip(ents, ents[1:]))
+
+    def test_contention_monotone_increasing(self):
+        fam = entropy_family(20_000, 20, 6, seed=2)
+        conts = [max_location_contention(k) for k in fam]
+        assert conts[-1] > conts[0]
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            entropy_family(10, 8, -1)
+
+
+class TestTheory:
+    def test_bit_probability_squares(self):
+        assert bit_probability(0) == 0.5
+        assert bit_probability(1) == 0.25
+        assert bit_probability(2) == pytest.approx(1 / 16)
+        assert bit_probability(3) == pytest.approx(1 / 256)
+        assert bit_probability(20) == 0.0
+
+    def test_theoretical_entropy_decreasing(self):
+        vals = [theoretical_entropy_bits(32, r) for r in range(8)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_round_zero_full_entropy(self):
+        assert theoretical_entropy_bits(32, 0) == pytest.approx(32.0)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            bit_probability(-1)

@@ -1,0 +1,95 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import Program, Superstep
+from repro.errors import PatternError
+from repro.simulator import simulate_program, toy_machine
+from repro.workloads import (
+    TraceRecorder,
+    load_program,
+    save_program,
+    uniform_random,
+)
+from repro.algorithms import spmv, random_csr
+
+
+def sample_program():
+    return Program([
+        Superstep(addresses=uniform_random(500, 1 << 16, seed=1),
+                  kind="scatter", label="a", local_work=3.0),
+        Superstep(addresses=np.zeros(0, dtype=np.int64), kind="read",
+                  label="empty"),
+        Superstep(addresses=np.full(10, 7), kind="gather", label="b"),
+    ])
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tmp_path):
+        prog = sample_program()
+        path = tmp_path / "trace.npz"
+        save_program(prog, path)
+        loaded = load_program(path)
+        assert len(loaded) == len(prog)
+        for a, b in zip(prog, loaded):
+            assert np.array_equal(a.addresses, b.addresses)
+            assert a.kind == b.kind
+            assert a.label == b.label
+            assert a.local_work == b.local_work
+
+    def test_simulation_identical_after_roundtrip(self, tmp_path):
+        machine = toy_machine()
+        prog = sample_program()
+        path = tmp_path / "trace.npz"
+        save_program(prog, path)
+        loaded = load_program(path)
+        assert simulate_program(machine, prog).total_time == \
+            simulate_program(machine, loaded).total_time
+
+    def test_algorithm_trace_roundtrip(self, tmp_path):
+        matrix = random_csr(64, 64, 3, seed=2)
+        rec = TraceRecorder()
+        spmv(matrix, np.zeros(64), recorder=rec)
+        path = tmp_path / "spmv.npz"
+        save_program(rec.program, path)
+        loaded = load_program(path)
+        assert loaded.total_requests == rec.program.total_requests
+        assert [s.label for s in loaded] == [s.label for s in rec.program]
+
+    def test_empty_program(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_program(Program(), path)
+        assert len(load_program(path)) == 0
+
+
+class TestErrors:
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(PatternError, match="_meta"):
+            load_program(path)
+
+    def test_missing_step(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        meta = {"version": 1, "steps": [
+            {"kind": "read", "label": "", "local_work": 0.0}
+        ]}
+        np.savez(path, _meta=np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ))
+        with pytest.raises(PatternError, match="step_0"):
+            load_program(path)
+
+    def test_version_mismatch(self, tmp_path):
+        import json
+
+        path = tmp_path / "v99.npz"
+        meta = {"version": 99, "steps": []}
+        np.savez(path, _meta=np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ))
+        with pytest.raises(PatternError, match="version"):
+            load_program(path)

@@ -1,0 +1,58 @@
+"""Tests for the NAS IS key generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import empirical_entropy, max_location_contention
+from repro.errors import ParameterError
+from repro.workloads import nas_is_keys, nas_is_peak_density, uniform_random
+
+
+class TestNasKeys:
+    def test_range(self):
+        keys = nas_is_keys(10_000, bits=12, seed=0)
+        assert keys.min() >= 0 and keys.max() < (1 << 12)
+
+    def test_bell_shape(self):
+        keys = nas_is_keys(100_000, bits=10, seed=1)
+        counts = np.bincount(keys, minlength=1 << 10)
+        center = counts[400:624].mean()
+        tails = (counts[:100].mean() + counts[-100:].mean()) / 2
+        assert center > 5 * tails
+
+    def test_mode_near_center(self):
+        keys = nas_is_keys(200_000, bits=10, seed=2)
+        mode = np.bincount(keys).argmax()
+        assert abs(int(mode) - 512) < 50
+
+    def test_peak_density_formula(self):
+        bits = 10
+        keys = nas_is_keys(500_000, bits=bits, seed=3)
+        peak = np.bincount(keys).max() / keys.size
+        assert peak == pytest.approx(nas_is_peak_density(bits), rel=0.2)
+
+    def test_contention_between_uniform_and_hotspot(self):
+        n = 50_000
+        nas = nas_is_keys(n, bits=12, seed=4)
+        uni = uniform_random(n, 1 << 12, seed=4)
+        k_nas = max_location_contention(nas)
+        k_uni = max_location_contention(uni)
+        assert k_uni < k_nas < n
+        assert 0 < empirical_entropy(nas) < empirical_entropy(uni)
+
+    def test_deterministic(self):
+        assert (nas_is_keys(100, seed=9) == nas_is_keys(100, seed=9)).all()
+
+    def test_empty(self):
+        assert nas_is_keys(0).size == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n=-1), dict(n=1, bits=1), dict(n=1, bits=61),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            nas_is_keys(**kwargs)
+
+    def test_peak_density_invalid(self):
+        with pytest.raises(ParameterError):
+            nas_is_peak_density(bits=1)

@@ -1,0 +1,65 @@
+"""Tests for trace capture."""
+
+import numpy as np
+
+from repro.workloads import TraceRecorder, maybe_record
+
+
+class TestTraceRecorder:
+    def test_record_basic(self):
+        rec = TraceRecorder()
+        rec.record(np.array([1, 2, 3]), kind="scatter", label="x")
+        assert len(rec.program) == 1
+        assert rec.program[0].label == "x"
+        assert rec.program[0].kind == "scatter"
+
+    def test_phase_prefixes_labels(self):
+        rec = TraceRecorder()
+        with rec.phase("hook"):
+            rec.record(np.array([1]), label="write")
+        assert rec.program[0].label == "hook/write"
+
+    def test_phases_nest(self):
+        rec = TraceRecorder()
+        with rec.phase("outer"):
+            with rec.phase("inner"):
+                rec.record(np.array([1]))
+        assert rec.program[0].label == "outer/inner"
+
+    def test_phase_restored_after_exit(self):
+        rec = TraceRecorder()
+        with rec.phase("a"):
+            pass
+        assert rec.current_phase == ""
+        rec.record(np.array([1]), label="free")
+        assert rec.program[0].label == "free"
+
+    def test_phase_restored_on_exception(self):
+        rec = TraceRecorder()
+        try:
+            with rec.phase("a"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert rec.current_phase == ""
+
+    def test_label_without_phase(self):
+        rec = TraceRecorder()
+        rec.record(np.array([1]))
+        assert rec.program[0].label == ""
+
+    def test_local_work_forwarded(self):
+        rec = TraceRecorder()
+        rec.record(np.array([1]), local_work=9.0)
+        assert rec.program[0].local_work == 9.0
+
+
+class TestMaybeRecord:
+    def test_none_is_noop(self):
+        maybe_record(None, np.array([1, 2]))  # must not raise
+
+    def test_forwards(self):
+        rec = TraceRecorder()
+        maybe_record(rec, np.array([1, 2]), kind="gather", label="g")
+        assert len(rec.program) == 1
+        assert rec.program[0].kind == "gather"

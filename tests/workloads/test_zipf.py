@@ -1,0 +1,61 @@
+"""Tests for the Zipf-skewed pattern generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import max_location_contention, normalized_entropy
+from repro.errors import ParameterError
+from repro.workloads import uniform_random, zipf_pattern
+
+
+class TestZipfPattern:
+    def test_range(self):
+        addr = zipf_pattern(10_000, 1 << 12, seed=0)
+        assert addr.min() >= 0 and addr.max() < (1 << 12)
+
+    def test_skewed_vs_uniform(self):
+        n, space = 50_000, 1 << 16
+        z = zipf_pattern(n, space, alpha=1.2, seed=1)
+        u = uniform_random(n, space, seed=1)
+        assert max_location_contention(z) > 5 * max_location_contention(u)
+        assert normalized_entropy(z) < normalized_entropy(u)
+
+    def test_alpha_controls_skew(self):
+        n, space = 50_000, 1 << 16
+        mild = zipf_pattern(n, space, alpha=1.1, seed=2)
+        harsh = zipf_pattern(n, space, alpha=2.5, seed=2)
+        assert max_location_contention(harsh) > max_location_contention(mild)
+
+    def test_heavy_tail_not_single_hotspot(self):
+        # Many moderately popular locations, not just one: the 10th most
+        # popular location must still see real traffic.
+        addr = zipf_pattern(50_000, 1 << 16, alpha=1.2, seed=3)
+        _, counts = np.unique(addr, return_counts=True)
+        top = np.sort(counts)[::-1]
+        assert top[9] > top[0] / 50
+
+    def test_scrambled_not_low_addresses(self):
+        # The affine scramble must keep hot locations off a fixed prefix.
+        hot_spots = []
+        for seed in range(6):
+            addr = zipf_pattern(20_000, 1 << 16, seed=seed)
+            vals, counts = np.unique(addr, return_counts=True)
+            hot_spots.append(int(vals[np.argmax(counts)]))
+        assert len(set(hot_spots)) > 2
+
+    def test_deterministic(self):
+        a = zipf_pattern(100, 1000, seed=9)
+        b = zipf_pattern(100, 1000, seed=9)
+        assert (a == b).all()
+
+    def test_empty(self):
+        assert zipf_pattern(0, 10).size == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n=-1, space=10),
+        dict(n=10, space=0),
+        dict(n=10, space=10, alpha=1.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            zipf_pattern(**kwargs)
