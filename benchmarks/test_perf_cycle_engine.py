@@ -1,0 +1,83 @@
+"""Perf — event-driven cycle engine vs the reference tick loop.
+
+Times both engines on the Experiment-1 hot-spot scatter at S = 64K
+requests on the J90 (contention k = n: every request targets the hot
+location, so the run is maximally contention-dominated — the regime
+where the tick loop burns ~d*n nearly idle cycles while the event
+engine jumps between the d-spaced serve events).  Asserts bit-identical
+results and a >= 10x speedup, saves the paper-style comparison under
+``benchmarks/results/`` and writes machine-readable numbers to
+``BENCH_cycle_engine.json`` at the repo root for ``tools/perf_guard.py``.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.common import DEFAULT_SEED, DEFAULT_SPACE, j90
+from repro.simulator import simulate_scatter_cycle
+from repro.workloads import hotspot
+
+BENCH_JSON = pathlib.Path(__file__).parents[1] / "BENCH_cycle_engine.json"
+
+N = 64 * 1024
+K = N
+EVENT_REPEATS = 3
+
+
+def _best_of(repeats, fn, *args, **kwargs):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_perf_cycle_engine(benchmark, save_result):
+    machine = j90()
+    addr = hotspot(N, K, DEFAULT_SPACE, seed=DEFAULT_SEED)
+
+    tick_s, tick = _best_of(1, simulate_scatter_cycle, machine, addr,
+                            engine="tick")
+    event_s, event = _best_of(EVENT_REPEATS, simulate_scatter_cycle,
+                              machine, addr, engine="event")
+    run_once(benchmark, simulate_scatter_cycle, machine, addr,
+             engine="event")
+
+    # The optimization is only valid if it changes nothing but the clock.
+    assert event.time == tick.time
+    assert (event.bank_loads == tick.bank_loads).all()
+    assert event.stalled_cycles == tick.stalled_cycles
+
+    speedup = tick_s / event_s
+    assert speedup >= 10.0, (
+        f"event engine only {speedup:.1f}x faster than tick loop "
+        f"({event_s:.3f}s vs {tick_s:.3f}s)"
+    )
+
+    lines = [
+        "cycle engine performance (Exp 1 hot-spot, "
+        f"{machine.name}, n={N}, k={K})",
+        "",
+        f"{'engine':<10} {'seconds':>10} {'sim cycles':>12}",
+        f"{'tick':<10} {tick_s:>10.3f} {tick.time:>12.0f}",
+        f"{'event':<10} {event_s:>10.3f} {event.time:>12.0f}",
+        "",
+        f"speedup: {speedup:.1f}x (bit-identical results)",
+    ]
+    save_result("perf_cycle_engine", "\n".join(lines))
+
+    BENCH_JSON.write_text(json.dumps({
+        "benchmark": "cycle_engine",
+        "machine": machine.name,
+        "n": N,
+        "k": K,
+        "tick_seconds": round(tick_s, 6),
+        "event_seconds": round(event_s, 6),
+        "speedup": round(speedup, 2),
+        "sim_cycles": float(event.time),
+    }, indent=2) + "\n")

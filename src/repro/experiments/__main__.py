@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro.experiments            # list experiments
-    python -m repro.experiments E1 F12     # run selected ids
-    python -m repro.experiments --all      # run everything
+    python -m repro.experiments                  # list experiments
+    python -m repro.experiments E1 F12           # run selected ids
+    python -m repro.experiments --all            # run everything
+    python -m repro.experiments --all --parallel 4
+    python -m repro.experiments E1 --no-cache    # force recomputation
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import argparse
 import sys
 
 from . import REGISTRY
+from . import runner
 
 
 def main(argv=None) -> int:
@@ -25,10 +28,26 @@ def main(argv=None) -> int:
                         help="experiment ids (e.g. T1 E1 F12)")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
+    parser.add_argument("--parallel", type=int, metavar="N", default=None,
+                        help="worker processes for experiments and grid "
+                             "points (default: REPRO_PARALLEL or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and bypass the on-disk result cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete all cached results, then exit unless "
+                             "ids/--all were also given")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each experiment's output to "
-                             "DIR/<id>.txt")
+                             "DIR/<id>.txt (with its wall-clock time)")
     args = parser.parse_args(argv)
+    if args.parallel is not None and args.parallel < 1:
+        parser.error("--parallel must be >= 1")
+
+    if args.clear_cache:
+        removed = runner.clear_cache()
+        print(f"cleared {removed} cached result(s) from {runner.cache_dir()}")
+        if not args.ids and not args.all:
+            return 0
 
     if not args.ids and not args.all:
         print("available experiments:")
@@ -44,17 +63,21 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment id(s): {', '.join(unknown)} "
                      f"(known: {', '.join(REGISTRY)})")
+    runner.configure(parallel=args.parallel,
+                     cache=False if args.no_cache else None)
     save_dir = None
     if args.save is not None:
         import pathlib
 
         save_dir = pathlib.Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
-    for key in ids:
-        print(f"=== {key} " + "=" * 60)
-        out = REGISTRY[key].main()
+    for outcome in runner.run_experiments(ids, parallel=args.parallel):
+        print(f"=== {outcome.exp_id} [{outcome.seconds:.2f}s] " + "=" * 50)
+        print(outcome.output)
         if save_dir is not None:
-            (save_dir / f"{key}.txt").write_text(out + "\n")
+            (save_dir / f"{outcome.exp_id}.txt").write_text(
+                f"{outcome.output}\n\n[wall-clock: {outcome.seconds:.3f}s]\n"
+            )
         print()
     return 0
 

@@ -23,6 +23,7 @@ from ..core.cost import crossover_contention
 from ..simulator.machine import MachineConfig
 from ..workloads.patterns import hotspot
 from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+from .runner import run_grid
 
 __all__ = ["default_contentions", "run", "main"]
 
@@ -31,6 +32,13 @@ def default_contentions(n: int) -> np.ndarray:
     """Geometric sweep of contention values 1 .. n."""
     ks = np.unique(np.geomspace(1, n, num=17).astype(np.int64))
     return ks
+
+
+def _point(machine: MachineConfig, n: int, k: int, space: int, seed: int):
+    """One grid point: hot-spot pattern with contention ``k``."""
+    addr = hotspot(n, k, space, seed=seed)
+    cmp = compare_scatter(machine, addr, label=f"k={k}")
+    return cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
 
 
 def run(
@@ -46,13 +54,11 @@ def run(
         contentions if contentions is not None else default_contentions(n),
         dtype=np.int64,
     )
-    bsp = np.empty(ks.size)
-    dxbsp = np.empty(ks.size)
-    sim = np.empty(ks.size)
-    for i, k in enumerate(ks):
-        addr = hotspot(n, int(k), DEFAULT_SPACE, seed=seed + i)
-        cmp = compare_scatter(machine, addr, label=f"k={k}")
-        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    rows = run_grid(_point, [
+        dict(machine=machine, n=n, k=int(k), space=DEFAULT_SPACE, seed=seed + i)
+        for i, k in enumerate(ks)
+    ])
+    bsp, dxbsp, sim = (np.asarray(col) for col in zip(*rows))
     knee = crossover_contention(machine.params(), n)
     series = Series(
         name=f"exp1_hotspot ({machine.name}, n={n}, knee k*~{knee:.0f})",

@@ -24,8 +24,19 @@ from ..analysis.report import Series
 from ..simulator.machine import MachineConfig
 from ..workloads.patterns import multi_hotspot
 from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+from .runner import run_grid
 
 __all__ = ["run_vs_nhot", "run_vs_fraction", "main"]
+
+
+def _point(
+    machine: MachineConfig, n: int, n_hot: int, fraction: float,
+    space: int, seed: int,
+):
+    """One grid point: multi-hot-spot pattern, both sweeps share it."""
+    addr = multi_hotspot(n, n_hot, fraction, space, seed=seed)
+    cmp = compare_scatter(machine, addr)
+    return cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
 
 
 def run_vs_nhot(
@@ -42,13 +53,12 @@ def run_vs_nhot(
         else np.unique(np.geomspace(1, 4096, num=13).astype(np.int64)),
         dtype=np.int64,
     )
-    bsp = np.empty(hs.size)
-    dxbsp = np.empty(hs.size)
-    sim = np.empty(hs.size)
-    for i, h in enumerate(hs):
-        addr = multi_hotspot(n, int(h), hot_fraction, DEFAULT_SPACE, seed=seed + i)
-        cmp = compare_scatter(machine, addr)
-        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    rows = run_grid(_point, [
+        dict(machine=machine, n=n, n_hot=int(h), fraction=hot_fraction,
+             space=DEFAULT_SPACE, seed=seed + i)
+        for i, h in enumerate(hs)
+    ])
+    bsp, dxbsp, sim = (np.asarray(col) for col in zip(*rows))
     series = Series(
         name=f"exp2_multihot vs n_hot ({machine.name}, n={n}, f={hot_fraction})",
         x_label="hot locations",
@@ -73,13 +83,12 @@ def run_vs_fraction(
         fractions if fractions is not None else np.linspace(0.0, 1.0, 11),
         dtype=np.float64,
     )
-    bsp = np.empty(fs.size)
-    dxbsp = np.empty(fs.size)
-    sim = np.empty(fs.size)
-    for i, f in enumerate(fs):
-        addr = multi_hotspot(n, n_hot, float(f), DEFAULT_SPACE, seed=seed + i)
-        cmp = compare_scatter(machine, addr)
-        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    rows = run_grid(_point, [
+        dict(machine=machine, n=n, n_hot=n_hot, fraction=float(f),
+             space=DEFAULT_SPACE, seed=seed + i)
+        for i, f in enumerate(fs)
+    ])
+    bsp, dxbsp, sim = (np.asarray(col) for col in zip(*rows))
     series = Series(
         name=f"exp2_multihot vs fraction ({machine.name}, n={n}, n_hot={n_hot})",
         x_label="hot fraction",

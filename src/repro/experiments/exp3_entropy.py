@@ -23,8 +23,22 @@ from ..core.contention import empirical_entropy, max_location_contention
 from ..simulator.machine import MachineConfig
 from ..workloads.entropy import entropy_family, theoretical_entropy_bits
 from .common import DEFAULT_N, DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["run", "main"]
+
+
+def _point(machine: MachineConfig, keys: np.ndarray):
+    """One AND round: model comparison plus distribution statistics.
+
+    The rounds are generated sequentially (each ANDs the previous one),
+    so the parent builds the family and ships each round's keys here.
+    """
+    cmp = compare_scatter(machine, keys)
+    return (
+        cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time,
+        empirical_entropy(keys), float(max_location_contention(keys)),
+    )
 
 
 def run(
@@ -40,18 +54,13 @@ def run(
     machine = machine or j90()
     family = entropy_family(n, bits, max_rounds, seed=seed)
     rounds = np.arange(len(family), dtype=np.float64)
-    bsp = np.empty(rounds.size)
-    dxbsp = np.empty(rounds.size)
-    sim = np.empty(rounds.size)
-    ent = np.empty(rounds.size)
-    ent_theory = np.empty(rounds.size)
-    cont = np.empty(rounds.size)
-    for i, keys in enumerate(family):
-        cmp = compare_scatter(machine, keys)
-        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
-        ent[i] = empirical_entropy(keys)
-        ent_theory[i] = theoretical_entropy_bits(bits, i)
-        cont[i] = max_location_contention(keys)
+    rows = run_grid(_point, [
+        dict(machine=machine, keys=keys) for keys in family
+    ])
+    bsp, dxbsp, sim, ent, cont = (np.asarray(col) for col in zip(*rows))
+    ent_theory = np.array(
+        [theoretical_entropy_bits(bits, i) for i in range(len(family))]
+    )
     series = Series(
         name=f"exp3_entropy ({machine.name}, n={n}, {bits}-bit keys)",
         x_label="AND rounds",

@@ -24,8 +24,31 @@ from ..analysis.report import Series
 from ..simulator.machine import MachineConfig
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["run", "main"]
+
+
+def _point(
+    machine: MachineConfig, tree: np.ndarray, keys: np.ndarray,
+    queries: np.ndarray, target_contention: int, seed: int,
+):
+    """One query batch: both search algorithms, simulated and predicted.
+
+    The query batches are drawn sequentially from one generator in the
+    parent (preserving the published numbers), so they arrive as arrays.
+    """
+    rec_q = TraceRecorder()
+    res_q = qrqw_binary_search(
+        tree, queries, target_contention, seed=seed, recorder=rec_q
+    )
+    rec_e = TraceRecorder()
+    res_e = erew_binary_search(keys, queries, recorder=rec_e)
+    assert (res_q == res_e).all()  # both must agree before we time them
+    cq = compare_program(machine, rec_q.program)
+    ce = compare_program(machine, rec_e.program)
+    return (cq.simulated_time, ce.simulated_time,
+            cq.dxbsp_time, ce.dxbsp_time)
 
 
 def run(
@@ -46,23 +69,15 @@ def run(
     rng = np.random.default_rng(seed)
     keys = np.sort(rng.integers(0, 1 << 30, size=m, dtype=np.int64))
     tree = build_implicit_tree(keys)
-    qrqw_sim = np.empty(ns.size)
-    erew_sim = np.empty(ns.size)
-    qrqw_pred = np.empty(ns.size)
-    erew_pred = np.empty(ns.size)
-    for i, n in enumerate(ns):
-        queries = rng.integers(0, 1 << 30, size=int(n), dtype=np.int64)
-        rec_q = TraceRecorder()
-        res_q = qrqw_binary_search(
-            tree, queries, target_contention, seed=seed + i, recorder=rec_q
-        )
-        rec_e = TraceRecorder()
-        res_e = erew_binary_search(keys, queries, recorder=rec_e)
-        assert (res_q == res_e).all()  # both must agree before we time them
-        cq = compare_program(machine, rec_q.program)
-        ce = compare_program(machine, rec_e.program)
-        qrqw_sim[i], erew_sim[i] = cq.simulated_time, ce.simulated_time
-        qrqw_pred[i], erew_pred[i] = cq.dxbsp_time, ce.dxbsp_time
+    rows = run_grid(_point, [
+        dict(machine=machine, tree=tree, keys=keys,
+             queries=rng.integers(0, 1 << 30, size=int(n), dtype=np.int64),
+             target_contention=target_contention, seed=seed + i)
+        for i, n in enumerate(ns)
+    ])
+    qrqw_sim, erew_sim, qrqw_pred, erew_pred = (
+        np.asarray(col) for col in zip(*rows)
+    )
     series = Series(
         name=f"fig10_binary_search ({machine.name}, m={m}, tau={target_contention})",
         x_label="queries n",

@@ -28,8 +28,21 @@ from ..analysis.report import Series
 from ..simulator.machine import MachineConfig
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["run", "main"]
+
+
+def _point(machine: MachineConfig, n: int, key_bits: int, seed: int):
+    """One permutation size: both generators, simulated and predicted."""
+    rec_q = TraceRecorder()
+    _, stats = qrqw_random_permutation(n, seed=seed, recorder=rec_q)
+    rec_e = TraceRecorder()
+    erew_random_permutation(n, key_bits=key_bits, seed=seed, recorder=rec_e)
+    cq = compare_program(machine, rec_q.program)
+    ce = compare_program(machine, rec_e.program)
+    return (cq.simulated_time, ce.simulated_time,
+            cq.dxbsp_time, ce.dxbsp_time, float(stats.rounds))
 
 
 def run(
@@ -46,22 +59,13 @@ def run(
         else [1 << b for b in range(10, 19, 2)],
         dtype=np.int64,
     )
-    qrqw_sim = np.empty(ns.size)
-    erew_sim = np.empty(ns.size)
-    qrqw_pred = np.empty(ns.size)
-    erew_pred = np.empty(ns.size)
-    rounds = np.empty(ns.size)
-    for i, n in enumerate(ns):
-        rec_q = TraceRecorder()
-        perm, stats = qrqw_random_permutation(int(n), seed=seed + i, recorder=rec_q)
-        rec_e = TraceRecorder()
-        erew_random_permutation(int(n), key_bits=key_bits, seed=seed + i,
-                                recorder=rec_e)
-        cq = compare_program(machine, rec_q.program)
-        ce = compare_program(machine, rec_e.program)
-        qrqw_sim[i], erew_sim[i] = cq.simulated_time, ce.simulated_time
-        qrqw_pred[i], erew_pred[i] = cq.dxbsp_time, ce.dxbsp_time
-        rounds[i] = stats.rounds
+    rows = run_grid(_point, [
+        dict(machine=machine, n=int(n), key_bits=key_bits, seed=seed + i)
+        for i, n in enumerate(ns)
+    ])
+    qrqw_sim, erew_sim, qrqw_pred, erew_pred, rounds = (
+        np.asarray(col) for col in zip(*rows)
+    )
     series = Series(
         name=f"fig11_random_perm ({machine.name}, {key_bits}-bit EREW keys)",
         x_label="permutation size n",

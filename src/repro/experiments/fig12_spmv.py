@@ -25,8 +25,23 @@ from ..analysis.report import Series
 from ..simulator.machine import MachineConfig
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["run", "main"]
+
+
+def _point(
+    machine: MachineConfig, n_rows: int, n_cols: int, nnz_per_row: int,
+    dense_len: int, x: np.ndarray, seed: int,
+):
+    """One dense-column length: instrumented SpMV + model comparison."""
+    matrix = dense_column_csr(n_rows, n_cols, nnz_per_row, dense_len,
+                              seed=seed)
+    recorder = TraceRecorder()
+    spmv(matrix, x, recorder=recorder)
+    cmp = compare_program(machine, recorder.program,
+                          label=f"dense={dense_len}")
+    return cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
 
 
 def run(
@@ -45,19 +60,14 @@ def run(
         else np.unique(np.geomspace(1, n_rows, num=9).astype(np.int64)),
         dtype=np.int64,
     )
-    bsp = np.empty(lens.size)
-    dxbsp = np.empty(lens.size)
-    sim = np.empty(lens.size)
     rng = np.random.default_rng(seed)
     x = rng.standard_normal(n_cols)
-    for i, dlen in enumerate(lens):
-        matrix = dense_column_csr(
-            n_rows, n_cols, nnz_per_row, int(dlen), seed=seed + i
-        )
-        recorder = TraceRecorder()
-        spmv(matrix, x, recorder=recorder)
-        cmp = compare_program(machine, recorder.program, label=f"dense={dlen}")
-        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    rows = run_grid(_point, [
+        dict(machine=machine, n_rows=n_rows, n_cols=n_cols,
+             nnz_per_row=nnz_per_row, dense_len=int(dlen), x=x, seed=seed + i)
+        for i, dlen in enumerate(lens)
+    ])
+    bsp, dxbsp, sim = (np.asarray(col) for col in zip(*rows))
     series = Series(
         name=f"fig12_spmv ({machine.name}, {n_rows}x{n_cols}, "
         f"{nnz_per_row} nnz/row)",

@@ -29,6 +29,7 @@ from ..analysis.report import Series
 from ..simulator.machine import MachineConfig
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["extract_hot_pattern", "run", "main"]
 
@@ -55,6 +56,16 @@ def extract_hot_pattern(
     return best.addresses
 
 
+def _point(
+    machine: MachineConfig, n_vertices: int, star_size: int,
+    n_random_edges: int, seed: int,
+):
+    """One trace pattern: instrumented CC run + model comparison."""
+    addr = extract_hot_pattern(n_vertices, star_size, n_random_edges, seed)
+    cmp = compare_scatter(machine, addr)
+    return cmp.contention, cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+
+
 def run(
     machine: Optional[MachineConfig] = None,
     n_vertices: int = 32 * 1024,
@@ -69,15 +80,13 @@ def run(
         star_sizes if star_sizes is not None
         else [2, 8, 32, 128, 512, 2048, 8192, 32768]
     )
-    ks, bsp, dxbsp, sim = [], [], [], []
-    for i, s in enumerate(sizes):
-        addr = extract_hot_pattern(n_vertices, min(s, n_vertices), n_random_edges,
-                                   seed + i)
-        cmp = compare_scatter(machine, addr)
-        ks.append(cmp.contention)
-        bsp.append(cmp.bsp_time)
-        dxbsp.append(cmp.dxbsp_time)
-        sim.append(cmp.simulated_time)
+    rows = run_grid(_point, [
+        dict(machine=machine, n_vertices=n_vertices,
+             star_size=min(s, n_vertices), n_random_edges=n_random_edges,
+             seed=seed + i)
+        for i, s in enumerate(sizes)
+    ])
+    ks, bsp, dxbsp, sim = zip(*rows)
     order = np.argsort(ks)
     series = Series(
         name=f"fig1_motivation ({machine.name}, CC-trace patterns)",

@@ -30,6 +30,7 @@ from ..simulator.machine import MachineConfig
 from ..simulator.trace import simulate_program
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["HEADERS", "default_graphs", "run", "main", "CCExperimentRow"]
 
@@ -77,6 +78,34 @@ def default_graphs(n: int, seed: int) -> List[Tuple[str, int, np.ndarray]]:
     ]
 
 
+def _point(
+    machine: MachineConfig, name: str, n_vertices: int, edges: np.ndarray
+) -> CCExperimentRow:
+    """One graph: instrumented CC run, model comparison, phase breakdown."""
+    recorder = TraceRecorder()
+    connected_components(n_vertices, edges, recorder=recorder)
+    cmp = compare_program(machine, recorder.program, label=name)
+    phases = simulate_program(machine, recorder.program).time_by_label()
+    # Collapse per-round labels into their phase kind (hook/shortcut/
+    # contract/expand) for a readable breakdown.
+    collapsed: Dict[str, float] = {}
+    for label, t in phases.items():
+        parts = label.split("/")
+        kind = parts[1] if parts[0].startswith("round") and len(parts) > 1 \
+            else parts[0]
+        collapsed[kind] = collapsed.get(kind, 0.0) + t
+    return CCExperimentRow(
+        graph=name,
+        n_vertices=n_vertices,
+        n_edges=int(edges.shape[0]),
+        max_contention=cmp.contention,
+        bsp_time=cmp.bsp_time,
+        dxbsp_time=cmp.dxbsp_time,
+        simulated_time=cmp.simulated_time,
+        phase_times=collapsed,
+    )
+
+
 def run(
     machine: Optional[MachineConfig] = None,
     n: int = 16 * 1024,
@@ -84,33 +113,10 @@ def run(
 ) -> List[CCExperimentRow]:
     """Run all graphs; one :class:`CCExperimentRow` each."""
     machine = machine or j90()
-    out = []
-    for name, nv, edges in default_graphs(n, seed):
-        recorder = TraceRecorder()
-        connected_components(nv, edges, recorder=recorder)
-        cmp = compare_program(machine, recorder.program, label=name)
-        phases = simulate_program(machine, recorder.program).time_by_label()
-        # Collapse per-round labels into their phase kind (hook/shortcut/
-        # contract/expand) for a readable breakdown.
-        collapsed: Dict[str, float] = {}
-        for label, t in phases.items():
-            parts = label.split("/")
-            kind = parts[1] if parts[0].startswith("round") and len(parts) > 1 \
-                else parts[0]
-            collapsed[kind] = collapsed.get(kind, 0.0) + t
-        out.append(
-            CCExperimentRow(
-                graph=name,
-                n_vertices=nv,
-                n_edges=int(edges.shape[0]),
-                max_contention=cmp.contention,
-                bsp_time=cmp.bsp_time,
-                dxbsp_time=cmp.dxbsp_time,
-                simulated_time=cmp.simulated_time,
-                phase_times=collapsed,
-            )
-        )
-    return out
+    return run_grid(_point, [
+        dict(machine=machine, name=name, n_vertices=nv, edges=edges)
+        for name, nv, edges in default_graphs(n, seed)
+    ])
 
 
 def main() -> str:

@@ -26,6 +26,7 @@ from ..emulation.qrqw import QRQWPram
 from ..simulator.machine import MachineConfig
 from ..workloads.patterns import hotspot
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["run", "main", "build_random_qrqw_program"]
 
@@ -40,6 +41,26 @@ def build_random_qrqw_program(
         addr = hotspot(n_ops, k, memory_size, seed=seed + s)
         pram.write(addr, np.arange(n_ops), label=f"step{s}")
     return pram
+
+
+def _point(
+    machine: MachineConfig, x: float, n_ops: int, k: int, n_steps: int,
+    memory_size: int, seed: int,
+):
+    """One expansion value.  The synthetic QRQW program is deterministic
+    in (p, sizes, seed), so each point rebuilds it rather than shipping
+    it — bit-identical and cheap next to the emulation itself."""
+    m = machine.with_(n_banks=max(1, int(round(x * machine.p))))
+    params = m.params()
+    pram = build_random_qrqw_program(
+        machine.p, n_ops, k, n_steps, memory_size=memory_size, seed=seed
+    )
+    res = emulate_qrqw(m, pram, seed=seed)
+    return (
+        emulation_overhead(params, n_ops, k),
+        inevitable_overhead(params),
+        res.measured_overhead,
+    )
 
 
 def run(
@@ -58,19 +79,12 @@ def run(
         expansions if expansions is not None else [1, 2, 4, 8, 16, 32, 64, 128],
         dtype=np.float64,
     )
-    bound = np.empty(xs.size)
-    floor = np.empty(xs.size)
-    measured = np.empty(xs.size)
-    pram = build_random_qrqw_program(
-        machine.p, n_ops, k, n_steps, memory_size=1 << 24, seed=seed
-    )
-    for i, x in enumerate(xs):
-        m = machine.with_(n_banks=max(1, int(round(x * machine.p))))
-        params = m.params()
-        bound[i] = emulation_overhead(params, n_ops, k)
-        floor[i] = inevitable_overhead(params)
-        res = emulate_qrqw(m, pram, seed=seed)
-        measured[i] = res.measured_overhead
+    rows = run_grid(_point, [
+        dict(machine=machine, x=float(x), n_ops=n_ops, k=k, n_steps=n_steps,
+             memory_size=1 << 24, seed=seed)
+        for x in xs
+    ])
+    bound, floor, measured = (np.asarray(col) for col in zip(*rows))
     series = Series(
         name=f"fig_emulation ({machine.name} base, d={machine.d}, "
         f"n={n_ops}/step, k={k})",

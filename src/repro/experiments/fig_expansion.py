@@ -29,10 +29,33 @@ from ..core.cost import per_processor_load, predict_scatter_dxbsp
 from ..mapping.hashing import linear_hash
 from ..simulator.banksim import simulate_scatter
 from ..simulator.machine import MachineConfig
-from ..workloads.patterns import uniform_random
+from ..workloads.patterns import hotspot, uniform_random
 from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+from .runner import run_grid
 
 __all__ = ["run", "main"]
+
+
+def _point(
+    machine: MachineConfig, x: float, n: int, hot_k: int, space: int,
+    seed: int,
+):
+    """One expansion value.  Patterns and the hash map are deterministic
+    in the seed, so each point regenerates them locally."""
+    m = machine.with_(n_banks=max(1, int(round(x * machine.p))))
+    addr = uniform_random(n, space, seed=seed)
+    hot_addr = hotspot(n, hot_k, space, seed=seed + 1)
+    mapping = linear_hash(seed=seed)
+    balance = max(
+        m.g * per_processor_load(n, m.p),
+        m.d * per_processor_load(n, m.n_banks),
+    )
+    return (
+        simulate_scatter(m, addr, mapping).time,
+        predict_scatter_dxbsp(m.params(), addr, mapping),
+        balance,
+        simulate_scatter(m, hot_addr, mapping).time,
+    )
 
 
 def run(
@@ -50,30 +73,18 @@ def run(
     contention but cannot touch *location* contention — the hot pattern
     flattens at ``d*hot_k`` no matter how many banks are added.
     """
-    from ..workloads.patterns import hotspot
-
     machine = machine or j90()
     xs = np.asarray(
         expansions if expansions is not None
         else [1, 2, 4, 8, 16, 32, 64, 128, 256],
         dtype=np.float64,
     )
-    addr = uniform_random(n, DEFAULT_SPACE, seed=seed)
-    hot_addr = hotspot(n, hot_k, DEFAULT_SPACE, seed=seed + 1)
-    mapping = linear_hash(seed=seed)
-    sim = np.empty(xs.size)
-    pred = np.empty(xs.size)
-    balance = np.empty(xs.size)
-    hot_sim = np.empty(xs.size)
-    for i, x in enumerate(xs):
-        m = machine.with_(n_banks=max(1, int(round(x * machine.p))))
-        sim[i] = simulate_scatter(m, addr, mapping).time
-        pred[i] = predict_scatter_dxbsp(m.params(), addr, mapping)
-        balance[i] = max(
-            m.g * per_processor_load(n, m.p),
-            m.d * per_processor_load(n, m.n_banks),
-        )
-        hot_sim[i] = simulate_scatter(m, hot_addr, mapping).time
+    rows = run_grid(_point, [
+        dict(machine=machine, x=float(x), n=n, hot_k=hot_k,
+             space=DEFAULT_SPACE, seed=seed)
+        for x in xs
+    ])
+    sim, pred, balance, hot_sim = (np.asarray(col) for col in zip(*rows))
     series = Series(
         name=f"fig_expansion ({machine.name} base, n={n}, d={machine.d}, "
         f"hot k={hot_k})",

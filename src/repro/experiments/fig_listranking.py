@@ -23,8 +23,18 @@ from ..simulator.machine import MachineConfig
 from ..simulator.trace import simulate_program
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["run", "run_round_profile", "main"]
+
+
+def _point(machine: MachineConfig, n: int, seed: int):
+    """One list length: instrumented ranking + model comparison."""
+    succ, _ = random_list(n, seed=seed)
+    rec = TraceRecorder()
+    list_rank(succ, recorder=rec)
+    cmp = compare_program(machine, rec.program)
+    return cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
 
 
 def run(
@@ -39,15 +49,11 @@ def run(
         else [1 << b for b in range(10, 17, 2)],
         dtype=np.int64,
     )
-    bsp = np.empty(ns.size)
-    dxbsp = np.empty(ns.size)
-    sim = np.empty(ns.size)
-    for i, n in enumerate(ns):
-        succ, _ = random_list(int(n), seed=seed + i)
-        rec = TraceRecorder()
-        list_rank(succ, recorder=rec)
-        cmp = compare_program(machine, rec.program)
-        bsp[i], dxbsp[i], sim[i] = cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+    rows = run_grid(_point, [
+        dict(machine=machine, n=int(n), seed=seed + i)
+        for i, n in enumerate(ns)
+    ])
+    bsp, dxbsp, sim = (np.asarray(col) for col in zip(*rows))
     series = Series(
         name=f"fig_listranking ({machine.name}) [future work]",
         x_label="list length n",

@@ -27,8 +27,30 @@ from ..analysis.report import Series
 from ..simulator.machine import MachineConfig
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["run", "main"]
+
+
+def _point(
+    machine: MachineConfig, keys: np.ndarray, values: np.ndarray,
+    n_keys: int,
+):
+    """One key-multiplicity regime: both implementations, simulated.
+
+    Key/value draws come sequentially from one parent generator, so the
+    arrays ship with the point.
+    """
+    rec_s = TraceRecorder()
+    p_s, t_s = multiprefix(keys, values, n_keys, recorder=rec_s)
+    rec_d = TraceRecorder()
+    p_d, t_d = multiprefix_direct(keys, values, n_keys, recorder=rec_d)
+    assert np.array_equal(p_s, p_d) and np.array_equal(t_s, t_d)
+    return (
+        compare_program(machine, rec_s.program).simulated_time,
+        compare_program(machine, rec_d.program).simulated_time,
+        float(np.bincount(keys, minlength=n_keys).max()),
+    )
 
 
 def run(
@@ -45,21 +67,14 @@ def run(
         dtype=np.int64,
     )
     rng = np.random.default_rng(seed)
-    sorted_sim = np.empty(keys_sweep.size)
-    direct_sim = np.empty(keys_sweep.size)
-    mult = np.empty(keys_sweep.size)
-    for i, n_keys in enumerate(keys_sweep):
+    points = []
+    for n_keys in keys_sweep:
         keys = rng.integers(0, n_keys, size=n, dtype=np.int64)
         values = rng.integers(0, 100, size=n, dtype=np.int64)
-        rec_s = TraceRecorder()
-        p_s, t_s = multiprefix(keys, values, int(n_keys), recorder=rec_s)
-        rec_d = TraceRecorder()
-        p_d, t_d = multiprefix_direct(keys, values, int(n_keys),
-                                      recorder=rec_d)
-        assert np.array_equal(p_s, p_d) and np.array_equal(t_s, t_d)
-        sorted_sim[i] = compare_program(machine, rec_s.program).simulated_time
-        direct_sim[i] = compare_program(machine, rec_d.program).simulated_time
-        mult[i] = np.bincount(keys, minlength=int(n_keys)).max()
+        points.append(dict(machine=machine, keys=keys, values=values,
+                           n_keys=int(n_keys)))
+    rows = run_grid(_point, points)
+    sorted_sim, direct_sim, mult = (np.asarray(col) for col in zip(*rows))
     series = Series(
         name=f"fig_multiprefix ({machine.name}, n={n}) [future work]",
         x_label="distinct keys",

@@ -30,6 +30,7 @@ from ..simulator.machine import MachineConfig
 from ..simulator.network import predict_scatter_sections
 from ..workloads.patterns import section_confined, uniform_random
 from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+from .runner import run_grid
 
 __all__ = ["HEADERS", "default_machine", "run", "main"]
 
@@ -45,6 +46,15 @@ def default_machine() -> MachineConfig:
     to one section is limited to ``1/n_sections`` of peak — version (c)."""
     base = j90()
     return base.with_(section_gap=base.n_sections * base.g / base.p)
+
+
+def _point(machine: MachineConfig, label: str, addr: np.ndarray):
+    """One pattern version: both predictions plus the simulated time."""
+    bank_pred = predict_scatter_dxbsp(machine.params(), addr)
+    sect_pred = predict_scatter_sections(machine, addr)
+    sim = simulate_scatter(machine, addr).time
+    return (label, int(addr.size), bank_pred, sect_pred, sim,
+            sim / bank_pred if bank_pred else float("inf"))
 
 
 def run(
@@ -72,16 +82,10 @@ def run(
     versions.append(
         ("c (one section)", section_confined(machine, n, 0, seed=rng_seed + 7))
     )
-    rows = []
-    for label, addr in versions:
-        bank_pred = predict_scatter_dxbsp(machine.params(), addr)
-        sect_pred = predict_scatter_sections(machine, addr)
-        sim = simulate_scatter(machine, addr).time
-        rows.append(
-            (label, int(addr.size), bank_pred, sect_pred, sim,
-             sim / bank_pred if bank_pred else float("inf"))
-        )
-    return rows
+    return run_grid(_point, [
+        dict(machine=machine, label=label, addr=addr)
+        for label, addr in versions
+    ])
 
 
 def main() -> str:

@@ -31,6 +31,7 @@ from ..workloads.patterns import (
     zipf_pattern,
 )
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["HEADERS", "FAMILIES", "run", "main"]
 
@@ -53,6 +54,18 @@ FAMILIES: Dict[str, Callable] = {
 }
 
 
+def _point(machine: MachineConfig, family: str, n: int, space: int,
+           seed: int):
+    """One trial of one family: signed relative error of both models.
+
+    The family is looked up by name inside the point so the lambda
+    generators above never need to be pickled.
+    """
+    addr = FAMILIES[family](n, space, seed)
+    cmp = compare_scatter(machine, addr)
+    return cmp.dxbsp_error, cmp.bsp_error
+
+
 def run(
     machine: Optional[MachineConfig] = None,
     n: int = 16 * 1024,
@@ -62,17 +75,17 @@ def run(
     """One row of error statistics per pattern family."""
     machine = machine or j90()
     space = 1 << 20
+    names = list(FAMILIES)
+    errs = run_grid(_point, [
+        dict(machine=machine, family=name, n=n, space=space,
+             seed=seed + 1000 * t)
+        for name in names for t in range(trials)
+    ])
     rows = []
-    for name, gen in FAMILIES.items():
-        dx_errs = []
-        bsp_errs = []
-        for t in range(trials):
-            addr = gen(n, space, seed + 1000 * t)
-            cmp = compare_scatter(machine, addr)
-            dx_errs.append(cmp.dxbsp_error)
-            bsp_errs.append(cmp.bsp_error)
-        dx = np.asarray(dx_errs)
-        bsp = np.asarray(bsp_errs)
+    for i, name in enumerate(names):
+        fam = errs[i * trials:(i + 1) * trials]
+        dx = np.asarray([e[0] for e in fam])
+        bsp = np.asarray([e[1] for e in fam])
         rows.append((
             name, trials,
             float(dx.mean()), float(dx[np.argmax(np.abs(dx))]),

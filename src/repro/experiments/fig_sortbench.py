@@ -28,6 +28,7 @@ from ..workloads.nas import nas_is_keys
 from ..workloads.patterns import uniform_random, zipf_pattern
 from ..workloads.traces import TraceRecorder
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 __all__ = ["HEADERS", "key_families", "run", "main"]
 
@@ -46,32 +47,36 @@ def key_families(n: int, bits: int, seed: int) -> List[Tuple[str, np.ndarray]]:
     ]
 
 
+def _point(machine: MachineConfig, keys: np.ndarray, bits: int):
+    """One key family: instrumented sort + model comparison."""
+    recorder = TraceRecorder()
+    sorted_keys, _, _ = radix_sort(keys, bits=bits, recorder=recorder)
+    assert sorted_keys[0] <= sorted_keys[-1]
+    cmp = compare_program(machine, recorder.program)
+    hist_k = max(
+        s.stats().max_location_contention
+        for s in recorder.program if "histogram" in s.label
+    )
+    return hist_k, cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time
+
+
 def run(
     machine: Optional[MachineConfig] = None,
     n: int = 64 * 1024,
     bits: int = 19,
     seed: int = DEFAULT_SEED,
 ) -> List[Tuple]:
-    """One row per key family."""
+    """One row per key family ("vs uniform" is relative to the first)."""
     machine = machine or j90()
-    rows = []
-    uniform_time = None
-    for name, keys in key_families(n, bits, seed):
-        recorder = TraceRecorder()
-        sorted_keys, _, _ = radix_sort(keys, bits=bits, recorder=recorder)
-        assert sorted_keys[0] <= sorted_keys[-1]
-        cmp = compare_program(machine, recorder.program)
-        hist_k = max(
-            s.stats().max_location_contention
-            for s in recorder.program if "histogram" in s.label
-        )
-        if uniform_time is None:
-            uniform_time = cmp.simulated_time
-        rows.append((
-            name, hist_k, cmp.bsp_time, cmp.dxbsp_time, cmp.simulated_time,
-            cmp.simulated_time / uniform_time,
-        ))
-    return rows
+    families = key_families(n, bits, seed)
+    results = run_grid(_point, [
+        dict(machine=machine, keys=keys, bits=bits) for _, keys in families
+    ])
+    uniform_time = results[0][3]
+    return [
+        (name, hist_k, bsp, dxbsp, sim, sim / uniform_time)
+        for (name, _), (hist_k, bsp, dxbsp, sim) in zip(families, results)
+    ]
 
 
 def main() -> str:

@@ -20,10 +20,26 @@ from ..simulator.banksim import simulate_scatter
 from ..simulator.machine import MachineConfig
 from ..workloads.patterns import strided
 from .common import DEFAULT_SEED, j90
+from .runner import run_grid
 
 from ..analysis.report import Series
 
 __all__ = ["run", "main"]
+
+
+def _point(machine: MachineConfig, n: int, stride: int, seed: int):
+    """One stride: analytic prediction plus both simulated variants.
+
+    The linear-hash map is rebuilt from ``seed`` inside the point so the
+    mapping object itself need not be shipped.
+    """
+    addr = strided(n, stride)
+    return (
+        banks_touched(stride, machine.n_banks),
+        predict_strided_time(machine, n, stride),
+        simulate_scatter(machine, addr).time,
+        simulate_scatter(machine, addr, linear_hash(seed)).time,
+    )
 
 
 def run(
@@ -41,17 +57,12 @@ def run(
         else [1, 2, 3, 4, 8, 16, 64, 128, 512],
         dtype=np.int64,
     )
-    mapping = linear_hash(seed)
-    touched = np.empty(svals.size)
-    pred = np.empty(svals.size)
-    sim_il = np.empty(svals.size)
-    sim_hash = np.empty(svals.size)
-    for i, s in enumerate(svals):
-        addr = strided(n, int(s))
-        touched[i] = banks_touched(int(s), machine.n_banks)
-        pred[i] = predict_strided_time(machine, n, int(s))
-        sim_il[i] = simulate_scatter(machine, addr).time
-        sim_hash[i] = simulate_scatter(machine, addr, mapping).time
+    rows = run_grid(_point, [
+        dict(machine=machine, n=n, stride=int(s), seed=seed) for s in svals
+    ])
+    touched, pred, sim_il, sim_hash = (
+        np.asarray(col, dtype=np.float64) for col in zip(*rows)
+    )
     series = Series(
         name=f"fig_strides ({machine.name}, n={n}) [classical contrast]",
         x_label="stride",

@@ -1,0 +1,330 @@
+"""Shared experiment execution: parallel grid fan-out + on-disk memo cache.
+
+Every experiment in this package is a sweep over *independent grid
+points* (one pattern simulated per contention value, per expansion
+factor, per key family, ...).  Instead of each module hand-rolling a
+``for`` loop, they declare the points and hand them to :func:`run_grid`,
+which supplies two orthogonal services:
+
+* **parallelism** — grid points fan out over a process pool
+  (``--parallel N`` on the CLI, ``REPRO_PARALLEL`` in the environment);
+* **memoization** — each point's result is cached on disk, keyed by
+  ``(code version, point function, arguments)``, where arguments cover
+  the machine parameters, the pattern spec and the seed.  Re-running a
+  sweep after touching an unrelated file is near-instant; touching any
+  source file under ``repro`` invalidates every key at once (the code
+  version is a digest of the package sources — coarse but impossible to
+  fool with a stale result).
+
+Point functions must be module-level (picklable by reference) and their
+arguments/results picklable; results should be small (floats, tuples,
+light dataclasses), which all experiment points satisfy.
+
+Whole experiments also run concurrently: :func:`run_experiments` fans
+the registry ids of ``python -m repro.experiments --all`` out over the
+pool, capturing each experiment's stdout so reports stay untangled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "run_grid",
+    "run_experiments",
+    "ExperimentOutcome",
+    "configure",
+    "cache_dir",
+    "cache_key",
+    "code_version",
+    "clear_cache",
+]
+
+#: Process-wide overrides set by :func:`configure` (e.g. from CLI flags).
+#: ``None`` means "fall through to the environment, then the default".
+_config: Dict[str, Any] = {"parallel": None, "cache": None, "cache_dir": None}
+
+_CACHE_VERSION = 1  # bump to invalidate every on-disk entry at once
+
+
+def configure(
+    parallel: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> None:
+    """Set process-wide execution defaults (the CLI calls this).
+
+    Passing ``None`` for a field leaves it unchanged; fields keep
+    falling back to ``REPRO_PARALLEL`` / ``REPRO_CACHE`` /
+    ``REPRO_CACHE_DIR`` and then to serial, cache-on defaults.
+    """
+    if parallel is not None:
+        if parallel < 1:
+            raise ParameterError(f"parallel must be >= 1, got {parallel}")
+        _config["parallel"] = int(parallel)
+    if cache is not None:
+        _config["cache"] = bool(cache)
+    if cache_dir is not None:
+        _config["cache_dir"] = Path(cache_dir)
+
+
+def _parallelism(override: Optional[int]) -> int:
+    if override is not None:
+        return max(1, int(override))
+    if _config["parallel"] is not None:
+        return _config["parallel"]
+    env = os.environ.get("REPRO_PARALLEL", "")
+    return max(1, int(env)) if env.isdigit() else 1
+
+
+def _cache_enabled(override: Optional[bool]) -> bool:
+    if override is not None:
+        return override
+    if _config["cache"] is not None:
+        return _config["cache"]
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    """Directory holding memoized grid-point results."""
+    if _config["cache_dir"] is not None:
+        return _config["cache_dir"]
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+def clear_cache() -> int:
+    """Delete every cached entry; returns the number removed."""
+    root = cache_dir()
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for path in root.glob("*.pkl"):
+        path.unlink(missing_ok=True)
+        removed += 1
+    return removed
+
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every source file under the ``repro`` package.
+
+    Any edit to any module invalidates all cached results.  Coarser than
+    per-function dependency tracking, but a cached result can never
+    survive a code change that would have altered it.
+    """
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parents[1]
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+def _feed(h, value) -> None:
+    """Feed a canonical byte encoding of ``value`` into hasher ``h``.
+
+    Covers everything experiment points pass around: scalars, strings,
+    containers, numpy arrays (digested by dtype/shape/contents, so a
+    64K-address pattern keys cheaply), and dataclasses such as
+    :class:`~repro.simulator.machine.MachineConfig` (encoded field by
+    field — the machine params part of the key).
+    """
+    if isinstance(value, np.ndarray):
+        h.update(b"nd:")
+        h.update(str(value.dtype).encode())
+        h.update(str(value.shape).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        h.update(b"dc:")
+        h.update(type(value).__qualname__.encode())
+        for f in dataclasses.fields(value):
+            h.update(f.name.encode())
+            _feed(h, getattr(value, f.name))
+    elif isinstance(value, dict):
+        h.update(b"{:")
+        for k in sorted(value, key=repr):
+            _feed(h, k)
+            _feed(h, value[k])
+    elif isinstance(value, (list, tuple)):
+        h.update(b"[:")
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, (str, bytes, bool, type(None))):
+        h.update(repr(value).encode())
+    elif isinstance(value, (int, float, np.integer, np.floating)):
+        # One representation per numeric value regardless of numpy width.
+        h.update(repr(
+            int(value) if float(value) == int(value) else float(value)
+        ).encode())
+    else:
+        h.update(b"pk:")
+        h.update(pickle.dumps(value, protocol=4))
+    h.update(b";")
+
+
+def cache_key(fn: Callable, kwargs: Dict[str, Any]) -> str:
+    """Stable key for one grid point: code version + function identity +
+    canonicalized arguments."""
+    h = hashlib.sha256()
+    h.update(f"v{_CACHE_VERSION}:{code_version()}".encode())
+    h.update(f"{fn.__module__}.{fn.__qualname__}".encode())
+    _feed(h, kwargs)
+    return h.hexdigest()
+
+
+_MISS = object()
+
+
+def _cache_load(key: str):
+    path = cache_dir() / f"{key}.pkl"
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return _MISS
+
+
+def _cache_store(key: str, result) -> None:
+    root = cache_dir()
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        tmp = root / f".{key}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=4)
+        tmp.replace(root / f"{key}.pkl")  # atomic publish
+    except OSError:
+        pass  # caching is best-effort; never fail the experiment
+
+
+def _pool(workers: int, cache: Optional[bool] = None) -> ProcessPoolExecutor:
+    # Workers inherit the parent's effective cache settings but run
+    # serially themselves — nested pools would oversubscribe the machine.
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=configure,
+        initargs=(1, _cache_enabled(cache), cache_dir()),
+    )
+
+
+def run_grid(
+    fn: Callable,
+    points: Sequence[Dict[str, Any]],
+    *,
+    parallel: Optional[int] = None,
+    cache: Optional[bool] = None,
+) -> List[Any]:
+    """Evaluate ``fn(**point)`` for every point, in order.
+
+    Results come back aligned with ``points`` regardless of completion
+    order.  Cached points are served from disk without touching the
+    pool; only misses are executed (and then stored).
+
+    Parameters
+    ----------
+    fn:
+        Module-level point function (must be picklable by reference).
+    points:
+        One kwargs dict per grid point.
+    parallel:
+        Worker processes; default from :func:`configure` /
+        ``REPRO_PARALLEL`` / 1.  With one worker (or one miss) the
+        points run in-process — no pool overhead.
+    cache:
+        Force caching on/off for this grid; default from
+        :func:`configure` / ``REPRO_CACHE`` / on.  Points that measure
+        wall-clock time must pass ``cache=False``.
+    """
+    points = [dict(p) for p in points]
+    results: List[Any] = [None] * len(points)
+    enabled = _cache_enabled(cache)
+    keys: List[Optional[str]] = [None] * len(points)
+    todo: List[int] = []
+    for i, point in enumerate(points):
+        if enabled:
+            keys[i] = cache_key(fn, point)
+            hit = _cache_load(keys[i])
+            if hit is not _MISS:
+                results[i] = hit
+                continue
+        todo.append(i)
+
+    workers = min(_parallelism(parallel), len(todo))
+    if workers > 1:
+        with _pool(workers, cache) as pool:
+            futures = {pool.submit(fn, **points[i]): i for i in todo}
+            for fut in as_completed(futures):
+                results[futures[fut]] = fut.result()
+    else:
+        for i in todo:
+            results[i] = fn(**points[i])
+
+    if enabled:
+        for i in todo:
+            _cache_store(keys[i], results[i])
+    return results
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentOutcome:
+    """One registry experiment's rendered output and wall-clock."""
+
+    exp_id: str
+    output: str
+    seconds: float
+
+
+def _run_experiment(exp_id: str) -> ExperimentOutcome:
+    """Run one registry experiment, capturing its stdout."""
+    from . import REGISTRY  # deferred: workers re-import lazily
+
+    buf = io.StringIO()
+    t0 = time.perf_counter()
+    with redirect_stdout(buf):
+        out = REGISTRY[exp_id].main()
+    return ExperimentOutcome(exp_id, out, time.perf_counter() - t0)
+
+
+def run_experiments(
+    ids: Sequence[str],
+    parallel: Optional[int] = None,
+) -> List[ExperimentOutcome]:
+    """Run whole experiments (registry ids) concurrently, in id order.
+
+    Unlike :func:`run_grid` there is no memo layer here — the per-point
+    caches inside each experiment already carry the reuse; this level
+    only supplies the fan-out for ``--all``.
+    """
+    ids = list(ids)
+    workers = min(_parallelism(parallel), len(ids))
+    if workers <= 1:
+        return [_run_experiment(i) for i in ids]
+    results: Dict[str, ExperimentOutcome] = {}
+    with _pool(workers) as pool:
+        futures = {pool.submit(_run_experiment, i): i for i in ids}
+        for fut in as_completed(futures):
+            outcome = fut.result()
+            results[outcome.exp_id] = outcome
+    return [results[i] for i in ids]

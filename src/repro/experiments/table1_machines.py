@@ -5,6 +5,9 @@ ship with bank expansion factors far above 1 because banks are slower
 than processors.  We regenerate it from the machine presets (the C90 and
 J90 bank delays are stated in the paper; other rows are marked
 reconstructed in their ``note`` field).
+
+No simulation runs here — the rows are read straight off the presets —
+so this experiment does not go through :mod:`repro.experiments.runner`.
 """
 
 from __future__ import annotations

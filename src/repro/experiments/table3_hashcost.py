@@ -6,6 +6,10 @@ substitute measures wall-clock nanoseconds per element for the vectorized
 NumPy implementations and reports them next to the Horner-form operation
 counts; the reproduction target is the *shape* — cost growing linearly
 with polynomial degree, h1 < h2 < h3.
+
+This experiment deliberately bypasses :mod:`repro.experiments.runner`:
+it measures wall-clock time, which must never be served from the memo
+cache, and the three timings share one process so they compete fairly.
 """
 
 from __future__ import annotations

@@ -1,25 +1,45 @@
-"""Reference cycle-accurate simulator with bounded queues and back-pressure.
+"""Cycle-accurate simulator with bounded queues and back-pressure.
 
-This is the slow, obviously-correct twin of :mod:`repro.simulator.banksim`:
-an explicit per-cycle event loop in plain Python.  It serves two purposes:
+Two engines compute the same machine, cycle for cycle:
 
-1. **Oracle** — with unbounded queues it must produce *exactly* the same
-   completion time as the vectorized simulator (property-tested), which
-   validates the segmented-cummax vectorization.
-2. **Back-pressure ablation** — with a finite per-bank queue capacity a
-   processor stalls when its target queue is full, which the (d,x)-BSP
-   deliberately does not model.  Comparing the two quantifies how much the
-   unbounded-queue abstraction gives away (DESIGN.md ablation 1).
+1. **event** (default) — a discrete-event engine that jumps between the
+   cycles where something can actually happen (an issue, an arrival, a
+   bank becoming free) instead of ticking through idle cycles.  Work is
+   O(events log events) — independent of how many cycles the machine
+   idles and of ``n_banks`` — which makes 64K-request sweeps cheap.
+2. **tick** — the original explicit per-cycle loop, advancing one cycle
+   at a time and scanning every bank each cycle.  It is kept as the
+   obviously-correct reference: the event engine is property-tested to
+   produce bit-identical :class:`~repro.simulator.stats.SimResult`\\ s
+   against it across every mode (unbounded queues, bounded queues with
+   stall accounting, combining, and the bank-cache extension).
+
+Both serve two purposes in the repo:
+
+* **Oracle** — with unbounded queues they must produce *exactly* the same
+  completion time as the vectorized simulator (property-tested), which
+  validates the segmented-cummax vectorization.
+* **Back-pressure ablation** — with a finite per-bank queue capacity a
+  processor stalls when its target queue is full, which the (d,x)-BSP
+  deliberately does not model.  Comparing the two quantifies how much the
+  unbounded-queue abstraction gives away (DESIGN.md ablation 1).
 
 All machine times (``g``, ``d``, ``latency``, ``L``) must be non-negative
-integers here; the simulator advances one cycle at a time.
+integers here; the simulated machine advances in whole cycles.
+
+Per-cycle sub-step order (identical in both engines): processors issue
+(in processor-id order), in-flight requests arrive at queues, banks start
+service.  With ``latency = 0`` a request can therefore be issued and
+start service in the same cycle iff its bank is free — matching the
+vectorized model's ``start = max(arrival, prev_start + d)``.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -40,28 +60,31 @@ def _require_int(name: str, value: float) -> int:
     return int(value)
 
 
-def simulate_scatter_cycle(
+@dataclass
+class _Setup:
+    """Validated integer machine parameters plus the per-processor
+    request streams, shared by both engines."""
+
+    p: int
+    n_banks: int
+    g: int
+    d: int
+    latency: int
+    L: int
+    hit_delay: Optional[int]
+    capacity: Optional[int]
+    n: int
+    proc_reqs: List[deque]  # per processor: (bank, addr, alive) in order
+    max_cycles: int
+
+
+def _prepare(
     machine: MachineConfig,
     addresses,
-    bank_map: Optional[BankMap] = None,
-    assignment: Assignment = "round_robin",
-    max_cycles: Optional[int] = None,
-) -> SimResult:
-    """Cycle-accurate simulation of one scatter on ``machine``.
-
-    Honors ``machine.queue_capacity``: when a target bank's queue holds
-    that many waiting requests, the issuing processor stalls (retries next
-    cycle) and the stall is accounted in ``SimResult.stalled_cycles``.
-    ``queue_capacity=None`` reproduces the unbounded model exactly.
-
-    Notes
-    -----
-    The per-cycle order of sub-steps is: processors issue (in processor-id
-    order), in-flight requests arrive at queues, banks start service.  With
-    ``latency = 0`` a request can therefore be issued and start service in
-    the same cycle iff its bank is free — matching the vectorized model's
-    ``start = max(arrival, prev_start + d)``.
-    """
+    bank_map: Optional[BankMap],
+    assignment: Assignment,
+    max_cycles: Optional[int],
+) -> _Setup:
     if machine.n_sections > 1 and machine.section_gap > 0:
         raise ParameterError(
             "the cycle simulator does not model network sections; use "
@@ -85,10 +108,10 @@ def simulate_scatter_cycle(
     n = batch.n
     n_banks = machine.n_banks
     if n == 0:
-        return SimResult(
-            time=float(L), n=0,
-            bank_loads=np.zeros(n_banks, dtype=np.int64),
-            machine_name=machine.name,
+        return _Setup(
+            p=machine.p, n_banks=n_banks, g=g, d=d, latency=latency, L=L,
+            hit_delay=hit_delay, capacity=machine.queue_capacity, n=0,
+            proc_reqs=[], max_cycles=0,
         )
     if bank_map is None:
         banks = (batch.addresses % n_banks).astype(np.int64)
@@ -105,18 +128,51 @@ def simulate_scatter_cycle(
         survives[keep] = True
 
     # Per-processor request streams, in issue order.
-    proc_reqs: list[deque] = [deque() for _ in range(machine.p)]
+    proc_reqs: List[deque] = [deque() for _ in range(machine.p)]
     for i in range(n):
         proc_reqs[batch.proc[i]].append(
             (int(banks[i]), int(batch.addresses[i]), bool(survives[i]))
         )
 
     capacity = machine.queue_capacity  # None = unbounded
-    queues: list[deque] = [deque() for _ in range(n_banks)]
-    bank_free_at = [0] * n_banks  # earliest cycle bank may start a request
-    bank_last_addr = [None] * n_banks  # row buffer (cache extension)
-    bank_served = [0] * n_banks
-    next_issue = [0] * machine.p
+    if max_cycles is None:
+        # Serialization ceiling: every request behind one bank (n*d) and
+        # behind one issue pipe (n*g), plus transit.  Bounded queues add
+        # dead time on top: whenever the hot queue drains below capacity
+        # the next retry still needs an issue attempt plus the network
+        # transit to land, so charge one (latency + g + 2)-cycle bubble
+        # per `capacity` requests served.
+        bound = n * d + n * g + latency + 1000
+        if capacity is not None:
+            bound += (n // capacity + 1) * (latency + g + 2)
+        max_cycles = int(bound)
+
+    return _Setup(
+        p=machine.p, n_banks=n_banks, g=g, d=d, latency=latency, L=L,
+        hit_delay=hit_delay, capacity=capacity, n=n, proc_reqs=proc_reqs,
+        max_cycles=max_cycles,
+    )
+
+
+def _runaway(s: _Setup, completed: int, stalled: int) -> SimulationError:
+    return SimulationError(
+        f"cycle simulator exceeded {s.max_cycles} cycles with "
+        f"{s.n - completed} requests outstanding and {stalled} issue "
+        f"stalls accrued (deadlock or runaway; queue_capacity="
+        f"{s.capacity})"
+    )
+
+
+def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
+    """Reference engine: advance one cycle at a time, scanning all banks
+    every cycle.  Slow but obviously correct."""
+    n = s.n
+    capacity = s.capacity
+    queues: List[deque] = [deque() for _ in range(s.n_banks)]
+    bank_free_at = [0] * s.n_banks  # earliest cycle bank may start a request
+    bank_last_addr = [None] * s.n_banks  # row buffer (cache extension)
+    bank_served = [0] * s.n_banks
+    next_issue = [0] * s.p
     in_flight: list = []  # heap of (arrival_cycle, seq, bank, addr)
     seq = 0
     completed = 0
@@ -125,49 +181,43 @@ def simulate_scatter_cycle(
     max_wait = 0
     stalled = 0
 
-    if max_cycles is None:
-        max_cycles = int(n * d + n * g + latency + 1000)
-
     t = 0
     while completed < n:
-        if t > max_cycles:
-            raise SimulationError(
-                f"cycle simulator exceeded {max_cycles} cycles with "
-                f"{n - completed} requests outstanding (deadlock or runaway)"
-            )
+        if t > s.max_cycles:
+            raise _runaway(s, completed, stalled)
         # 1. Processors issue, in processor-id order.
-        for q in range(machine.p):
-            if proc_reqs[q] and next_issue[q] <= t:
-                bank, req_addr, alive = proc_reqs[q][0]
+        for q in range(s.p):
+            if s.proc_reqs[q] and next_issue[q] <= t:
+                bank, req_addr, alive = s.proc_reqs[q][0]
                 if alive and capacity is not None \
                         and len(queues[bank]) >= capacity:
                     stalled += 1
                     continue  # retry next cycle; next_issue unchanged
-                proc_reqs[q].popleft()
+                s.proc_reqs[q].popleft()
                 if alive:
                     heapq.heappush(
-                        in_flight, (t + latency, seq, bank, req_addr)
+                        in_flight, (t + s.latency, seq, bank, req_addr)
                     )
                 else:
                     # Absorbed by the combining network: done on arrival.
-                    last_finish = max(last_finish, t + latency)
+                    last_finish = max(last_finish, t + s.latency)
                     completed += 1
                 seq += 1
-                next_issue[q] = t + g
+                next_issue[q] = t + s.g
         # 2. Deliver arrivals due this cycle (FIFO by arrival, then issue seq).
         while in_flight and in_flight[0][0] <= t:
             arr, _, bank, req_addr = heapq.heappop(in_flight)
             queues[bank].append((arr, req_addr))
         # 3. Banks start service.
-        for bank in range(n_banks):
+        for bank in range(s.n_banks):
             if queues[bank] and bank_free_at[bank] <= t:
                 arr, req_addr = queues[bank].popleft()
                 wait = t - arr
                 total_wait += wait
                 max_wait = max(max_wait, wait)
-                cost = d
-                if hit_delay is not None and bank_last_addr[bank] == req_addr:
-                    cost = hit_delay
+                cost = s.d
+                if s.hit_delay is not None and bank_last_addr[bank] == req_addr:
+                    cost = s.hit_delay
                 bank_last_addr[bank] = req_addr
                 bank_free_at[bank] = t + cost
                 bank_served[bank] += 1
@@ -177,7 +227,7 @@ def simulate_scatter_cycle(
         t += 1
 
     return SimResult(
-        time=float(last_finish + L),
+        time=float(last_finish + s.L),
         n=n,
         bank_loads=np.asarray(bank_served, dtype=np.int64),
         max_wait=float(max_wait),
@@ -185,3 +235,198 @@ def simulate_scatter_cycle(
         stalled_cycles=float(stalled),
         machine_name=machine.name,
     )
+
+
+def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
+    """Event-driven engine: process only the cycles where state can
+    change, jumping over idle spans.
+
+    Event sources and their heaps:
+
+    * ``issue_heap`` — ``(next_issue, q)`` for every processor with
+      pending requests that is not currently back-pressure blocked;
+    * ``in_flight`` — ``(arrival, seq, bank, addr)`` network transits;
+    * ``bank_heap`` — ``(ready_cycle, bank)`` service opportunities,
+      pushed lazily whenever a bank is touched (arrival or service) and
+      validated on pop, so stale duplicates are harmless.
+
+    Blocked processors schedule no events of their own: their queue can
+    only gain space at a service event, so they retry at ``t + 1`` after
+    any cycle that served a request, and the stalls they would have
+    accrued over a jumped span are added in closed form
+    (``len(blocked) * span``).  Every processed cycle runs the exact
+    per-cycle body of the tick engine, which is what makes the two
+    engines bit-identical rather than merely close.
+    """
+    n = s.n
+    capacity = s.capacity
+    queues: List[deque] = [deque() for _ in range(s.n_banks)]
+    bank_free_at = [0] * s.n_banks
+    bank_last_addr = [None] * s.n_banks
+    bank_served = [0] * s.n_banks
+    next_issue = [0] * s.p
+    in_flight: list = []
+    issue_heap: list = [(0, q) for q in range(s.p) if s.proc_reqs[q]]
+    bank_heap: list = []  # (ready_cycle, bank), lazily validated
+    blocked: List[int] = []  # processors stalled on a full queue
+    seq = 0
+    completed = 0
+    last_finish = 0
+    total_wait = 0
+    max_wait = 0
+    stalled = 0
+
+    heappush, heappop = heapq.heappush, heapq.heappop
+    t = 0
+    while completed < n:
+        if t > s.max_cycles:
+            raise _runaway(s, completed, stalled)
+
+        # 1. Processors issue, in processor-id order: everyone whose
+        # issue event is due plus everyone blocked (their retry is due
+        # every cycle by construction).
+        ready: List[int] = []
+        while issue_heap and issue_heap[0][0] <= t:
+            ready.append(heappop(issue_heap)[1])
+        if blocked:
+            ready.extend(blocked)
+            blocked = []
+        ready.sort()
+        for q in ready:
+            bank, req_addr, alive = s.proc_reqs[q][0]
+            if alive and capacity is not None \
+                    and len(queues[bank]) >= capacity:
+                stalled += 1
+                blocked.append(q)
+                continue  # retry next cycle; next_issue unchanged
+            s.proc_reqs[q].popleft()
+            if alive:
+                heappush(in_flight, (t + s.latency, seq, bank, req_addr))
+            else:
+                last_finish = max(last_finish, t + s.latency)
+                completed += 1
+            seq += 1
+            next_issue[q] = t + s.g
+            if s.proc_reqs[q]:
+                heappush(issue_heap, (t + s.g, q))
+
+        # 2. Deliver arrivals due this cycle.  Schedule the bank only on
+        # an empty -> nonempty transition: a nonempty queue always has
+        # exactly one live entry in bank_heap (kept alive by the serve
+        # loop below), so further arrivals must not add duplicates —
+        # they would each be re-pushed at every serve event, degrading a
+        # hot bank to O(n^2) heap traffic.
+        while in_flight and in_flight[0][0] <= t:
+            arr, _, bank, req_addr = heappop(in_flight)
+            queues[bank].append((arr, req_addr))
+            if len(queues[bank]) == 1:
+                heappush(bank_heap, (max(bank_free_at[bank], t), bank))
+
+        # 3. Banks start service (order across banks is immaterial: the
+        # aggregates are sums and maxes and each bank owns its queue).
+        served_any = False
+        while bank_heap and bank_heap[0][0] <= t:
+            _, bank = heappop(bank_heap)
+            if not queues[bank]:
+                continue  # stale entry; rescheduled on next arrival
+            if bank_free_at[bank] > t:
+                heappush(bank_heap, (bank_free_at[bank], bank))
+                continue
+            arr, req_addr = queues[bank].popleft()
+            wait = t - arr
+            total_wait += wait
+            if wait > max_wait:
+                max_wait = wait
+            cost = s.d
+            if s.hit_delay is not None and bank_last_addr[bank] == req_addr:
+                cost = s.hit_delay
+            bank_last_addr[bank] = req_addr
+            bank_free_at[bank] = t + cost
+            bank_served[bank] += 1
+            if t + cost > last_finish:
+                last_finish = t + cost
+            completed += 1
+            served_any = True
+            if queues[bank]:
+                heappush(bank_heap, (t + cost, bank))
+
+        if completed >= n:
+            break
+
+        # Jump to the next cycle where anything can change.
+        t_next = s.max_cycles + 1
+        if issue_heap and issue_heap[0][0] < t_next:
+            t_next = issue_heap[0][0]
+        if in_flight and in_flight[0][0] < t_next:
+            t_next = in_flight[0][0]
+        if bank_heap and bank_heap[0][0] < t_next:
+            t_next = bank_heap[0][0]
+        if blocked and served_any and t + 1 < t_next:
+            t_next = t + 1  # freed queue space: blocked issues may go
+        if t_next <= t:
+            raise SimulationError(
+                "event engine scheduled a non-advancing event "
+                f"(t={t}, t_next={t_next}); this is a bug"
+            )
+        if blocked:
+            # Stalls the tick engine would have counted on the skipped
+            # cycles (state cannot change between events, so every
+            # blocked processor stays blocked across the whole span).
+            stalled += len(blocked) * (t_next - t - 1)
+        t = t_next
+
+    return SimResult(
+        time=float(last_finish + s.L),
+        n=n,
+        bank_loads=np.asarray(bank_served, dtype=np.int64),
+        max_wait=float(max_wait),
+        mean_wait=float(total_wait / n),
+        stalled_cycles=float(stalled),
+        machine_name=machine.name,
+    )
+
+
+_ENGINES = {"event": _run_event, "tick": _run_tick}
+
+
+def simulate_scatter_cycle(
+    machine: MachineConfig,
+    addresses,
+    bank_map: Optional[BankMap] = None,
+    assignment: Assignment = "round_robin",
+    max_cycles: Optional[int] = None,
+    engine: str = "event",
+) -> SimResult:
+    """Cycle-accurate simulation of one scatter on ``machine``.
+
+    Honors ``machine.queue_capacity``: when a target bank's queue holds
+    that many waiting requests, the issuing processor stalls (retries next
+    cycle) and the stall is accounted in ``SimResult.stalled_cycles``.
+    ``queue_capacity=None`` reproduces the unbounded model exactly.
+
+    Parameters
+    ----------
+    engine:
+        ``"event"`` (default) uses the event-driven engine that skips
+        idle cycles; ``"tick"`` uses the retained per-cycle reference
+        loop.  Both produce bit-identical results (property-tested).
+    max_cycles:
+        Runaway guard; defaults to a serialization bound that scales
+        with the queue capacity (a bounded hot queue legitimately adds
+        issue-retry dead time on top of pure service serialization).
+    """
+    try:
+        run = _ENGINES[engine]
+    except KeyError:
+        raise ParameterError(
+            f"unknown cycle engine {engine!r}; expected one of "
+            f"{sorted(_ENGINES)}"
+        ) from None
+    s = _prepare(machine, addresses, bank_map, assignment, max_cycles)
+    if s.n == 0:
+        return SimResult(
+            time=float(s.L), n=0,
+            bank_loads=np.zeros(s.n_banks, dtype=np.int64),
+            machine_name=machine.name,
+        )
+    return run(machine, s)

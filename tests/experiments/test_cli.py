@@ -2,7 +2,21 @@
 
 import pytest
 
+from repro.experiments import runner
 from repro.experiments.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_config(tmp_path):
+    """main() calls runner.configure (process-wide); snapshot/restore so
+    flag tests don't leak into each other, and sandbox the cache dir."""
+    saved = dict(runner._config)
+    runner._config.update(
+        {"parallel": None, "cache": None, "cache_dir": tmp_path / "cache"}
+    )
+    yield
+    runner._config.clear()
+    runner._config.update(saved)
 
 
 class TestCli:
@@ -27,3 +41,34 @@ class TestCli:
         assert main(["T1", "FN"]) == 0
         out = capsys.readouterr().out
         assert "=== T1" in out and "=== FN" in out
+
+    def test_header_includes_wall_clock(self, capsys):
+        assert main(["T1"]) == 0
+        assert "s] ===" in capsys.readouterr().out
+
+    def test_parallel_flag(self, capsys):
+        assert main(["T1", "FN", "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== T1" in out and "=== FN" in out
+        assert out.index("=== T1") < out.index("=== FN")  # id order kept
+
+    def test_parallel_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["T1", "--parallel", "0"])
+        assert exc.value.code != 0
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        assert main(["T1", "--no-cache"]) == 0
+        assert runner._config["cache"] is False
+        assert not (tmp_path / "cache").exists()  # nothing written
+
+    def test_save_records_wall_clock(self, capsys, tmp_path):
+        out_dir = tmp_path / "saved"
+        assert main(["T1", "--save", str(out_dir)]) == 0
+        text = (out_dir / "T1.txt").read_text()
+        assert "Cray C90" in text
+        assert "[wall-clock:" in text
+
+    def test_clear_cache_flag(self, capsys):
+        assert main(["--clear-cache"]) == 0
+        assert "cleared" in capsys.readouterr().out

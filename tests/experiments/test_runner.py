@@ -1,0 +1,163 @@
+"""Tests for the shared experiment runner (grid fan-out + memo cache)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import runner
+from repro.experiments.runner import (
+    cache_key,
+    clear_cache,
+    code_version,
+    run_grid,
+)
+from repro.simulator import toy_machine
+
+
+@pytest.fixture(autouse=True)
+def _isolated_config(tmp_path, monkeypatch):
+    """Snapshot process-wide runner config and point the cache at a
+    throwaway directory so tests never touch the user's cache."""
+    saved = dict(runner._config)
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    runner._config.update(
+        {"parallel": None, "cache": None, "cache_dir": tmp_path / "cache"}
+    )
+    yield
+    runner._config.clear()
+    runner._config.update(saved)
+
+
+def _square(x):
+    return x * x
+
+
+def _sim_point(machine, n, seed):
+    from repro.simulator import simulate_scatter
+    from repro.workloads import hotspot
+
+    return simulate_scatter(machine, hotspot(n, 4, 1 << 12, seed=seed)).time
+
+
+_CALLS = []
+
+
+def _counting(x):
+    _CALLS.append(x)
+    return x + 1
+
+
+class TestRunGrid:
+    def test_results_aligned_with_points(self):
+        res = run_grid(_square, [dict(x=i) for i in range(10)], cache=False)
+        assert res == [i * i for i in range(10)]
+
+    def test_empty_grid(self):
+        assert run_grid(_square, [], cache=False) == []
+
+    def test_parallel_matches_serial(self):
+        points = [dict(machine=toy_machine(), n=50, seed=s)
+                  for s in range(6)]
+        serial = run_grid(_sim_point, points, parallel=1, cache=False)
+        fanned = run_grid(_sim_point, points, parallel=2, cache=False)
+        assert serial == fanned
+
+    def test_cache_roundtrip_skips_execution(self):
+        _CALLS.clear()
+        points = [dict(x=i) for i in range(4)]
+        first = run_grid(_counting, points)
+        assert len(_CALLS) == 4
+        second = run_grid(_counting, points)
+        assert len(_CALLS) == 4  # every point served from disk
+        assert first == second == [1, 2, 3, 4]
+
+    def test_no_cache_reexecutes(self):
+        _CALLS.clear()
+        points = [dict(x=1)]
+        run_grid(_counting, points, cache=False)
+        run_grid(_counting, points, cache=False)
+        assert len(_CALLS) == 2
+
+    def test_partial_hits(self):
+        _CALLS.clear()
+        run_grid(_counting, [dict(x=1), dict(x=2)])
+        run_grid(_counting, [dict(x=1), dict(x=2), dict(x=3)])
+        assert _CALLS == [1, 2, 3]  # only the new point executed
+
+    def test_clear_cache(self):
+        run_grid(_square, [dict(x=5)])
+        assert clear_cache() == 1
+        assert clear_cache() == 0
+
+
+class TestCacheKey:
+    def test_distinct_kwargs_distinct_keys(self):
+        assert cache_key(_square, {"x": 1}) != cache_key(_square, {"x": 2})
+
+    def test_distinct_functions_distinct_keys(self):
+        assert cache_key(_square, {"x": 1}) != cache_key(_counting, {"x": 1})
+
+    def test_key_stable(self):
+        assert cache_key(_square, {"x": 1}) == cache_key(_square, {"x": 1})
+
+    def test_array_contents_keyed(self):
+        a = {"addr": np.arange(100)}
+        b = {"addr": np.arange(100)}
+        c = {"addr": np.arange(100) + 1}
+        assert cache_key(_square, a) == cache_key(_square, b)
+        assert cache_key(_square, a) != cache_key(_square, c)
+
+    def test_array_dtype_keyed(self):
+        a = {"addr": np.arange(8, dtype=np.int64)}
+        b = {"addr": np.arange(8, dtype=np.int32)}
+        assert cache_key(_square, a) != cache_key(_square, b)
+
+    def test_machine_params_keyed(self):
+        base = toy_machine()
+        assert cache_key(_square, {"m": base}) != \
+            cache_key(_square, {"m": base.with_(d=base.d + 1)})
+        assert cache_key(_square, {"m": base}) == \
+            cache_key(_square, {"m": toy_machine()})
+
+    def test_numeric_width_unified(self):
+        # A point built with np.int64(7) and one built with plain 7 are
+        # the same computation — the key must agree.
+        assert cache_key(_square, {"x": np.int64(7)}) == \
+            cache_key(_square, {"x": 7})
+
+    def test_code_version_in_key(self):
+        key = cache_key(_square, {"x": 1})
+        assert isinstance(code_version(), str) and len(code_version()) == 16
+        runner._code_version = "0" * 16
+        try:
+            assert cache_key(_square, {"x": 1}) != key
+        finally:
+            runner._code_version = None
+
+
+class TestConfigure:
+    def test_rejects_nonpositive_parallel(self):
+        with pytest.raises(ParameterError):
+            runner.configure(parallel=0)
+
+    def test_env_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert runner._parallelism(None) == 3
+
+    def test_env_cache_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not runner._cache_enabled(None)
+
+
+class TestRunExperiments:
+    def test_serial_outcomes_in_order(self):
+        outcomes = runner.run_experiments(["T1", "FN"], parallel=1)
+        assert [o.exp_id for o in outcomes] == ["T1", "FN"]
+        assert "Cray C90" in outcomes[0].output
+        assert all(o.seconds >= 0 for o in outcomes)
+
+    def test_parallel_outcomes_in_order(self):
+        outcomes = runner.run_experiments(["T1", "FN"], parallel=2)
+        assert [o.exp_id for o in outcomes] == ["T1", "FN"]
+        assert "Cray C90" in outcomes[0].output

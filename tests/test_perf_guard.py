@@ -1,0 +1,47 @@
+"""Opt-in perf-regression gate (``-m perf_guard``).
+
+Deselected by default (see ``addopts`` in pyproject.toml) because it
+depends on ``BENCH_cycle_engine.json``, which only exists after running
+``pytest benchmarks/test_perf_cycle_engine.py``.  Run explicitly with::
+
+    python -m pytest -m perf_guard tests/test_perf_guard.py
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "perf_guard", ROOT / "tools" / "perf_guard.py"
+)
+perf_guard = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perf_guard)
+
+
+@pytest.mark.perf_guard
+class TestPerfGuard:
+    def test_current_run_within_budget(self, capsys):
+        if not perf_guard.CURRENT.is_file():
+            pytest.skip("no BENCH_cycle_engine.json — run the benchmark "
+                        "first")
+        assert perf_guard.main([]) == 0
+        assert "perf_guard:" in capsys.readouterr().out
+
+    def test_compare_flags_regression(self):
+        base = {"benchmark": "cycle_engine", "machine": "Cray J90",
+                "n": 65536, "k": 65536, "event_seconds": 0.1}
+        slow = dict(base, event_seconds=0.35)
+        with pytest.raises(SystemExit, match="PERF REGRESSION"):
+            perf_guard.compare(slow, base, max_ratio=2.0)
+        assert perf_guard.compare(
+            dict(base, event_seconds=0.15), base, max_ratio=2.0
+        ).startswith("ok")
+
+    def test_compare_skips_changed_workload(self):
+        base = {"benchmark": "cycle_engine", "machine": "Cray J90",
+                "n": 65536, "k": 65536, "event_seconds": 0.1}
+        other = dict(base, n=1024, event_seconds=99.0)
+        assert "workload changed" in perf_guard.compare(other, base, 2.0)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Guard against cycle-engine performance regressions.
+
+Compares the freshly generated ``BENCH_cycle_engine.json`` (written by
+``pytest benchmarks/test_perf_cycle_engine.py``) against the previous
+accepted run stored next to it as ``BENCH_cycle_engine.prev.json``.
+Exits nonzero if the event engine slowed down by more than the allowed
+factor (default 2x) on the same workload.
+
+Usage::
+
+    python tools/perf_guard.py             # compare, exit 1 on regression
+    python tools/perf_guard.py --update    # accept current run as baseline
+    python tools/perf_guard.py --max-ratio 1.5
+
+Also runnable through pytest as an opt-in marker::
+
+    python -m pytest -m perf_guard tests/test_perf_guard.py
+
+First run (no baseline yet) passes and seeds the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+CURRENT = ROOT / "BENCH_cycle_engine.json"
+BASELINE = ROOT / "BENCH_cycle_engine.prev.json"
+
+#: Keys that must match for two runs to be comparable.
+_WORKLOAD_KEYS = ("benchmark", "machine", "n", "k")
+
+
+def compare(current: dict, baseline: dict, max_ratio: float) -> str:
+    """Return a human-readable verdict; raise SystemExit(1) on regression."""
+    for key in _WORKLOAD_KEYS:
+        if current.get(key) != baseline.get(key):
+            return (f"workload changed ({key}: {baseline.get(key)!r} -> "
+                    f"{current.get(key)!r}); skipping comparison")
+    now = float(current["event_seconds"])
+    then = float(baseline["event_seconds"])
+    if then <= 0:
+        return "baseline has no timing; skipping comparison"
+    ratio = now / then
+    verdict = (f"event engine: {then:.3f}s -> {now:.3f}s "
+               f"({ratio:.2f}x, limit {max_ratio:.2f}x)")
+    if ratio > max_ratio:
+        raise SystemExit(f"PERF REGRESSION: {verdict}")
+    return f"ok: {verdict}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail if event_seconds grew by more than this "
+                             "factor (default 2.0)")
+    parser.add_argument("--update", action="store_true",
+                        help="accept the current run as the new baseline")
+    args = parser.parse_args(argv)
+
+    if not CURRENT.is_file():
+        print(f"perf_guard: {CURRENT.name} not found — run "
+              "`pytest benchmarks/test_perf_cycle_engine.py` first",
+              file=sys.stderr)
+        return 2
+
+    if not BASELINE.is_file():
+        shutil.copy(CURRENT, BASELINE)
+        print(f"perf_guard: seeded baseline {BASELINE.name} from current run")
+        return 0
+
+    current = json.loads(CURRENT.read_text())
+    baseline = json.loads(BASELINE.read_text())
+    print("perf_guard:", compare(current, baseline, args.max_ratio))
+    if args.update:
+        shutil.copy(CURRENT, BASELINE)
+        print(f"perf_guard: baseline {BASELINE.name} updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
