@@ -52,6 +52,8 @@ def test_perf_cycle_engine(benchmark, save_result):
     assert event.time == tick.time
     assert (event.bank_loads == tick.bank_loads).all()
     assert event.stalled_cycles == tick.stalled_cycles
+    # Telemetry is opt-in: the timed hot path must not have collected it.
+    assert event.telemetry is None and tick.telemetry is None
 
     speedup = tick_s / event_s
     assert speedup >= 10.0, (
@@ -76,6 +78,7 @@ def test_perf_cycle_engine(benchmark, save_result):
         "machine": machine.name,
         "n": N,
         "k": K,
+        "telemetry": "off",
         "tick_seconds": round(tick_s, 6),
         "event_seconds": round(event_s, 6),
         "speedup": round(speedup, 2),

@@ -11,7 +11,7 @@ from .predict import (
 )
 from .fit import DelayEstimate, estimate_bank_delay, measure_contention_curve
 from .histogram import expected_max_bank_load_mc, predict_scatter_from_histogram
-from .report import Series, csv_lines, format_table
+from .report import Series, csv_lines, format_table, telemetry_table
 from .statistics import MeanCI, mean_ci, run_until_stable
 from .visualize import bank_load_strip, series_panel, sparkline
 from .strides import (
@@ -31,6 +31,7 @@ __all__ = [
     "Series",
     "format_table",
     "csv_lines",
+    "telemetry_table",
     "banks_touched",
     "predict_strided_time",
     "effective_bandwidth",

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..errors import ParameterError
 
-__all__ = ["format_table", "Series", "csv_lines"]
+__all__ = ["format_table", "Series", "csv_lines", "telemetry_table"]
 
 
 def _fmt(value) -> str:
@@ -97,6 +97,53 @@ class Series:
     def format(self) -> str:
         """The whole series as an aligned table."""
         return format_table(self.headers(), self.rows(), title=self.name)
+
+
+def telemetry_table(result, top: int = 8, title: str = "") -> str:
+    """Render a :class:`~repro.simulator.SimResult`'s telemetry as the
+    *why* behind a prediction error: the hottest banks (load, busy
+    cycles, utilization, queue high-water) plus the stall breakdown.
+
+    A pattern that misses the (d,x)-BSP bound shows up here directly —
+    one bank at utilization ~1.0 with a deep queue is the serialized
+    hot-spot regime; all banks cool with large ``issue_backpressure`` is
+    bounded-queue back-pressure the model does not charge for.
+
+    Requires a result produced with ``telemetry=True``.
+    """
+    tel = getattr(result, "telemetry", None)
+    if tel is None:
+        raise ParameterError(
+            "SimResult carries no telemetry; rerun the simulator with "
+            "telemetry=True to collect per-bank counters"
+        )
+    order = np.argsort(tel.bank_busy)[::-1][:max(1, int(top))]
+    rows = [
+        (
+            int(b),
+            int(result.bank_loads[b]),
+            float(tel.bank_busy[b]),
+            float(tel.bank_utilization[b]),
+            int(tel.queue_high_water[b]),
+        )
+        for b in order
+        if result.bank_loads[b] > 0 or tel.bank_busy[b] > 0
+    ] or [(0, 0, 0.0, 0.0, 0)]
+    lines = [format_table(
+        ["bank", "load", "busy", "utilization", "queue high-water"],
+        rows,
+        title=title or f"hottest banks ({result.machine_name})".strip(),
+    )]
+    lines.append(
+        "stalls: " + "  ".join(
+            f"{k}={_fmt(v)}" for k, v in sorted(tel.stall_breakdown.items())
+        )
+    )
+    lines.append(
+        f"makespan: {_fmt(tel.makespan)} cycles, "
+        f"max queue depth: {tel.max_queue_depth}"
+    )
+    return "\n".join(lines)
 
 
 def csv_lines(headers: Sequence[str], rows: Iterable[Sequence]) -> List[str]:

@@ -45,6 +45,10 @@ __all__ = [
 __all__ += ["fig_multiprefix", "fig_listranking", "fig_strides",
             "fig_sortbench", "fig_residuals"]
 
+from .manifest import RunManifest, validate_manifest  # noqa: E402
+
+__all__ += ["RunManifest", "validate_manifest"]
+
 #: Experiment id (DESIGN.md) → module, for programmatic discovery.
 #: Ids MP/LR (future-work studies named in the paper's conclusion) and
 #: ST (classical strided contrast) extend the paper's own artifact set.

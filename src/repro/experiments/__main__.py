@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --all            # run everything
     python -m repro.experiments --all --parallel 4
     python -m repro.experiments E1 --no-cache    # force recomputation
+    python -m repro.experiments --all --json out # + one manifest per id
 """
 
 from __future__ import annotations
@@ -39,6 +40,12 @@ def main(argv=None) -> int:
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each experiment's output to "
                              "DIR/<id>.txt (with its wall-clock time)")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        dest="json_dir",
+                        help="write one machine-readable run manifest per "
+                             "experiment to DIR/<id>.json (seeds, machine "
+                             "params, code version, cache hit/miss and "
+                             "retry counts, wall-clock)")
     args = parser.parse_args(argv)
     if args.parallel is not None and args.parallel < 1:
         parser.error("--parallel must be >= 1")
@@ -65,18 +72,39 @@ def main(argv=None) -> int:
                      f"(known: {', '.join(REGISTRY)})")
     runner.configure(parallel=args.parallel,
                      cache=False if args.no_cache else None)
+    import pathlib
+
     save_dir = None
     if args.save is not None:
-        import pathlib
-
         save_dir = pathlib.Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
+    json_dir = None
+    if args.json_dir is not None:
+        json_dir = pathlib.Path(args.json_dir)
+        json_dir.mkdir(parents=True, exist_ok=True)
     for outcome in runner.run_experiments(ids, parallel=args.parallel):
         print(f"=== {outcome.exp_id} [{outcome.seconds:.2f}s] " + "=" * 50)
         print(outcome.output)
+        stray = outcome.stray_output
+        if stray:
+            print(f"--- captured stdout ({outcome.exp_id}) ---")
+            print(stray)
         if save_dir is not None:
-            (save_dir / f"{outcome.exp_id}.txt").write_text(
-                f"{outcome.output}\n\n[wall-clock: {outcome.seconds:.3f}s]\n"
+            text = f"{outcome.output}\n"
+            if stray:
+                text += f"\n[captured stdout]\n{stray}\n"
+            text += f"\n[wall-clock: {outcome.seconds:.3f}s]\n"
+            (save_dir / f"{outcome.exp_id}.txt").write_text(text)
+        if json_dir is not None:
+            from .manifest import RunManifest, write_manifest
+
+            write_manifest(
+                RunManifest.from_outcome(
+                    outcome,
+                    parallel=runner._parallelism(args.parallel),
+                    cache_enabled=not args.no_cache,
+                ),
+                json_dir,
             )
         print()
     return 0

@@ -17,6 +17,7 @@ __all__ = [
     "DEFAULT_SPACE",
     "j90",
     "c90",
+    "diagnose_scatter",
 ]
 
 #: Seed used by every experiment unless overridden.
@@ -37,3 +38,28 @@ def j90(**overrides) -> MachineConfig:
 def c90(**overrides) -> MachineConfig:
     """The Cray C90 preset (d = 6, SRAM)."""
     return CRAY_C90.with_(**overrides) if overrides else CRAY_C90
+
+
+def diagnose_scatter(machine: MachineConfig, addresses, label: str = "") -> str:
+    """Explain one pattern's prediction error with simulator telemetry.
+
+    Runs the pattern through both models and the simulator (with
+    telemetry on) and renders: the three times with the (d,x)-BSP's
+    signed error, then the hottest banks and the stall breakdown — the
+    *why* when a pattern misses (or meets) the model bound.  The
+    experiment modules expose this as ``diagnose(...)`` with their own
+    pattern generators.
+    """
+    from ..analysis.predict import compare_scatter
+    from ..analysis.report import telemetry_table
+    from ..simulator.banksim import simulate_scatter
+
+    cmp = compare_scatter(machine, addresses, label=label)
+    res = simulate_scatter(machine, addresses, telemetry=True)
+    header = (
+        f"{label or 'pattern'}: n={cmp.n} k={cmp.contention}  "
+        f"bsp={cmp.bsp_time:,.0f}  dxbsp={cmp.dxbsp_time:,.0f}  "
+        f"simulated={cmp.simulated_time:,.0f}  "
+        f"(dxbsp error {cmp.dxbsp_error:+.1%})"
+    )
+    return header + "\n" + telemetry_table(res)

@@ -22,10 +22,10 @@ from ..analysis.report import Series
 from ..core.cost import crossover_contention
 from ..simulator.machine import MachineConfig
 from ..workloads.patterns import hotspot
-from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, diagnose_scatter, j90
 from .runner import run_grid
 
-__all__ = ["default_contentions", "run", "main"]
+__all__ = ["default_contentions", "run", "main", "diagnose"]
 
 
 def default_contentions(n: int) -> np.ndarray:
@@ -69,6 +69,24 @@ def run(
     series.add("dxbsp", dxbsp)
     series.add("simulated", sim)
     return series
+
+
+def diagnose(
+    machine: Optional[MachineConfig] = None,
+    n: int = DEFAULT_N,
+    k: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    """Telemetry deep-dive on one contention value (default: all-hot).
+
+    Shows the serialized hot bank directly — ``k`` requests' worth of
+    busy cycles on one bank, queue high-water ~``k``, everything else
+    idle — which is *why* the flat BSP prediction misses by up to ``d``x.
+    """
+    machine = machine or j90()
+    k = n if k is None else int(k)
+    addr = hotspot(n, k, DEFAULT_SPACE, seed=seed)
+    return diagnose_scatter(machine, addr, label=f"hotspot k={k}")
 
 
 def main() -> str:

@@ -23,10 +23,27 @@ from ..analysis.predict import compare_scatter
 from ..analysis.report import Series
 from ..simulator.machine import MachineConfig
 from ..workloads.patterns import multi_hotspot
-from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
+from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, diagnose_scatter, j90
 from .runner import run_grid
 
-__all__ = ["run_vs_nhot", "run_vs_fraction", "main"]
+__all__ = ["run_vs_nhot", "run_vs_fraction", "main", "diagnose"]
+
+
+def diagnose(
+    machine: Optional[MachineConfig] = None,
+    n: int = DEFAULT_N,
+    n_hot: int = 16,
+    fraction: float = 0.25,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    """Telemetry deep-dive on one multi-hot point: the hot traffic now
+    spreads over ``n_hot`` banks, so the busy cycles and queue depth
+    split across them instead of serializing on one."""
+    machine = machine or j90()
+    addr = multi_hotspot(n, n_hot, fraction, DEFAULT_SPACE, seed=seed)
+    return diagnose_scatter(
+        machine, addr, label=f"multi-hot n_hot={n_hot} f={fraction}"
+    )
 
 
 def _point(

@@ -32,7 +32,7 @@ from ..workloads.patterns import section_confined, uniform_random
 from .common import DEFAULT_N, DEFAULT_SEED, DEFAULT_SPACE, j90
 from .runner import run_grid
 
-__all__ = ["HEADERS", "default_machine", "run", "main"]
+__all__ = ["HEADERS", "default_machine", "run", "main", "diagnose"]
 
 HEADERS = (
     "version", "n", "bank_pred", "section_pred", "simulated", "sim/bank_pred"
@@ -86,6 +86,22 @@ def run(
         dict(machine=machine, label=label, addr=addr)
         for label, addr in versions
     ])
+
+
+def diagnose(
+    machine: Optional[MachineConfig] = None,
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    """Telemetry deep-dive on version (c), one confined section: the
+    stall breakdown's ``link_wait`` bucket carries the time the
+    bank-only prediction cannot see (requests queued at the section
+    link, not at any bank)."""
+    from .common import diagnose_scatter
+
+    machine = machine or default_machine()
+    addr = section_confined(machine, n, 0, seed=seed + 7)
+    return diagnose_scatter(machine, addr, label="c (one section)")
 
 
 def main() -> str:

@@ -1,0 +1,182 @@
+"""Structured run manifests: the machine-readable record of a run.
+
+The paper's claim is quantitative — predicted vs. simulated time across
+Experiments 1-3 and Figures 11-12 — so reproduction runs need an
+auditable record of *how* each number was produced.  A
+:class:`RunManifest` captures, per experiment: the registry id, the
+package code version, the default machine parameters and seed the
+experiment ran under, wall-clock time, and the runner's fault/cache
+counters (hits, misses, retries, timeouts, quarantined cache entries).
+
+``python -m repro.experiments --all --json DIR`` writes one
+schema-checked manifest per experiment as ``DIR/<id>.json``;
+:func:`validate_manifest` is the schema check, deliberately dependency
+free (no jsonschema in the image).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from ..errors import ParameterError
+from . import runner
+from .common import DEFAULT_N, DEFAULT_SEED, j90
+
+__all__ = [
+    "RunManifest",
+    "MANIFEST_SCHEMA",
+    "validate_manifest",
+    "write_manifest",
+]
+
+#: Manifest format version; bump on any incompatible field change.
+SCHEMA_VERSION = 1
+
+#: Required fields and their types — the (flat) manifest schema.
+#: ``machine`` is the nested dict of default machine parameters.
+MANIFEST_SCHEMA: Dict[str, type] = {
+    "schema_version": int,
+    "exp_id": str,
+    "code_version": str,
+    "seed": int,
+    "n": int,
+    "machine": dict,
+    "seconds": float,
+    "points": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "retries": int,
+    "timeouts": int,
+    "quarantined": int,
+    "experiment_retries": int,
+    "parallel": int,
+    "cache_enabled": bool,
+    "created_unix": float,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RunManifest:
+    """Machine-readable record of one experiment invocation.
+
+    ``machine``/``seed``/``n`` record the *package defaults* the
+    experiment modules run under (the paper's J90, seed 1995, S = 64K);
+    experiments that sweep several machines (e.g. T1) still execute
+    under these defaults for their headline numbers.
+    """
+
+    exp_id: str
+    code_version: str
+    seed: int
+    n: int
+    machine: Dict[str, Any]
+    seconds: float
+    points: int
+    cache_hits: int
+    cache_misses: int
+    retries: int
+    timeouts: int
+    quarantined: int
+    experiment_retries: int
+    parallel: int
+    cache_enabled: bool
+    created_unix: float
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_outcome(
+        cls,
+        outcome: "runner.ExperimentOutcome",
+        *,
+        parallel: int = 1,
+        cache_enabled: bool = True,
+    ) -> "RunManifest":
+        """Build the manifest for one :class:`~runner.ExperimentOutcome`."""
+        s = outcome.stats
+        return cls(
+            exp_id=outcome.exp_id,
+            code_version=runner.code_version(),
+            seed=DEFAULT_SEED,
+            n=DEFAULT_N,
+            machine=dataclasses.asdict(j90()),
+            seconds=float(outcome.seconds),
+            points=s.points,
+            cache_hits=s.cache_hits,
+            cache_misses=s.cache_misses,
+            retries=s.retries,
+            timeouts=s.timeouts,
+            quarantined=s.quarantined,
+            experiment_retries=outcome.retries,
+            parallel=int(parallel),
+            cache_enabled=bool(cache_enabled),
+            created_unix=time.time(),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view matching :data:`MANIFEST_SCHEMA`."""
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        """Serialized manifest (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def validate_manifest(data: Dict[str, Any]) -> None:
+    """Raise :class:`ParameterError` unless ``data`` matches the schema.
+
+    Checks presence and type of every :data:`MANIFEST_SCHEMA` field,
+    rejects unknown fields (schema drift must bump
+    :data:`SCHEMA_VERSION`, not leak silently) and rejects negative
+    counters.
+    """
+    problems = []
+    for field_name, typ in MANIFEST_SCHEMA.items():
+        if field_name not in data:
+            problems.append(f"missing field {field_name!r}")
+            continue
+        value = data[field_name]
+        # bool is an int subclass; keep the check strict both ways.
+        if typ is bool:
+            ok = isinstance(value, bool)
+        elif typ is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        elif typ is float:
+            # JSON round-trips whole floats as ints; accept both.
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, typ)
+        if not ok:
+            problems.append(
+                f"field {field_name!r} should be {typ.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    for field_name in data:
+        if field_name not in MANIFEST_SCHEMA:
+            problems.append(f"unknown field {field_name!r}")
+    for counter in ("points", "cache_hits", "cache_misses", "retries",
+                    "timeouts", "quarantined", "experiment_retries"):
+        if isinstance(data.get(counter), int) and data[counter] < 0:
+            problems.append(f"field {counter!r} must be >= 0")
+    if data.get("schema_version") not in (None, SCHEMA_VERSION):
+        problems.append(
+            f"schema_version {data['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    if problems:
+        raise ParameterError(
+            "invalid run manifest: " + "; ".join(problems)
+        )
+
+
+def write_manifest(manifest: RunManifest, directory) -> Path:
+    """Schema-check ``manifest`` and write it to ``directory/<id>.json``."""
+    data = manifest.to_dict()
+    validate_manifest(data)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{manifest.exp_id}.json"
+    path.write_text(manifest.to_json())
+    return path

@@ -23,6 +23,17 @@ light dataclasses), which all experiment points satisfy.
 Whole experiments also run concurrently: :func:`run_experiments` fans
 the registry ids of ``python -m repro.experiments --all`` out over the
 pool, capturing each experiment's stdout so reports stay untangled.
+
+Both layers are **fault tolerant**: a grid point that raises, times out
+or takes its worker process down does not abort the sweep — the failed
+points are retried serially in-process once the pool drains (and a
+crashed experiment under ``--all`` is likewise rerun serially).
+Unreadable cache entries are quarantined (renamed to ``*.corrupt``)
+instead of being re-hit, and Ctrl-C tears the pool down without waiting
+for stragglers.  Every run tallies :class:`GridStats` (cache hits and
+misses, retries, timeouts, quarantines) which
+:mod:`repro.experiments.manifest` exports as machine-readable run
+manifests.
 """
 
 from __future__ import annotations
@@ -33,7 +44,11 @@ import io
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    as_completed,
+)
 from contextlib import redirect_stdout
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -46,6 +61,9 @@ __all__ = [
     "run_grid",
     "run_experiments",
     "ExperimentOutcome",
+    "GridStats",
+    "grid_stats",
+    "reset_grid_stats",
     "configure",
     "cache_dir",
     "cache_key",
@@ -57,7 +75,59 @@ __all__ = [
 #: ``None`` means "fall through to the environment, then the default".
 _config: Dict[str, Any] = {"parallel": None, "cache": None, "cache_dir": None}
 
-_CACHE_VERSION = 1  # bump to invalidate every on-disk entry at once
+_CACHE_VERSION = 2  # bump to invalidate every on-disk entry at once
+# v2: lists and tuples hash under distinct tags (they used to collide).
+
+
+@dataclasses.dataclass
+class GridStats:
+    """Counters accumulated by :func:`run_grid` (and reset per experiment
+    by :func:`run_experiments`), the observable record of how a sweep
+    actually executed.
+
+    Attributes
+    ----------
+    points:
+        Grid points requested.
+    cache_hits / cache_misses:
+        Points served from / absent from the on-disk memo cache (both
+        stay zero while caching is disabled).
+    retries:
+        Points re-executed serially after their pooled attempt raised,
+        timed out, or lost its worker process.
+    timeouts:
+        Points whose pooled attempt exceeded the per-point timeout.
+    quarantined:
+        Unreadable cache entries renamed to ``*.corrupt``.
+    """
+
+    points: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (manifest/JSON export)."""
+        return dataclasses.asdict(self)
+
+
+#: Process-wide tally across run_grid calls; snapshot via grid_stats().
+_stats = GridStats()
+
+
+def grid_stats() -> GridStats:
+    """Copy of the tally accumulated since the last reset."""
+    return dataclasses.replace(_stats)
+
+
+def reset_grid_stats() -> GridStats:
+    """Zero the tally; returns the counts it held."""
+    global _stats
+    snapshot = _stats
+    _stats = GridStats()
+    return snapshot
 
 
 def configure(
@@ -109,14 +179,20 @@ def cache_dir() -> Path:
 
 
 def clear_cache() -> int:
-    """Delete every cached entry; returns the number removed."""
+    """Delete every cached entry; returns the number removed.
+
+    Sweeps live entries (``*.pkl``), quarantined unreadable ones
+    (``*.corrupt``) and temp files orphaned by interrupted writers
+    (``.<key>.<pid>.tmp``), all counted in the return value.
+    """
     root = cache_dir()
     if not root.is_dir():
         return 0
     removed = 0
-    for path in root.glob("*.pkl"):
-        path.unlink(missing_ok=True)
-        removed += 1
+    for pattern in ("*.pkl", "*.corrupt", ".*.tmp"):
+        for path in root.glob(pattern):
+            path.unlink(missing_ok=True)
+            removed += 1
     return removed
 
 
@@ -169,7 +245,9 @@ def _feed(h, value) -> None:
             _feed(h, k)
             _feed(h, value[k])
     elif isinstance(value, (list, tuple)):
-        h.update(b"[:")
+        # Distinct tags: a list and a tuple of the same items are
+        # different kwargs and must not share a memo entry.
+        h.update(b"[:" if isinstance(value, list) else b"(:")
         for item in value:
             _feed(h, item)
     elif isinstance(value, (str, bytes, bool, type(None))):
@@ -203,7 +281,17 @@ def _cache_load(key: str):
     try:
         with open(path, "rb") as fh:
             return pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+    except FileNotFoundError:
+        return _MISS
+    except Exception:
+        # The entry exists but cannot be read (truncated write, foreign
+        # pickle, permission change...).  Quarantine it so the next run
+        # does not pay the failed read again — clear_cache sweeps these.
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+            _stats.quarantined += 1
+        except OSError:
+            pass
         return _MISS
 
 
@@ -235,12 +323,21 @@ def run_grid(
     *,
     parallel: Optional[int] = None,
     cache: Optional[bool] = None,
+    timeout: Optional[float] = None,
 ) -> List[Any]:
     """Evaluate ``fn(**point)`` for every point, in order.
 
     Results come back aligned with ``points`` regardless of completion
     order.  Cached points are served from disk without touching the
     pool; only misses are executed (and then stored).
+
+    The pooled fan-out never aborts the sweep on a single bad point: a
+    point whose worker raises, exceeds ``timeout``, or dies (OOM kill,
+    segfault — the whole pool breaks) is collected and retried serially
+    in-process after the pool drains, so one flaky point costs one
+    retry, not the whole grid.  Only a failure of the *serial* retry
+    propagates.  Ctrl-C shuts the pool down immediately without waiting
+    for outstanding points.
 
     Parameters
     ----------
@@ -256,27 +353,56 @@ def run_grid(
         Force caching on/off for this grid; default from
         :func:`configure` / ``REPRO_CACHE`` / on.  Points that measure
         wall-clock time must pass ``cache=False``.
+    timeout:
+        Per-point seconds before a pooled point is abandoned and
+        retried serially (measured from when the runner starts waiting
+        on that point, so it is an upper bound per point, not a global
+        budget).  ``None`` (default) waits forever.  Serial execution
+        ignores it — in-process work cannot be preempted safely.
     """
     points = [dict(p) for p in points]
     results: List[Any] = [None] * len(points)
     enabled = _cache_enabled(cache)
     keys: List[Optional[str]] = [None] * len(points)
     todo: List[int] = []
+    _stats.points += len(points)
     for i, point in enumerate(points):
         if enabled:
             keys[i] = cache_key(fn, point)
             hit = _cache_load(keys[i])
             if hit is not _MISS:
                 results[i] = hit
+                _stats.cache_hits += 1
                 continue
+            _stats.cache_misses += 1
         todo.append(i)
 
     workers = min(_parallelism(parallel), len(todo))
     if workers > 1:
-        with _pool(workers, cache) as pool:
+        failed: List[int] = []
+        pool = _pool(workers, cache)
+        try:
             futures = {pool.submit(fn, **points[i]): i for i in todo}
-            for fut in as_completed(futures):
-                results[futures[fut]] = fut.result()
+            for fut, i in futures.items():
+                try:
+                    results[i] = fut.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    fut.cancel()
+                    _stats.timeouts += 1
+                    failed.append(i)
+                except Exception:
+                    # Includes BrokenProcessPool: when a worker dies the
+                    # executor poisons every outstanding future, so each
+                    # lands here and joins the serial retry pass.
+                    failed.append(i)
+        finally:
+            # On SIGINT (or any error) drop queued work and return
+            # without waiting for stragglers; workers are reaped on
+            # interpreter exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+        for i in failed:
+            _stats.retries += 1
+            results[i] = fn(**points[i])
     else:
         for i in todo:
             results[i] = fn(**points[i])
@@ -289,22 +415,60 @@ def run_grid(
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentOutcome:
-    """One registry experiment's rendered output and wall-clock."""
+    """One registry experiment's rendered output, wall-clock and stats.
+
+    Attributes
+    ----------
+    exp_id:
+        Registry id (DESIGN.md).
+    output:
+        The report string returned by the experiment's ``main()``.
+    seconds:
+        Wall-clock time of the run.
+    captured:
+        Everything the experiment wrote to stdout while running
+        (``main()`` conventionally prints its own report, so this
+        usually contains ``output`` plus any stray prints).
+    stats:
+        :class:`GridStats` accumulated by the experiment's grids.
+    retries:
+        Times the whole experiment was rerun serially after its pool
+        worker died.
+    """
 
     exp_id: str
     output: str
     seconds: float
+    captured: str = ""
+    stats: GridStats = dataclasses.field(default_factory=GridStats)
+    retries: int = 0
+
+    @property
+    def stray_output(self) -> str:
+        """Captured stdout that is not part of the returned report —
+        debug prints that previously vanished under ``--all``."""
+        stray = self.captured
+        if self.output:
+            stray = stray.replace(self.output, "", 1)
+        return stray.strip()
 
 
 def _run_experiment(exp_id: str) -> ExperimentOutcome:
-    """Run one registry experiment, capturing its stdout."""
+    """Run one registry experiment, capturing its stdout and grid stats."""
     from . import REGISTRY  # deferred: workers re-import lazily
 
+    reset_grid_stats()
     buf = io.StringIO()
     t0 = time.perf_counter()
     with redirect_stdout(buf):
         out = REGISTRY[exp_id].main()
-    return ExperimentOutcome(exp_id, out, time.perf_counter() - t0)
+    return ExperimentOutcome(
+        exp_id,
+        out if isinstance(out, str) else ("" if out is None else str(out)),
+        time.perf_counter() - t0,
+        captured=buf.getvalue(),
+        stats=grid_stats(),
+    )
 
 
 def run_experiments(
@@ -315,16 +479,30 @@ def run_experiments(
 
     Unlike :func:`run_grid` there is no memo layer here — the per-point
     caches inside each experiment already carry the reuse; this level
-    only supplies the fan-out for ``--all``.
+    only supplies the fan-out for ``--all``.  An experiment whose pool
+    worker dies is rerun serially (``outcome.retries`` records it), so
+    one crash never takes down the whole ``--all`` sweep.
     """
     ids = list(ids)
     workers = min(_parallelism(parallel), len(ids))
     if workers <= 1:
         return [_run_experiment(i) for i in ids]
     results: Dict[str, ExperimentOutcome] = {}
-    with _pool(workers) as pool:
+    retry: List[str] = []
+    pool = _pool(workers)
+    try:
         futures = {pool.submit(_run_experiment, i): i for i in ids}
         for fut in as_completed(futures):
-            outcome = fut.result()
+            try:
+                outcome = fut.result()
+            except Exception:
+                retry.append(futures[fut])
+                continue
             results[outcome.exp_id] = outcome
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    for exp_id in sorted(retry, key=ids.index):
+        results[exp_id] = dataclasses.replace(
+            _run_experiment(exp_id), retries=1
+        )
     return [results[i] for i in ids]

@@ -23,7 +23,7 @@ from .machine import (
 )
 from .network import predict_scatter_sections, section_loads, section_of_banks
 from .request import RequestBatch
-from .stats import SimResult
+from .stats import SimResult, SimTelemetry
 from .trace import ProgramSimResult, simulate_program
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "TABLE1_MACHINES",
     "RequestBatch",
     "SimResult",
+    "SimTelemetry",
     "fifo_service_times",
     "fifo_service_times_cached",
     "simulate_batch",

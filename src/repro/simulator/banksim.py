@@ -39,9 +39,9 @@ import numpy as np
 
 from ..core.contention import BankMap
 from ..errors import PatternError, SimulationError
-from .machine import MachineConfig
+from .machine import MachineConfig, require_machine
 from .request import Assignment, RequestBatch
-from .stats import SimResult
+from .stats import SimResult, SimTelemetry
 
 __all__ = [
     "fifo_service_times",
@@ -188,10 +188,56 @@ def fifo_service_times_cached(
     return start, cost_out
 
 
+def _empty_telemetry(machine: MachineConfig) -> SimTelemetry:
+    """Telemetry for a zero-request batch (all counters zero)."""
+    return SimTelemetry(
+        bank_busy=np.zeros(machine.n_banks, dtype=np.float64),
+        queue_high_water=np.zeros(machine.n_banks, dtype=np.int64),
+        stall_breakdown={
+            "bank_wait": 0.0, "link_wait": 0.0, "issue_backpressure": 0.0,
+        },
+        proc_stalls=None,
+        makespan=0.0,
+    )
+
+
+def _queue_high_water(
+    arrival: np.ndarray,
+    start: np.ndarray,
+    banks: np.ndarray,
+    n_banks: int,
+) -> np.ndarray:
+    """Per-bank maximum simultaneous queue depth.
+
+    Each request occupies its bank's queue over ``[arrival, start)``.
+    Depth is sampled just after arrivals (arrivals sort before departures
+    at equal times), matching where the cycle engines measure their
+    high-water mark — a request that starts the cycle it arrives counts.
+    """
+    n = arrival.size
+    times = np.concatenate([arrival, start])
+    delta = np.concatenate([
+        np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64)
+    ])
+    bankv = np.concatenate([banks, banks])
+    order = np.lexsort((-delta, times, bankv))
+    s_bank = bankv[order]
+    # Each bank's deltas sum to zero, so a single global cumsum restarts
+    # at zero at every bank boundary — no per-segment offsets needed.
+    depth = np.cumsum(delta[order])
+    seg_first = np.flatnonzero(
+        np.r_[True, s_bank[1:] != s_bank[:-1]]
+    )
+    high = np.zeros(n_banks, dtype=np.int64)
+    high[s_bank[seg_first]] = np.maximum.reduceat(depth, seg_first)
+    return high
+
+
 def simulate_batch(
     machine: MachineConfig,
     batch: RequestBatch,
     banks: np.ndarray,
+    telemetry: bool = False,
 ) -> SimResult:
     """Simulate one batch of requests whose bank assignment is already
     resolved.
@@ -200,7 +246,13 @@ def simulate_batch(
     requests in the network), the optional section-link stage, the bank
     stage (with the bank-cache extension when configured), and folds the
     machine's ``L`` into the completion time.
+
+    With ``telemetry=True`` the result carries a :class:`SimTelemetry`
+    (per-bank busy cycles, queue high-water marks, stall breakdown);
+    under combining the counters cover the requests that survive to the
+    memory side.
     """
+    require_machine(machine, "simulate_batch")
     n = batch.n
     if n == 0:
         return SimResult(
@@ -208,6 +260,7 @@ def simulate_batch(
             n=0,
             bank_loads=np.zeros(machine.n_banks, dtype=np.int64),
             machine_name=machine.name,
+            telemetry=_empty_telemetry(machine) if telemetry else None,
         )
     banks = np.asarray(banks)
     if banks.shape != batch.addresses.shape:
@@ -229,9 +282,12 @@ def simulate_batch(
         banks = banks[keep]
         addresses = addresses[keep]
 
+    link_wait = 0.0
     if machine.n_sections > 1 and machine.section_gap > 0:
         sections = banks // machine.banks_per_section
         link_start = fifo_service_times(arrival, sections, machine.section_gap)
+        if telemetry:
+            link_wait = float((link_start - arrival).sum())
         arrival = link_start + machine.section_gap
 
     if machine.cache_hit_delay is not None:
@@ -241,17 +297,42 @@ def simulate_batch(
         finish = start + cost
     else:
         start = fifo_service_times(arrival, banks, machine.d)
+        cost = None  # uniform machine.d; materialized only for telemetry
         finish = start + machine.d
     waits = start - arrival
 
+    makespan = float(max(finish.max(), issue_floor))
+    tel = None
+    if telemetry:
+        per_req_cost = (
+            cost if cost is not None
+            else np.full(arrival.size, float(machine.d))
+        )
+        tel = SimTelemetry(
+            bank_busy=np.bincount(
+                banks, weights=per_req_cost, minlength=machine.n_banks
+            ),
+            queue_high_water=_queue_high_water(
+                arrival, start, banks, machine.n_banks
+            ),
+            stall_breakdown={
+                "bank_wait": float(waits.sum()),
+                "link_wait": link_wait,
+                "issue_backpressure": 0.0,
+            },
+            proc_stalls=None,
+            makespan=makespan,
+        )
+
     return SimResult(
-        time=float(max(finish.max(), issue_floor) + machine.L),
+        time=float(makespan + machine.L),
         n=n,
         bank_loads=np.bincount(banks, minlength=machine.n_banks).astype(np.int64),
         max_wait=float(waits.max()),
         mean_wait=float(waits.mean()),
         stalled_cycles=0.0,
         machine_name=machine.name,
+        telemetry=tel,
     )
 
 
@@ -260,6 +341,7 @@ def simulate_scatter(
     addresses,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
+    telemetry: bool = False,
 ) -> SimResult:
     """Simulate one scatter (or gather — the model costs them identically)
     of ``addresses`` on ``machine``.
@@ -275,13 +357,17 @@ def simulate_scatter(
         interleaving ``addr mod n_banks``.
     assignment:
         How elements are dealt over processors (``"round_robin"`` default).
+    telemetry:
+        Collect :class:`SimTelemetry` counters (off by default; the hot
+        path pays nothing for the option).
     """
+    require_machine(machine, "simulate_scatter")
     batch = RequestBatch.from_addresses(addresses, machine, assignment)
     if bank_map is None:
         banks = batch.addresses % machine.n_banks
     else:
         banks = np.asarray(bank_map(batch.addresses, machine.n_banks))
-    return simulate_batch(machine, batch, banks)
+    return simulate_batch(machine, batch, banks, telemetry=telemetry)
 
 
 def simulate_gather(
@@ -289,6 +375,7 @@ def simulate_gather(
     addresses,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
+    telemetry: bool = False,
 ) -> SimResult:
     """Simulate one gather of ``addresses``.
 
@@ -298,7 +385,9 @@ def simulate_gather(
     give almost identical results"), so this is :func:`simulate_scatter`
     under the read-side name.
     """
-    return simulate_scatter(machine, addresses, bank_map, assignment)
+    require_machine(machine, "simulate_gather")
+    return simulate_scatter(machine, addresses, bank_map, assignment,
+                            telemetry=telemetry)
 
 
 def simulate_scatter_blocked(
@@ -307,6 +396,7 @@ def simulate_scatter_blocked(
     superstep_size: int,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
+    telemetry: bool = False,
 ) -> SimResult:
     """Simulate a long scatter executed in supersteps of at most
     ``superstep_size`` elements, with a barrier (and the machine's ``L``)
@@ -319,24 +409,44 @@ def simulate_scatter_blocked(
     from .._util import as_addresses
     from ..errors import ParameterError
 
+    require_machine(machine, "simulate_scatter_blocked")
     if superstep_size < 1:
         raise ParameterError(
             f"superstep_size must be >= 1, got {superstep_size}"
         )
     addr = as_addresses(addresses)
     if addr.size == 0:
-        return simulate_scatter(machine, addr, bank_map, assignment)
+        return simulate_scatter(machine, addr, bank_map, assignment,
+                                telemetry=telemetry)
     total_time = 0.0
     loads = np.zeros(machine.n_banks, dtype=np.int64)
     max_wait = 0.0
     wait_weighted = 0.0
+    tel = _empty_telemetry(machine) if telemetry else None
     for lo in range(0, addr.size, superstep_size):
         chunk = addr[lo:lo + superstep_size]
-        res = simulate_scatter(machine, chunk, bank_map, assignment)
+        res = simulate_scatter(machine, chunk, bank_map, assignment,
+                               telemetry=telemetry)
         total_time += res.time
         loads += res.bank_loads
         max_wait = max(max_wait, res.max_wait)
         wait_weighted += res.mean_wait * res.n
+        if tel is not None:
+            # Busy cycles and waits add across supersteps; the high-water
+            # mark is a max (queues drain at each barrier).
+            step = res.telemetry
+            tel = SimTelemetry(
+                bank_busy=tel.bank_busy + step.bank_busy,
+                queue_high_water=np.maximum(
+                    tel.queue_high_water, step.queue_high_water
+                ),
+                stall_breakdown={
+                    k: tel.stall_breakdown[k] + v
+                    for k, v in step.stall_breakdown.items()
+                },
+                proc_stalls=None,
+                makespan=tel.makespan + step.makespan,
+            )
     return SimResult(
         time=total_time,
         n=int(addr.size),
@@ -345,4 +455,5 @@ def simulate_scatter_blocked(
         mean_wait=wait_weighted / addr.size,
         stalled_cycles=0.0,
         machine_name=machine.name,
+        telemetry=tel,
     )

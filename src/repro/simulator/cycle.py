@@ -45,9 +45,9 @@ import numpy as np
 
 from ..core.contention import BankMap
 from ..errors import ParameterError, SimulationError
-from .machine import MachineConfig
+from .machine import MachineConfig, require_machine
 from .request import Assignment, RequestBatch
-from .stats import SimResult
+from .stats import SimResult, SimTelemetry
 
 __all__ = ["simulate_scatter_cycle"]
 
@@ -76,6 +76,38 @@ class _Setup:
     n: int
     proc_reqs: List[deque]  # per processor: (bank, addr, alive) in order
     max_cycles: int
+    telemetry: bool = False
+
+
+class _Counters:
+    """Per-run telemetry accumulators shared by both engines.
+
+    Instantiated only when telemetry is requested; every engine touch
+    point is guarded so the counters cost nothing when off (the perf
+    gate in ``tools/perf_guard.py`` holds the hot path to that)."""
+
+    __slots__ = ("busy", "q_high", "proc_stalls")
+
+    def __init__(self, s: "_Setup") -> None:
+        self.busy = [0.0] * s.n_banks
+        self.q_high = [0] * s.n_banks
+        self.proc_stalls = [0] * s.p
+
+
+def _make_telemetry(
+    c: _Counters, total_wait: int, stalled: int, last_finish: int
+) -> SimTelemetry:
+    return SimTelemetry(
+        bank_busy=np.asarray(c.busy, dtype=np.float64),
+        queue_high_water=np.asarray(c.q_high, dtype=np.int64),
+        stall_breakdown={
+            "bank_wait": float(total_wait),
+            "link_wait": 0.0,
+            "issue_backpressure": float(stalled),
+        },
+        proc_stalls=np.asarray(c.proc_stalls, dtype=np.int64),
+        makespan=float(last_finish),
+    )
 
 
 def _prepare(
@@ -84,6 +116,7 @@ def _prepare(
     bank_map: Optional[BankMap],
     assignment: Assignment,
     max_cycles: Optional[int],
+    telemetry: bool = False,
 ) -> _Setup:
     if machine.n_sections > 1 and machine.section_gap > 0:
         raise ParameterError(
@@ -111,7 +144,7 @@ def _prepare(
         return _Setup(
             p=machine.p, n_banks=n_banks, g=g, d=d, latency=latency, L=L,
             hit_delay=hit_delay, capacity=machine.queue_capacity, n=0,
-            proc_reqs=[], max_cycles=0,
+            proc_reqs=[], max_cycles=0, telemetry=telemetry,
         )
     if bank_map is None:
         banks = (batch.addresses % n_banks).astype(np.int64)
@@ -150,7 +183,7 @@ def _prepare(
     return _Setup(
         p=machine.p, n_banks=n_banks, g=g, d=d, latency=latency, L=L,
         hit_delay=hit_delay, capacity=capacity, n=n, proc_reqs=proc_reqs,
-        max_cycles=max_cycles,
+        max_cycles=max_cycles, telemetry=telemetry,
     )
 
 
@@ -180,6 +213,7 @@ def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
     total_wait = 0
     max_wait = 0
     stalled = 0
+    tele = _Counters(s) if s.telemetry else None
 
     t = 0
     while completed < n:
@@ -192,6 +226,8 @@ def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
                 if alive and capacity is not None \
                         and len(queues[bank]) >= capacity:
                     stalled += 1
+                    if tele is not None:
+                        tele.proc_stalls[q] += 1
                     continue  # retry next cycle; next_issue unchanged
                 s.proc_reqs[q].popleft()
                 if alive:
@@ -208,6 +244,8 @@ def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
         while in_flight and in_flight[0][0] <= t:
             arr, _, bank, req_addr = heapq.heappop(in_flight)
             queues[bank].append((arr, req_addr))
+            if tele is not None and len(queues[bank]) > tele.q_high[bank]:
+                tele.q_high[bank] = len(queues[bank])
         # 3. Banks start service.
         for bank in range(s.n_banks):
             if queues[bank] and bank_free_at[bank] <= t:
@@ -221,6 +259,8 @@ def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
                 bank_last_addr[bank] = req_addr
                 bank_free_at[bank] = t + cost
                 bank_served[bank] += 1
+                if tele is not None:
+                    tele.busy[bank] += cost
                 finish = t + cost
                 last_finish = max(last_finish, finish)
                 completed += 1
@@ -234,6 +274,10 @@ def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
         mean_wait=float(total_wait / n),
         stalled_cycles=float(stalled),
         machine_name=machine.name,
+        telemetry=(
+            _make_telemetry(tele, total_wait, stalled, last_finish)
+            if tele is not None else None
+        ),
     )
 
 
@@ -275,6 +319,7 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
     total_wait = 0
     max_wait = 0
     stalled = 0
+    tele = _Counters(s) if s.telemetry else None
 
     heappush, heappop = heapq.heappush, heapq.heappop
     t = 0
@@ -297,6 +342,8 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
             if alive and capacity is not None \
                     and len(queues[bank]) >= capacity:
                 stalled += 1
+                if tele is not None:
+                    tele.proc_stalls[q] += 1
                 blocked.append(q)
                 continue  # retry next cycle; next_issue unchanged
             s.proc_reqs[q].popleft()
@@ -319,6 +366,8 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
         while in_flight and in_flight[0][0] <= t:
             arr, _, bank, req_addr = heappop(in_flight)
             queues[bank].append((arr, req_addr))
+            if tele is not None and len(queues[bank]) > tele.q_high[bank]:
+                tele.q_high[bank] = len(queues[bank])
             if len(queues[bank]) == 1:
                 heappush(bank_heap, (max(bank_free_at[bank], t), bank))
 
@@ -343,6 +392,8 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
             bank_last_addr[bank] = req_addr
             bank_free_at[bank] = t + cost
             bank_served[bank] += 1
+            if tele is not None:
+                tele.busy[bank] += cost
             if t + cost > last_finish:
                 last_finish = t + cost
             completed += 1
@@ -373,6 +424,9 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
             # cycles (state cannot change between events, so every
             # blocked processor stays blocked across the whole span).
             stalled += len(blocked) * (t_next - t - 1)
+            if tele is not None:
+                for q in blocked:
+                    tele.proc_stalls[q] += t_next - t - 1
         t = t_next
 
     return SimResult(
@@ -383,6 +437,10 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
         mean_wait=float(total_wait / n),
         stalled_cycles=float(stalled),
         machine_name=machine.name,
+        telemetry=(
+            _make_telemetry(tele, total_wait, stalled, last_finish)
+            if tele is not None else None
+        ),
     )
 
 
@@ -396,6 +454,7 @@ def simulate_scatter_cycle(
     assignment: Assignment = "round_robin",
     max_cycles: Optional[int] = None,
     engine: str = "event",
+    telemetry: bool = False,
 ) -> SimResult:
     """Cycle-accurate simulation of one scatter on ``machine``.
 
@@ -414,7 +473,12 @@ def simulate_scatter_cycle(
         Runaway guard; defaults to a serialization bound that scales
         with the queue capacity (a bounded hot queue legitimately adds
         issue-retry dead time on top of pure service serialization).
+    telemetry:
+        Collect :class:`SimTelemetry` counters (per-bank busy cycles,
+        queue high-water marks, per-processor stall counts).  Off by
+        default; both engines produce identical telemetry.
     """
+    require_machine(machine, "simulate_scatter_cycle")
     try:
         run = _ENGINES[engine]
     except KeyError:
@@ -422,11 +486,16 @@ def simulate_scatter_cycle(
             f"unknown cycle engine {engine!r}; expected one of "
             f"{sorted(_ENGINES)}"
         ) from None
-    s = _prepare(machine, addresses, bank_map, assignment, max_cycles)
+    s = _prepare(machine, addresses, bank_map, assignment, max_cycles,
+                 telemetry)
     if s.n == 0:
         return SimResult(
             time=float(s.L), n=0,
             bank_loads=np.zeros(s.n_banks, dtype=np.int64),
             machine_name=machine.name,
+            telemetry=(
+                _make_telemetry(_Counters(s), 0, 0, 0)
+                if telemetry else None
+            ),
         )
     return run(machine, s)

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+import numpy as np
+
 from .._util import check_nonnegative, check_positive
 from ..core.params import DXBSPParams
 from ..errors import ParameterError
@@ -187,6 +189,28 @@ class MachineConfig:
 
 
 #: Cray C90: 16 processors, 1024 SRAM banks, bank delay 6 cycles (paper §1).
+def require_machine(machine, where: str) -> None:
+    """Raise a clear ``TypeError`` unless ``machine`` is a
+    :class:`MachineConfig`.
+
+    Guards the simulator entry points against their most common misuse —
+    calling ``simulate_*(addresses, machine)`` with the arguments swapped,
+    which previously surfaced as a confusing ``PatternError`` about the
+    address vector's shape.
+    """
+    if not isinstance(machine, MachineConfig):
+        hint = (
+            " (the arguments look swapped)"
+            if isinstance(machine, (np.ndarray, list, tuple, range))
+            else ""
+        )
+        raise TypeError(
+            f"{where} expects a MachineConfig as its first argument; the "
+            f"signature is {where}(machine, addresses, ...), got "
+            f"{type(machine).__name__}{hint}"
+        )
+
+
 CRAY_C90 = MachineConfig(
     name="Cray C90", p=16, n_banks=1024, d=6.0, clock_mhz=240.0,
     note="bank delay 6 cycles (SRAM), stated in the paper",

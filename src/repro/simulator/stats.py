@@ -3,11 +3,71 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-__all__ = ["SimResult"]
+__all__ = ["SimResult", "SimTelemetry"]
+
+
+@dataclass(frozen=True)
+class SimTelemetry:
+    """Opt-in per-bank counters explaining *where* a pattern's time went.
+
+    Collected only when a simulator entry point is called with
+    ``telemetry=True`` (the default leaves :attr:`SimResult.telemetry`
+    as ``None`` and costs nothing on the hot path).  Both cycle engines
+    and the vectorized bank simulator produce identical telemetry for
+    the same unbounded-queue workload.
+
+    Attributes
+    ----------
+    bank_busy:
+        float64 array: cycles each bank spent servicing requests
+        (``d`` per request, or the hit cost under the bank-cache
+        extension).
+    queue_high_water:
+        int64 array: maximum number of requests simultaneously waiting
+        in each bank's queue, measured just after arrivals are enqueued
+        (a request that starts service the cycle it arrives counts).
+    stall_breakdown:
+        Cycles lost per cause: ``bank_wait`` (total request-cycles spent
+        queued at banks), ``link_wait`` (queued at section links; only
+        nonzero on sectioned machines) and ``issue_backpressure``
+        (processor issue stalls; only nonzero under bounded queues).
+    proc_stalls:
+        int64 array: issue stalls accrued by each processor (all zeros
+        for the unbounded model), or ``None`` when the engine does not
+        track processors (the vectorized simulator's issue never stalls).
+    makespan:
+        Cycle at which the last request finished service (excludes the
+        superstep overhead ``L``); the denominator for utilization.
+    """
+
+    bank_busy: np.ndarray
+    queue_high_water: np.ndarray
+    stall_breakdown: Dict[str, float]
+    proc_stalls: Optional[np.ndarray] = None
+    makespan: float = 0.0
+
+    @property
+    def bank_utilization(self) -> np.ndarray:
+        """Fraction of the makespan each bank spent busy."""
+        if self.makespan <= 0:
+            return np.zeros_like(self.bank_busy)
+        return self.bank_busy / self.makespan
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest any bank queue ever got."""
+        if self.queue_high_water.size == 0:
+            return 0
+        return int(self.queue_high_water.max())
+
+    @property
+    def total_stalled(self) -> float:
+        """Sum of all stall-breakdown buckets."""
+        return float(sum(self.stall_breakdown.values()))
 
 
 @dataclass(frozen=True)
@@ -32,6 +92,9 @@ class SimResult:
         cycle simulator; the unbounded model never stalls issue).
     machine_name:
         Name of the machine config that produced this result.
+    telemetry:
+        Detailed :class:`SimTelemetry` counters, present only when the
+        simulation was run with ``telemetry=True``.
     """
 
     time: float
@@ -41,6 +104,7 @@ class SimResult:
     mean_wait: float = 0.0
     stalled_cycles: float = 0.0
     machine_name: str = ""
+    telemetry: Optional[SimTelemetry] = None
 
     @property
     def max_bank_load(self) -> int:

@@ -1,0 +1,170 @@
+"""Tests for run manifests (schema, validation, CLI --json export)."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import RunManifest, runner, validate_manifest
+from repro.experiments.manifest import (
+    MANIFEST_SCHEMA,
+    SCHEMA_VERSION,
+    write_manifest,
+)
+from repro.experiments.runner import ExperimentOutcome, GridStats
+
+
+@pytest.fixture(autouse=True)
+def _isolated_config(tmp_path):
+    saved = dict(runner._config)
+    runner._config.update(
+        {"parallel": None, "cache": None, "cache_dir": tmp_path / "cache"}
+    )
+    yield
+    runner._config.clear()
+    runner._config.update(saved)
+
+
+def _outcome(**overrides) -> ExperimentOutcome:
+    base = dict(
+        exp_id="E1", output="table", seconds=1.25,
+        stats=GridStats(points=17, cache_hits=3, cache_misses=14),
+    )
+    base.update(overrides)
+    return ExperimentOutcome(**base)
+
+
+class TestRunManifest:
+    def test_from_outcome_fields(self):
+        m = RunManifest.from_outcome(_outcome(), parallel=4)
+        assert m.exp_id == "E1"
+        assert m.seconds == 1.25
+        assert (m.points, m.cache_hits, m.cache_misses) == (17, 3, 14)
+        assert m.parallel == 4
+        assert m.cache_enabled is True
+        assert m.schema_version == SCHEMA_VERSION
+        assert m.code_version == runner.code_version()
+        assert m.machine["name"] == "Cray J90"
+        assert m.seed == 1995
+        assert m.n == 64 * 1024
+
+    def test_from_outcome_validates(self):
+        validate_manifest(RunManifest.from_outcome(_outcome()).to_dict())
+
+    def test_json_round_trip_validates(self):
+        m = RunManifest.from_outcome(_outcome(retries=1))
+        data = json.loads(m.to_json())
+        validate_manifest(data)
+        assert data["experiment_retries"] == 1
+
+    def test_write_manifest_path_and_content(self, tmp_path):
+        path = write_manifest(RunManifest.from_outcome(_outcome()), tmp_path)
+        assert path == tmp_path / "E1.json"
+        validate_manifest(json.loads(path.read_text()))
+
+
+class TestValidateManifest:
+    def _valid(self) -> dict:
+        return RunManifest.from_outcome(_outcome()).to_dict()
+
+    def test_accepts_valid(self):
+        validate_manifest(self._valid())
+
+    def test_missing_field_rejected(self):
+        data = self._valid()
+        del data["seed"]
+        with pytest.raises(ParameterError, match="missing field 'seed'"):
+            validate_manifest(data)
+
+    def test_wrong_type_rejected(self):
+        data = self._valid()
+        data["seconds"] = "fast"
+        with pytest.raises(ParameterError, match="'seconds'"):
+            validate_manifest(data)
+
+    def test_bool_not_accepted_as_int(self):
+        data = self._valid()
+        data["points"] = True  # bool is an int subclass; must reject
+        with pytest.raises(ParameterError, match="'points'"):
+            validate_manifest(data)
+
+    def test_int_not_accepted_as_bool(self):
+        data = self._valid()
+        data["cache_enabled"] = 1
+        with pytest.raises(ParameterError, match="'cache_enabled'"):
+            validate_manifest(data)
+
+    def test_int_accepted_as_float(self):
+        # JSON round-trips whole floats as ints.
+        data = self._valid()
+        data["seconds"] = 2
+        validate_manifest(data)
+
+    def test_unknown_field_rejected(self):
+        data = self._valid()
+        data["extra"] = 1
+        with pytest.raises(ParameterError, match="unknown field 'extra'"):
+            validate_manifest(data)
+
+    def test_negative_counter_rejected(self):
+        data = self._valid()
+        data["retries"] = -1
+        with pytest.raises(ParameterError, match="'retries'"):
+            validate_manifest(data)
+
+    def test_schema_version_mismatch_rejected(self):
+        data = self._valid()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ParameterError, match="schema_version"):
+            validate_manifest(data)
+
+    def test_all_problems_reported_together(self):
+        data = self._valid()
+        del data["seed"]
+        data["points"] = -2
+        data["bogus"] = 0
+        with pytest.raises(ParameterError) as exc:
+            validate_manifest(data)
+        msg = str(exc.value)
+        assert "seed" in msg and "points" in msg and "bogus" in msg
+
+    def test_schema_covers_dataclass(self):
+        # Schema drift guard: every manifest field is schema-checked.
+        assert set(MANIFEST_SCHEMA) == set(self._valid())
+
+
+class TestCliJson:
+    def test_json_flag_writes_valid_manifests(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_dir = tmp_path / "manifests"
+        assert main(["T1", "FN", "--json", str(out_dir)]) == 0
+        for exp_id in ("T1", "FN"):
+            data = json.loads((out_dir / f"{exp_id}.json").read_text())
+            validate_manifest(data)
+            assert data["exp_id"] == exp_id
+            assert data["parallel"] == 1
+            assert data["cache_enabled"] is True
+        # FN sweeps a 3-point grid; a fresh cache means 3 misses.
+        fn = json.loads((out_dir / "FN.json").read_text())
+        assert fn["points"] == 3
+        assert fn["cache_misses"] == 3
+
+    def test_json_records_cache_hits_on_rerun(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_dir = tmp_path / "manifests"
+        assert main(["FN", "--json", str(out_dir)]) == 0
+        assert main(["FN", "--json", str(out_dir)]) == 0
+        data = json.loads((out_dir / "FN.json").read_text())
+        validate_manifest(data)
+        assert data["cache_hits"] == 3
+        assert data["cache_misses"] == 0
+
+    def test_json_respects_no_cache(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_dir = tmp_path / "manifests"
+        assert main(["T1", "--no-cache", "--json", str(out_dir)]) == 0
+        data = json.loads((out_dir / "T1.json").read_text())
+        assert data["cache_enabled"] is False

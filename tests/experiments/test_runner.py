@@ -1,5 +1,10 @@
 """Tests for the shared experiment runner (grid fan-out + memo cache)."""
 
+import multiprocessing
+import os
+import time
+import types
+
 import numpy as np
 import pytest
 
@@ -150,6 +155,164 @@ class TestConfigure:
         assert not runner._cache_enabled(None)
 
 
+def _in_worker() -> bool:
+    """True inside a process-pool worker (not the pytest process)."""
+    return multiprocessing.parent_process() is not None
+
+
+def _flaky_raise(x):
+    """Raises on the pooled attempt, succeeds on the serial retry."""
+    if _in_worker():
+        raise ValueError("pooled attempt fails")
+    return x * 3
+
+
+def _flaky_exit(x):
+    """Kills its worker process (simulated OOM/segfault); the serial
+    in-process retry succeeds."""
+    if _in_worker():
+        os._exit(17)
+    return x + 100
+
+
+def _flaky_slow(x):
+    """Hangs in the pool (only for x == 0); fast on the serial retry."""
+    if _in_worker() and x == 0:
+        time.sleep(2.0)
+    return -x
+
+
+def _always_raise(x):
+    raise ValueError("bad point")
+
+
+def _typename(x):
+    return type(x).__name__
+
+
+class TestFaultTolerance:
+    def test_raising_worker_retried_serially(self):
+        runner.reset_grid_stats()
+        points = [dict(x=i) for i in range(3)]
+        res = run_grid(_flaky_raise, points, parallel=2, cache=False)
+        assert res == [0, 3, 6]
+        assert runner.grid_stats().retries == 3
+
+    def test_killed_worker_breaks_pool_but_not_grid(self):
+        # os._exit in a worker poisons every outstanding future
+        # (BrokenProcessPool); all points must still come back, via the
+        # serial retry pass.
+        runner.reset_grid_stats()
+        points = [dict(x=i) for i in range(4)]
+        res = run_grid(_flaky_exit, points, parallel=2, cache=False)
+        assert res == [100, 101, 102, 103]
+        assert runner.grid_stats().retries == 4
+
+    def test_timeout_abandons_point_and_retries(self):
+        runner.reset_grid_stats()
+        points = [dict(x=0), dict(x=1)]
+        res = run_grid(_flaky_slow, points, parallel=2, cache=False,
+                       timeout=0.2)
+        assert res == [0, -1]
+        stats = runner.grid_stats()
+        assert stats.timeouts == 1
+        assert stats.retries == 1
+
+    def test_serial_retry_failure_propagates(self):
+        with pytest.raises(ValueError):
+            run_grid(_always_raise, [dict(x=1)], parallel=2, cache=False)
+
+    def test_serial_path_unaffected(self):
+        with pytest.raises(ValueError):
+            run_grid(_always_raise, [dict(x=1)], parallel=1, cache=False)
+
+
+class TestCacheRobustness:
+    def test_corrupt_entry_quarantined_and_recomputed(self):
+        runner.reset_grid_stats()
+        key = cache_key(_square, {"x": 9})
+        root = runner.cache_dir()
+        root.mkdir(parents=True, exist_ok=True)
+        (root / f"{key}.pkl").write_bytes(b"this is not a pickle")
+        assert run_grid(_square, [dict(x=9)]) == [81]
+        stats = runner.grid_stats()
+        assert stats.quarantined == 1
+        assert stats.cache_misses == 1
+        assert (root / f"{key}.corrupt").exists()
+        # The recomputed value was re-published and is now served.
+        assert run_grid(_square, [dict(x=9)]) == [81]
+        assert runner.grid_stats().cache_hits == 1
+
+    def test_clear_cache_sweeps_corrupt_and_tmp(self):
+        root = runner.cache_dir()
+        root.mkdir(parents=True, exist_ok=True)
+        run_grid(_square, [dict(x=5)])                        # one .pkl
+        (root / "deadbeef.corrupt").write_bytes(b"x")         # quarantined
+        (root / ".deadbeef.123.tmp").write_bytes(b"x")        # orphaned tmp
+        assert clear_cache() == 3
+        assert clear_cache() == 0
+        assert list(root.iterdir()) == []
+
+    def test_list_tuple_keys_distinct(self):
+        # Regression: lists and tuples used to hash under the same tag,
+        # so {"x": [1, 2]} and {"x": (1, 2)} shared a memo entry.
+        assert cache_key(_square, {"x": [1, 2]}) != \
+            cache_key(_square, {"x": (1, 2)})
+
+    def test_list_tuple_no_cache_collision(self):
+        first = run_grid(_typename, [dict(x=[1, 2])])
+        second = run_grid(_typename, [dict(x=(1, 2))])
+        assert first == ["list"]
+        assert second == ["tuple"]  # pre-fix: served "list" from cache
+
+
+class TestGridStats:
+    def test_hits_misses_counted(self):
+        runner.reset_grid_stats()
+        points = [dict(x=i) for i in range(3)]
+        run_grid(_square, points)
+        stats = runner.grid_stats()
+        assert (stats.points, stats.cache_hits, stats.cache_misses) == \
+            (3, 0, 3)
+        run_grid(_square, points)
+        stats = runner.grid_stats()
+        assert (stats.points, stats.cache_hits, stats.cache_misses) == \
+            (6, 3, 3)
+
+    def test_cache_off_counts_no_hits(self):
+        runner.reset_grid_stats()
+        run_grid(_square, [dict(x=1)], cache=False)
+        stats = runner.grid_stats()
+        assert (stats.points, stats.cache_hits, stats.cache_misses) == \
+            (1, 0, 0)
+
+    def test_reset_returns_snapshot(self):
+        runner.reset_grid_stats()
+        run_grid(_square, [dict(x=1)], cache=False)
+        snapshot = runner.reset_grid_stats()
+        assert snapshot.points == 1
+        assert runner.grid_stats().points == 0
+
+    def test_as_dict_round_trip(self):
+        stats = runner.GridStats(points=3, retries=1)
+        assert stats.as_dict()["points"] == 3
+        assert stats.as_dict()["retries"] == 1
+
+
+class TestEnvParsing:
+    def test_env_parallel_zero_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert runner._parallelism(None) == 1
+
+    def test_env_parallel_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "lots")
+        assert runner._parallelism(None) == 1
+
+    def test_env_parallel_negative_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "-3")
+        assert runner._parallelism(None) == 1
+
+
 class TestRunExperiments:
     def test_serial_outcomes_in_order(self):
         outcomes = runner.run_experiments(["T1", "FN"], parallel=1)
@@ -160,4 +323,70 @@ class TestRunExperiments:
     def test_parallel_outcomes_in_order(self):
         outcomes = runner.run_experiments(["T1", "FN"], parallel=2)
         assert [o.exp_id for o in outcomes] == ["T1", "FN"]
+        assert "Cray C90" in outcomes[0].output
+
+
+def _stub_main():
+    print("debug: knee at 512")
+    print("report body")
+    return "report body"
+
+
+def _stub_main_crashy():
+    """Takes down its pool worker; succeeds on the serial rerun."""
+    if _in_worker():
+        os._exit(5)
+    return _stub_main()
+
+
+class TestCapturedStdout:
+    @pytest.fixture
+    def _stub_registry(self, monkeypatch):
+        import repro.experiments as exps
+
+        monkeypatch.setitem(
+            exps.REGISTRY, "STUB", types.SimpleNamespace(main=_stub_main)
+        )
+
+    def test_stray_prints_survive_capture(self, _stub_registry):
+        # Regression: _run_experiment used to redirect stdout into a
+        # buffer and then drop it — stray debug prints vanished.
+        outcome = runner._run_experiment("STUB")
+        assert outcome.output == "report body"
+        assert "debug: knee at 512" in outcome.captured
+        assert outcome.stray_output == "debug: knee at 512"
+
+    def test_report_not_duplicated_in_stray(self, _stub_registry):
+        outcome = runner._run_experiment("STUB")
+        assert outcome.stray_output.count("report body") == 0
+
+    def test_stray_empty_for_clean_experiment(self):
+        outcome = runner._run_experiment("T1")
+        assert outcome.stray_output == ""
+        assert outcome.captured.strip() == outcome.output.strip()
+
+    def test_cli_surfaces_stray_output(self, _stub_registry, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["STUB"]) == 0
+        out = capsys.readouterr().out
+        assert "--- captured stdout (STUB) ---" in out
+        assert "debug: knee at 512" in out
+
+    def test_crashed_experiment_rerun_serially(self, monkeypatch):
+        # Inject a worker crash: the stub experiment kills its pool
+        # worker; --all must still produce every outcome, with the
+        # crashed experiment rerun serially and its retry recorded.
+        import repro.experiments as exps
+
+        monkeypatch.setitem(
+            exps.REGISTRY, "STUB",
+            types.SimpleNamespace(main=_stub_main_crashy),
+        )
+        outcomes = runner.run_experiments(["T1", "STUB"], parallel=2)
+        assert [o.exp_id for o in outcomes] == ["T1", "STUB"]
+        assert outcomes[1].output == "report body"
+        assert outcomes[1].retries == 1
+        # T1's future may or may not have been poisoned by the broken
+        # pool (timing); either way its output must be intact.
         assert "Cray C90" in outcomes[0].output

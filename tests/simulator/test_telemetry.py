@@ -1,0 +1,222 @@
+"""Telemetry counters: banksim vs both cycle engines, opt-in contract,
+edge cases, and the swapped-argument guard."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulator import (
+    SimTelemetry,
+    simulate_gather,
+    simulate_scatter,
+    simulate_scatter_cycle,
+    toy_machine,
+)
+from repro.simulator.banksim import simulate_scatter_blocked
+
+
+def _addrs(n, seed=0, space=1 << 10):
+    return np.random.default_rng(seed).integers(0, space, size=n)
+
+
+def _all_three(machine, addr):
+    return (
+        simulate_scatter(machine, addr, telemetry=True),
+        simulate_scatter_cycle(machine, addr, engine="tick", telemetry=True),
+        simulate_scatter_cycle(machine, addr, engine="event", telemetry=True),
+    )
+
+
+class TestOptIn:
+    def test_default_off_everywhere(self):
+        m = toy_machine()
+        addr = _addrs(60)
+        assert simulate_scatter(m, addr).telemetry is None
+        assert simulate_gather(m, addr).telemetry is None
+        assert simulate_scatter_blocked(m, addr, 16).telemetry is None
+        for engine in ("tick", "event"):
+            assert simulate_scatter_cycle(
+                m, addr, engine=engine
+            ).telemetry is None
+
+    def test_opt_in_returns_telemetry(self):
+        m = toy_machine()
+        res = simulate_scatter(m, _addrs(60), telemetry=True)
+        assert isinstance(res.telemetry, SimTelemetry)
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("n", [7, 64, 300])
+    def test_banksim_matches_both_engines(self, n, seed):
+        m = toy_machine()
+        addr = _addrs(n, seed)
+        results = _all_three(m, addr)
+        base = results[0].telemetry
+        for res in results:
+            t = res.telemetry
+            np.testing.assert_array_equal(t.bank_busy, base.bank_busy)
+            np.testing.assert_array_equal(
+                t.queue_high_water, base.queue_high_water
+            )
+            assert t.stall_breakdown == base.stall_breakdown
+            assert t.makespan == base.makespan
+            # The makespan is the result time minus the superstep L.
+            assert res.time == t.makespan + m.L
+
+    def test_hotspot_serializes_one_bank(self):
+        m = toy_machine()
+        n = 50
+        addr = np.zeros(n, dtype=np.int64)  # every request to bank 0
+        for res in _all_three(m, addr):
+            t = res.telemetry
+            assert t.bank_busy[0] == n * m.d
+            assert t.bank_busy[1:].sum() == 0
+            assert t.queue_high_water.max() == t.queue_high_water[0]
+            assert t.max_queue_depth >= 1
+
+    def test_busy_cycles_conserve_work(self):
+        # Every request occupies exactly one bank for d cycles.
+        m = toy_machine()
+        addr = _addrs(200, seed=3)
+        for res in _all_three(m, addr):
+            assert res.telemetry.bank_busy.sum() == addr.size * m.d
+
+    @pytest.mark.parametrize("capacity", [1, 2, 4])
+    def test_bounded_queue_engines_agree(self, capacity):
+        m = toy_machine(queue_capacity=capacity)
+        addr = np.concatenate([np.zeros(40, dtype=np.int64), _addrs(80, 5)])
+        tick = simulate_scatter_cycle(m, addr, engine="tick", telemetry=True)
+        event = simulate_scatter_cycle(m, addr, engine="event",
+                                       telemetry=True)
+        tt, te = tick.telemetry, event.telemetry
+        np.testing.assert_array_equal(tt.bank_busy, te.bank_busy)
+        np.testing.assert_array_equal(tt.queue_high_water,
+                                      te.queue_high_water)
+        np.testing.assert_array_equal(tt.proc_stalls, te.proc_stalls)
+        assert tt.stall_breakdown == te.stall_breakdown
+        assert tt.makespan == te.makespan
+        # The stall bucket mirrors the headline stalled_cycles counter
+        # and the per-processor counts sum to it.
+        assert tt.stall_breakdown["issue_backpressure"] == \
+            tick.stalled_cycles == tt.proc_stalls.sum()
+        assert tt.total_stalled == sum(tt.stall_breakdown.values())
+
+    def test_bounded_queue_high_water_respects_capacity(self):
+        m = toy_machine(queue_capacity=2)
+        addr = np.zeros(30, dtype=np.int64)
+        res = simulate_scatter_cycle(m, addr, telemetry=True)
+        # The capacity check runs at issue time, before that cycle's
+        # in-flight requests land, so all p processors can slip one past
+        # a not-yet-full queue: the overshoot is bounded by p.
+        assert res.telemetry.queue_high_water.max() <= m.queue_capacity + m.p
+        assert res.telemetry.stall_breakdown["issue_backpressure"] > 0
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_tiny_inputs_all_paths(self, n):
+        m = toy_machine()
+        addr = np.zeros(n, dtype=np.int64)
+        for res in _all_three(m, addr):
+            t = res.telemetry
+            assert t.bank_busy.shape == (m.n_banks,)
+            assert t.bank_busy.sum() == n * m.d
+            assert t.queue_high_water.max(initial=0) == (1 if n else 0)
+            assert t.total_stalled == 0
+            assert res.time == t.makespan + m.L
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_tiny_inputs_without_telemetry(self, n):
+        m = toy_machine()
+        addr = np.zeros(n, dtype=np.int64)
+        times = {simulate_scatter(m, addr).time}
+        for engine in ("tick", "event"):
+            times.add(simulate_scatter_cycle(m, addr, engine=engine).time)
+        assert len(times) == 1  # all paths agree
+
+    def test_utilization_property(self):
+        m = toy_machine()
+        res = simulate_scatter(m, np.zeros(40, dtype=np.int64),
+                               telemetry=True)
+        util = res.telemetry.bank_utilization
+        assert util[0] == pytest.approx(1.0)  # fully serialized hot bank
+        assert util[1:].max(initial=0.0) == 0.0
+
+    def test_empty_makespan_zero(self):
+        m = toy_machine(L=5.0)
+        res = simulate_scatter(m, np.zeros(0, dtype=np.int64),
+                               telemetry=True)
+        assert res.telemetry.makespan == 0.0
+        assert res.time == m.L
+
+
+class TestBlockedAndSections:
+    def test_blocked_aggregates_supersteps(self):
+        m = toy_machine()
+        addr = _addrs(200, seed=9)
+        res = simulate_scatter_blocked(m, addr, 64, telemetry=True)
+        t = res.telemetry
+        assert t.bank_busy.sum() == addr.size * m.d
+        n_steps = -(-addr.size // 64)
+        assert res.time == t.makespan + n_steps * m.L
+
+    def test_section_confinement_shows_link_wait(self):
+        from repro.experiments.fig_network import default_machine
+        from repro.workloads.patterns import section_confined
+
+        m = default_machine()
+        addr = section_confined(m, 400, 0, seed=1)
+        res = simulate_scatter(m, addr, telemetry=True)
+        t = res.telemetry
+        assert t.stall_breakdown["link_wait"] > 0
+        uniform = simulate_scatter(m, _addrs(400, 2, 1 << 20), telemetry=True)
+        assert uniform.telemetry.stall_breakdown["link_wait"] < \
+            t.stall_breakdown["link_wait"]
+
+
+class TestArgumentGuard:
+    def test_swapped_args_scatter(self):
+        m = toy_machine()
+        addr = _addrs(10)
+        with pytest.raises(TypeError, match="MachineConfig.*swapped"):
+            simulate_scatter(addr, m)
+
+    def test_swapped_args_gather(self):
+        m = toy_machine()
+        with pytest.raises(TypeError, match="simulate_gather"):
+            simulate_gather(_addrs(10), m)
+
+    def test_swapped_args_cycle(self):
+        m = toy_machine()
+        with pytest.raises(TypeError, match="simulate_scatter_cycle"):
+            simulate_scatter_cycle(_addrs(10), m)
+
+    def test_swapped_args_blocked(self):
+        m = toy_machine()
+        with pytest.raises(TypeError, match="MachineConfig"):
+            simulate_scatter_blocked(_addrs(10), m, 4)
+
+    def test_wrong_type_without_swap_hint(self):
+        with pytest.raises(TypeError) as exc:
+            simulate_scatter(None, _addrs(10))
+        assert "swapped" not in str(exc.value)
+
+
+class TestTelemetryTable:
+    def test_requires_telemetry(self):
+        from repro.analysis import telemetry_table
+
+        res = simulate_scatter(toy_machine(), _addrs(20))
+        with pytest.raises(ParameterError, match="telemetry"):
+            telemetry_table(res)
+
+    def test_renders_hot_banks(self):
+        from repro.analysis import telemetry_table
+
+        res = simulate_scatter(toy_machine(), np.zeros(30, dtype=np.int64),
+                               telemetry=True)
+        out = telemetry_table(res, top=4)
+        assert "utilization" in out
+        assert "makespan" in out
+        assert "bank_wait" in out

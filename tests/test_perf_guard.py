@@ -32,7 +32,8 @@ class TestPerfGuard:
 
     def test_compare_flags_regression(self):
         base = {"benchmark": "cycle_engine", "machine": "Cray J90",
-                "n": 65536, "k": 65536, "event_seconds": 0.1}
+                "n": 65536, "k": 65536, "telemetry": "off",
+                "event_seconds": 0.1}
         slow = dict(base, event_seconds=0.35)
         with pytest.raises(SystemExit, match="PERF REGRESSION"):
             perf_guard.compare(slow, base, max_ratio=2.0)
@@ -42,6 +43,19 @@ class TestPerfGuard:
 
     def test_compare_skips_changed_workload(self):
         base = {"benchmark": "cycle_engine", "machine": "Cray J90",
-                "n": 65536, "k": 65536, "event_seconds": 0.1}
+                "n": 65536, "k": 65536, "telemetry": "off",
+                "event_seconds": 0.1}
         other = dict(base, n=1024, event_seconds=99.0)
         assert "workload changed" in perf_guard.compare(other, base, 2.0)
+
+    def test_compare_rejects_telemetry_on(self):
+        # The gated hot path must keep the opt-in counters off.
+        base = {"benchmark": "cycle_engine", "machine": "Cray J90",
+                "n": 65536, "k": 65536, "telemetry": "off",
+                "event_seconds": 0.1}
+        hot = dict(base, telemetry="on")
+        with pytest.raises(SystemExit, match="telemetry"):
+            perf_guard.compare(hot, base, 2.0)
+        # Pre-telemetry baselines (no field) still compare cleanly.
+        legacy = {k: v for k, v in base.items() if k != "telemetry"}
+        assert perf_guard.compare(legacy, legacy, 2.0).startswith("ok")

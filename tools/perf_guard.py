@@ -33,11 +33,20 @@ CURRENT = ROOT / "BENCH_cycle_engine.json"
 BASELINE = ROOT / "BENCH_cycle_engine.prev.json"
 
 #: Keys that must match for two runs to be comparable.
-_WORKLOAD_KEYS = ("benchmark", "machine", "n", "k")
+_WORKLOAD_KEYS = ("benchmark", "machine", "n", "k", "telemetry")
 
 
 def compare(current: dict, baseline: dict, max_ratio: float) -> str:
     """Return a human-readable verdict; raise SystemExit(1) on regression."""
+    # Telemetry counters are strictly opt-in: the guarded hot path must
+    # have been benchmarked with them off, otherwise the 2x gate would
+    # quietly start tolerating always-on accounting overhead.
+    if current.get("telemetry", "off") != "off":
+        raise SystemExit(
+            "PERF GUARD: benchmark ran with telemetry "
+            f"{current.get('telemetry')!r}; the gated hot path must keep "
+            "telemetry off (it is an opt-in diagnostic)"
+        )
     for key in _WORKLOAD_KEYS:
         if current.get(key) != baseline.get(key):
             return (f"workload changed ({key}: {baseline.get(key)!r} -> "
