@@ -20,7 +20,7 @@ import dataclasses
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 from ..errors import ParameterError
 from . import runner
@@ -113,7 +113,9 @@ class RunManifest:
             experiment_retries=outcome.retries,
             parallel=int(parallel),
             cache_enabled=bool(cache_enabled),
-            created_unix=time.time(),
+            # Provenance timestamp of the manifest itself — never part
+            # of a simulated result or a cache key.
+            created_unix=time.time(),  # reprolint: disable=REPRO102
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -171,7 +173,7 @@ def validate_manifest(data: Dict[str, Any]) -> None:
         )
 
 
-def write_manifest(manifest: RunManifest, directory) -> Path:
+def write_manifest(manifest: RunManifest, directory: Union[str, Path]) -> Path:
     """Schema-check ``manifest`` and write it to ``directory/<id>.json``."""
     data = manifest.to_dict()
     validate_manifest(data)

@@ -190,7 +190,7 @@ def clear_cache() -> int:
         return 0
     removed = 0
     for pattern in ("*.pkl", "*.corrupt", ".*.tmp"):
-        for path in root.glob(pattern):
+        for path in sorted(root.glob(pattern)):
             path.unlink(missing_ok=True)
             removed += 1
     return removed
@@ -219,7 +219,7 @@ def code_version() -> str:
     return _code_version
 
 
-def _feed(h, value) -> None:
+def _feed(h: "hashlib._Hash", value: Any) -> None:
     """Feed a canonical byte encoding of ``value`` into hasher ``h``.
 
     Covers everything experiment points pass around: scalars, strings,
@@ -255,7 +255,10 @@ def _feed(h, value) -> None:
     elif isinstance(value, (int, float, np.integer, np.floating)):
         # One representation per numeric value regardless of numpy width.
         h.update(repr(
-            int(value) if float(value) == int(value) else float(value)
+            # Exact integrality test on purpose: 3.0 and 3 must encode
+            # identically so numpy widths don't split memo entries.
+            int(value) if float(value) == int(value)  # reprolint: disable=REPRO103
+            else float(value)
         ).encode())
     else:
         h.update(b"pk:")
@@ -276,26 +279,26 @@ def cache_key(fn: Callable, kwargs: Dict[str, Any]) -> str:
 _MISS = object()
 
 
-def _cache_load(key: str):
+def _cache_load(key: str) -> Any:
     path = cache_dir() / f"{key}.pkl"
     try:
         with open(path, "rb") as fh:
             return pickle.load(fh)
     except FileNotFoundError:
         return _MISS
-    except Exception:
+    except Exception:  # reprolint: disable=REPRO111 -- any unreadable entry is a miss, never a crash
         # The entry exists but cannot be read (truncated write, foreign
         # pickle, permission change...).  Quarantine it so the next run
         # does not pay the failed read again — clear_cache sweeps these.
         try:
             path.replace(path.with_suffix(".corrupt"))
             _stats.quarantined += 1
-        except OSError:
+        except OSError:  # reprolint: disable=REPRO112 -- quarantine is best-effort
             pass
         return _MISS
 
 
-def _cache_store(key: str, result) -> None:
+def _cache_store(key: str, result: Any) -> None:
     root = cache_dir()
     try:
         root.mkdir(parents=True, exist_ok=True)
@@ -303,8 +306,8 @@ def _cache_store(key: str, result) -> None:
         with open(tmp, "wb") as fh:
             pickle.dump(result, fh, protocol=4)
         tmp.replace(root / f"{key}.pkl")  # atomic publish
-    except OSError:
-        pass  # caching is best-effort; never fail the experiment
+    except OSError:  # reprolint: disable=REPRO112 -- caching is best-effort; never fail the experiment
+        pass
 
 
 def _pool(workers: int, cache: Optional[bool] = None) -> ProcessPoolExecutor:
@@ -390,7 +393,7 @@ def run_grid(
                     fut.cancel()
                     _stats.timeouts += 1
                     failed.append(i)
-                except Exception:
+                except Exception:  # reprolint: disable=REPRO111 -- fault-tolerant retry must catch everything
                     # Includes BrokenProcessPool: when a worker dies the
                     # executor poisons every outstanding future, so each
                     # lands here and joins the serial retry pass.
@@ -459,13 +462,15 @@ def _run_experiment(exp_id: str) -> ExperimentOutcome:
 
     reset_grid_stats()
     buf = io.StringIO()
-    t0 = time.perf_counter()
+    # Wall-clock here is the datum itself (ExperimentOutcome.seconds,
+    # recorded in run manifests) — it is never cached or compared.
+    t0 = time.perf_counter()  # reprolint: disable=REPRO102
     with redirect_stdout(buf):
         out = REGISTRY[exp_id].main()
     return ExperimentOutcome(
         exp_id,
         out if isinstance(out, str) else ("" if out is None else str(out)),
-        time.perf_counter() - t0,
+        time.perf_counter() - t0,  # reprolint: disable=REPRO102
         captured=buf.getvalue(),
         stats=grid_stats(),
     )
@@ -495,7 +500,7 @@ def run_experiments(
         for fut in as_completed(futures):
             try:
                 outcome = fut.result()
-            except Exception:
+            except Exception:  # reprolint: disable=REPRO111 -- one crashed experiment must not kill --all
                 retry.append(futures[fut])
                 continue
             results[outcome.exp_id] = outcome

@@ -33,9 +33,12 @@ def time_hash(mapping, keys: np.ndarray, n_banks: int, repeats: int = 5) -> floa
     """Best-of-``repeats`` evaluation time in ns per element."""
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        # Wall-clock IS the measured quantity here (Table 3 reports
+        # ns/element of real hash evaluation); this experiment bypasses
+        # the memo cache for exactly that reason (module docstring).
+        t0 = time.perf_counter()  # reprolint: disable=REPRO102
         mapping(keys, n_banks)
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, time.perf_counter() - t0)  # reprolint: disable=REPRO102
     return best / keys.size * 1e9
 
 

@@ -21,9 +21,10 @@ predictors and the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import as_addresses, as_rng, is_power_of_two
 from ..errors import MappingError
@@ -55,7 +56,7 @@ class InterleavedMap:
 
     name: str = "interleaved"
 
-    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+    def __call__(self, addresses: ArrayLike, n_banks: int) -> np.ndarray:
         addr = as_addresses(addresses)
         if n_banks < 1:
             raise MappingError(f"n_banks must be >= 1, got {n_banks}")
@@ -75,7 +76,7 @@ class RandomMap:
     seed: int = 0
     name: str = "random"
 
-    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+    def __call__(self, addresses: ArrayLike, n_banks: int) -> np.ndarray:
         addr = as_addresses(addresses)
         if n_banks < 1:
             raise MappingError(f"n_banks must be >= 1, got {n_banks}")
@@ -132,7 +133,7 @@ class PolynomialHashMap:
         """Polynomial degree (1 = linear, 2 = quadratic, 3 = cubic)."""
         return len(self.coefficients)
 
-    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+    def __call__(self, addresses: ArrayLike, n_banks: int) -> np.ndarray:
         addr = as_addresses(addresses)
         if not is_power_of_two(n_banks):
             raise MappingError(
@@ -170,7 +171,7 @@ class XorFoldMap:
 
     name: str = "xorfold"
 
-    def __call__(self, addresses, n_banks: int) -> np.ndarray:
+    def __call__(self, addresses: ArrayLike, n_banks: int) -> np.ndarray:
         addr = as_addresses(addresses)
         if not is_power_of_two(n_banks):
             raise MappingError(
@@ -192,13 +193,13 @@ def _random_odd(rng: np.random.Generator, u: int) -> int:
     return int(rng.integers(0, 1 << (u - 1), dtype=np.uint64)) * 2 + 1 if u > 1 else 1
 
 
-def linear_hash(seed=None, u: int = _WORD_BITS) -> PolynomialHashMap:
+def linear_hash(seed: Any = None, u: int = _WORD_BITS) -> PolynomialHashMap:
     """Draw a random linear multiplicative hash ``h1`` (2-universal)."""
     rng = as_rng(seed)
     return PolynomialHashMap((_random_odd(rng, u),), u=u, name="h1")
 
 
-def quadratic_hash(seed=None, u: int = _WORD_BITS) -> PolynomialHashMap:
+def quadratic_hash(seed: Any = None, u: int = _WORD_BITS) -> PolynomialHashMap:
     """Draw a random quadratic hash ``h2``."""
     rng = as_rng(seed)
     return PolynomialHashMap(
@@ -206,7 +207,7 @@ def quadratic_hash(seed=None, u: int = _WORD_BITS) -> PolynomialHashMap:
     )
 
 
-def cubic_hash(seed=None, u: int = _WORD_BITS) -> PolynomialHashMap:
+def cubic_hash(seed: Any = None, u: int = _WORD_BITS) -> PolynomialHashMap:
     """Draw a random cubic hash ``h3``."""
     rng = as_rng(seed)
     return PolynomialHashMap(

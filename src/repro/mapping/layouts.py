@@ -18,7 +18,10 @@ skewed histogram.)
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import as_addresses
 from ..errors import ParameterError, PatternError
@@ -26,7 +29,9 @@ from ..errors import ParameterError, PatternError
 __all__ = ["row_major", "staggered", "padded", "padded_width"]
 
 
-def _check(proc, slot, p: int, width: int):
+def _check(
+    proc: ArrayLike, slot: ArrayLike, p: int, width: int
+) -> Tuple[np.ndarray, np.ndarray]:
     pr = np.asarray(proc, dtype=np.int64)
     sl = as_addresses(slot)
     if pr.shape != sl.shape:
@@ -40,14 +45,14 @@ def _check(proc, slot, p: int, width: int):
     return pr, sl
 
 
-def row_major(proc, slot, p: int, width: int) -> np.ndarray:
+def row_major(proc: ArrayLike, slot: ArrayLike, p: int, width: int) -> np.ndarray:
     """``proc * width + slot`` — the natural (and bank-hostile, for
     power-of-two widths) layout.  Region size ``p * width``."""
     pr, sl = _check(proc, slot, p, width)
     return pr * width + sl
 
 
-def staggered(proc, slot, p: int, width: int) -> np.ndarray:
+def staggered(proc: ArrayLike, slot: ArrayLike, p: int, width: int) -> np.ndarray:
     """``slot * p + proc`` — copies of one slot on ``p`` consecutive
     addresses (hence ``p`` distinct banks under interleaving).  Region
     size ``p * width``."""
@@ -63,7 +68,7 @@ def padded_width(width: int) -> int:
     return width if width % 2 else width + 1
 
 
-def padded(proc, slot, p: int, width: int) -> np.ndarray:
+def padded(proc: ArrayLike, slot: ArrayLike, p: int, width: int) -> np.ndarray:
     """Row-major over rows padded to :func:`padded_width` — keeps each
     processor's row contiguous (good for its own scans) while breaking
     the congruence that pins hot slots to one bank.  Region size

@@ -20,9 +20,10 @@ mapping.  ``ratio -> 1`` as ``x`` grows: expansion buys back the loss.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import as_addresses, as_rng
 from ..core.contention import BankMap, bank_loads, max_location_contention
@@ -51,7 +52,7 @@ def ideal_scatter_time(params: DXBSPParams, n: int, k: int) -> float:
 
 
 def module_map_time(
-    params: DXBSPParams, addresses, bank_map: Optional[BankMap] = None
+    params: DXBSPParams, addresses: ArrayLike, bank_map: Optional[BankMap] = None
 ) -> float:
     """(d,x)-BSP time for the scatter, *including* module-map contention:
     banks are charged their actual load under ``bank_map``."""
@@ -63,7 +64,7 @@ def module_map_time(
 
 
 def module_map_ratio(
-    params: DXBSPParams, addresses, bank_map: Optional[BankMap] = None
+    params: DXBSPParams, addresses: ArrayLike, bank_map: Optional[BankMap] = None
 ) -> float:
     """Ratio of the with-module-map time to the ideal time (>= 1)."""
     addr = as_addresses(addresses)
@@ -103,7 +104,7 @@ def ratio_vs_expansion(
     expansions: Sequence[float],
     mapping_factory: Callable[[int], BankMap],
     trials: int = 5,
-    seed=None,
+    seed: Any = None,
 ) -> ExpansionRatioResult:
     """Sweep the module-map ratio over expansion factors.
 

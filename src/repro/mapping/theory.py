@@ -47,7 +47,9 @@ def hoeffding_tail(n: int, t: float, spread: float = 1.0) -> float:
     return float(math.exp(-2.0 * n * t * t / (spread * spread)))
 
 
-def raghavan_spencer_tail(mu: float, delta: Union[float, np.ndarray]):
+def raghavan_spencer_tail(
+    mu: float, delta: Union[float, np.ndarray]
+) -> Union[float, np.ndarray]:
     """Raghavan–Spencer tail for a weighted sum of Bernoulli trials.
 
     ``P(X > (1 + delta) mu) < (e^delta / (1 + delta)^(1 + delta))^mu``

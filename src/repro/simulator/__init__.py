@@ -23,6 +23,12 @@ from .machine import (
 )
 from .network import predict_scatter_sections, section_loads, section_of_banks
 from .request import RequestBatch
+from .sanitize import (
+    SanitizerError,
+    check_superstep,
+    sanitize_enabled,
+    set_sanitize,
+)
 from .stats import SimResult, SimTelemetry
 from .trace import ProgramSimResult, simulate_program
 
@@ -45,6 +51,10 @@ __all__ = [
     "simulate_gather",
     "simulate_scatter_blocked",
     "simulate_scatter_cycle",
+    "SanitizerError",
+    "sanitize_enabled",
+    "set_sanitize",
+    "check_superstep",
     "omega_ports",
     "simulate_scatter_butterfly",
     "section_of_banks",

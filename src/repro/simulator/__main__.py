@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..analysis.predict import compare_scatter
 from ..analysis.visualize import bank_load_strip
+from ..core.contention import BankMap
 from ..core.cost import crossover_contention
 from ..mapping.hashing import HASH_FAMILIES, InterleavedMap, RandomMap
 from ..workloads.patterns import broadcast, hotspot, strided, uniform_random
@@ -27,7 +31,7 @@ MACHINES = {
 }
 
 
-def _build_pattern(args):
+def _build_pattern(args: argparse.Namespace) -> np.ndarray:
     space = max(args.space, args.n + 1)
     if args.pattern == "hotspot":
         return hotspot(args.n, min(args.k, args.n), space, seed=args.seed)
@@ -40,7 +44,7 @@ def _build_pattern(args):
     raise AssertionError(args.pattern)
 
 
-def _build_mapping(name, seed):
+def _build_mapping(name: str, seed: int) -> Optional[BankMap]:
     if name == "interleave":
         return None
     if name == "random":
@@ -48,7 +52,7 @@ def _build_mapping(name, seed):
     return HASH_FAMILIES[name](seed)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.simulator",
         description="Scatter a synthetic pattern through the memory-bank "

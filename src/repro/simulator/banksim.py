@@ -36,11 +36,13 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..core.contention import BankMap
 from ..errors import PatternError, SimulationError
 from .machine import MachineConfig, require_machine
 from .request import Assignment, RequestBatch
+from .sanitize import check_superstep, sanitize_enabled
 from .stats import SimResult, SimTelemetry
 
 __all__ = [
@@ -238,6 +240,7 @@ def simulate_batch(
     batch: RequestBatch,
     banks: np.ndarray,
     telemetry: bool = False,
+    sanitize: Optional[bool] = None,
 ) -> SimResult:
     """Simulate one batch of requests whose bank assignment is already
     resolved.
@@ -251,17 +254,29 @@ def simulate_batch(
     (per-bank busy cycles, queue high-water marks, stall breakdown);
     under combining the counters cover the requests that survive to the
     memory side.
+
+    With ``sanitize=True`` (``None`` defers to :func:`repro.simulator.
+    sanitize.sanitize_enabled`) the conservation invariants of
+    :func:`~repro.simulator.sanitize.check_superstep` are asserted on
+    the result; the check only reads, so the returned result is
+    bit-identical either way.
     """
     require_machine(machine, "simulate_batch")
+    do_sanitize = sanitize_enabled(sanitize)
     n = batch.n
     if n == 0:
-        return SimResult(
+        result = SimResult(
             time=float(machine.L),
             n=0,
             bank_loads=np.zeros(machine.n_banks, dtype=np.int64),
             machine_name=machine.name,
             telemetry=_empty_telemetry(machine) if telemetry else None,
         )
+        if do_sanitize:
+            check_superstep(
+                machine, result, engine="banksim", h_p=0, n_survivors=0,
+            )
+        return result
     banks = np.asarray(banks)
     if banks.shape != batch.addresses.shape:
         raise PatternError("banks must align with batch addresses")
@@ -303,18 +318,25 @@ def simulate_batch(
 
     makespan = float(max(finish.max(), issue_floor))
     tel = None
-    if telemetry:
+    bank_busy = None
+    queue_high_water = None
+    if telemetry or do_sanitize:
+        # Observer counters; under sanitize-only they are checked and
+        # dropped, so the returned result stays bit-identical.
         per_req_cost = (
             cost if cost is not None
             else np.full(arrival.size, float(machine.d))
         )
+        bank_busy = np.bincount(
+            banks, weights=per_req_cost, minlength=machine.n_banks
+        )
+        queue_high_water = _queue_high_water(
+            arrival, start, banks, machine.n_banks
+        )
+    if telemetry:
         tel = SimTelemetry(
-            bank_busy=np.bincount(
-                banks, weights=per_req_cost, minlength=machine.n_banks
-            ),
-            queue_high_water=_queue_high_water(
-                arrival, start, banks, machine.n_banks
-            ),
+            bank_busy=bank_busy,
+            queue_high_water=queue_high_water,
             stall_breakdown={
                 "bank_wait": float(waits.sum()),
                 "link_wait": link_wait,
@@ -324,7 +346,7 @@ def simulate_batch(
             makespan=makespan,
         )
 
-    return SimResult(
+    result = SimResult(
         time=float(makespan + machine.L),
         n=n,
         bank_loads=np.bincount(banks, minlength=machine.n_banks).astype(np.int64),
@@ -334,14 +356,25 @@ def simulate_batch(
         machine_name=machine.name,
         telemetry=tel,
     )
+    if do_sanitize:
+        check_superstep(
+            machine, result,
+            engine="banksim",
+            h_p=int(batch.per_processor_counts(machine.p).max()),
+            n_survivors=int(arrival.size),
+            bank_busy=bank_busy,
+            queue_high_water=queue_high_water,
+        )
+    return result
 
 
 def simulate_scatter(
     machine: MachineConfig,
-    addresses,
+    addresses: ArrayLike,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
     telemetry: bool = False,
+    sanitize: Optional[bool] = None,
 ) -> SimResult:
     """Simulate one scatter (or gather — the model costs them identically)
     of ``addresses`` on ``machine``.
@@ -360,6 +393,11 @@ def simulate_scatter(
     telemetry:
         Collect :class:`SimTelemetry` counters (off by default; the hot
         path pays nothing for the option).
+    sanitize:
+        Assert the per-superstep conservation invariants (see
+        :mod:`repro.simulator.sanitize`); ``None`` defers to the
+        process-wide default / ``REPRO_SANITIZE``.  Read-only: results
+        are bit-identical with it on or off.
     """
     require_machine(machine, "simulate_scatter")
     batch = RequestBatch.from_addresses(addresses, machine, assignment)
@@ -367,15 +405,17 @@ def simulate_scatter(
         banks = batch.addresses % machine.n_banks
     else:
         banks = np.asarray(bank_map(batch.addresses, machine.n_banks))
-    return simulate_batch(machine, batch, banks, telemetry=telemetry)
+    return simulate_batch(machine, batch, banks, telemetry=telemetry,
+                          sanitize=sanitize)
 
 
 def simulate_gather(
     machine: MachineConfig,
-    addresses,
+    addresses: ArrayLike,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
     telemetry: bool = False,
+    sanitize: Optional[bool] = None,
 ) -> SimResult:
     """Simulate one gather of ``addresses``.
 
@@ -387,16 +427,17 @@ def simulate_gather(
     """
     require_machine(machine, "simulate_gather")
     return simulate_scatter(machine, addresses, bank_map, assignment,
-                            telemetry=telemetry)
+                            telemetry=telemetry, sanitize=sanitize)
 
 
 def simulate_scatter_blocked(
     machine: MachineConfig,
-    addresses,
+    addresses: ArrayLike,
     superstep_size: int,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
     telemetry: bool = False,
+    sanitize: Optional[bool] = None,
 ) -> SimResult:
     """Simulate a long scatter executed in supersteps of at most
     ``superstep_size`` elements, with a barrier (and the machine's ``L``)
@@ -417,7 +458,7 @@ def simulate_scatter_blocked(
     addr = as_addresses(addresses)
     if addr.size == 0:
         return simulate_scatter(machine, addr, bank_map, assignment,
-                                telemetry=telemetry)
+                                telemetry=telemetry, sanitize=sanitize)
     total_time = 0.0
     loads = np.zeros(machine.n_banks, dtype=np.int64)
     max_wait = 0.0
@@ -425,8 +466,10 @@ def simulate_scatter_blocked(
     tel = _empty_telemetry(machine) if telemetry else None
     for lo in range(0, addr.size, superstep_size):
         chunk = addr[lo:lo + superstep_size]
+        # Sanitize applies per superstep: each chunk is one superstep,
+        # so the invariants are checked where they are defined.
         res = simulate_scatter(machine, chunk, bank_map, assignment,
-                               telemetry=telemetry)
+                               telemetry=telemetry, sanitize=sanitize)
         total_time += res.time
         loads += res.bank_loads
         max_wait = max(max_wait, res.max_wait)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import is_power_of_two
 from ..core.contention import BankMap
@@ -56,7 +57,7 @@ def omega_ports(sources: np.ndarray, banks: np.ndarray, n_banks: int,
 
 def simulate_scatter_butterfly(
     machine: MachineConfig,
-    addresses,
+    addresses: ArrayLike,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
     link_gap: Optional[float] = None,

@@ -42,11 +42,13 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..core.contention import BankMap
 from ..errors import ParameterError, SimulationError
 from .machine import MachineConfig, require_machine
 from .request import Assignment, RequestBatch
+from .sanitize import check_superstep, sanitize_enabled
 from .stats import SimResult, SimTelemetry
 
 __all__ = ["simulate_scatter_cycle"]
@@ -77,6 +79,9 @@ class _Setup:
     proc_reqs: List[deque]  # per processor: (bank, addr, alive) in order
     max_cycles: int
     telemetry: bool = False
+    sanitize: bool = False
+    h_p: int = 0  # max requests issued by one processor
+    n_survivors: int = 0  # requests surviving combining to the banks
 
 
 class _Counters:
@@ -110,13 +115,53 @@ def _make_telemetry(
     )
 
 
+def _finish(
+    machine: MachineConfig,
+    s: _Setup,
+    engine: str,
+    bank_served: List[int],
+    total_wait: int,
+    max_wait: int,
+    stalled: int,
+    last_finish: int,
+    tele: Optional[_Counters],
+) -> SimResult:
+    """Build the engine's :class:`SimResult` and, when sanitizing, check
+    the conservation invariants.  Shared verbatim by both engines so the
+    bit-identity property covers the epilogue by construction."""
+    result = SimResult(
+        time=float(last_finish + s.L),
+        n=s.n,
+        bank_loads=np.asarray(bank_served, dtype=np.int64),
+        max_wait=float(max_wait),
+        mean_wait=float(total_wait / s.n),
+        stalled_cycles=float(stalled),
+        machine_name=machine.name,
+        telemetry=(
+            _make_telemetry(tele, total_wait, stalled, last_finish)
+            if (tele is not None and s.telemetry) else None
+        ),
+    )
+    if s.sanitize and tele is not None:
+        check_superstep(
+            machine, result,
+            engine=engine,
+            h_p=s.h_p,
+            n_survivors=s.n_survivors,
+            bank_busy=np.asarray(tele.busy, dtype=np.float64),
+            queue_high_water=np.asarray(tele.q_high, dtype=np.int64),
+        )
+    return result
+
+
 def _prepare(
     machine: MachineConfig,
-    addresses,
+    addresses: ArrayLike,
     bank_map: Optional[BankMap],
     assignment: Assignment,
     max_cycles: Optional[int],
     telemetry: bool = False,
+    sanitize: bool = False,
 ) -> _Setup:
     if machine.n_sections > 1 and machine.section_gap > 0:
         raise ParameterError(
@@ -145,6 +190,7 @@ def _prepare(
             p=machine.p, n_banks=n_banks, g=g, d=d, latency=latency, L=L,
             hit_delay=hit_delay, capacity=machine.queue_capacity, n=0,
             proc_reqs=[], max_cycles=0, telemetry=telemetry,
+            sanitize=sanitize,
         )
     if bank_map is None:
         banks = (batch.addresses % n_banks).astype(np.int64)
@@ -183,7 +229,9 @@ def _prepare(
     return _Setup(
         p=machine.p, n_banks=n_banks, g=g, d=d, latency=latency, L=L,
         hit_delay=hit_delay, capacity=capacity, n=n, proc_reqs=proc_reqs,
-        max_cycles=max_cycles, telemetry=telemetry,
+        max_cycles=max_cycles, telemetry=telemetry, sanitize=sanitize,
+        h_p=max((len(q) for q in proc_reqs), default=0),
+        n_survivors=int(survives.sum()),
     )
 
 
@@ -213,7 +261,7 @@ def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
     total_wait = 0
     max_wait = 0
     stalled = 0
-    tele = _Counters(s) if s.telemetry else None
+    tele = _Counters(s) if (s.telemetry or s.sanitize) else None
 
     t = 0
     while completed < n:
@@ -266,19 +314,8 @@ def _run_tick(machine: MachineConfig, s: _Setup) -> SimResult:
                 completed += 1
         t += 1
 
-    return SimResult(
-        time=float(last_finish + s.L),
-        n=n,
-        bank_loads=np.asarray(bank_served, dtype=np.int64),
-        max_wait=float(max_wait),
-        mean_wait=float(total_wait / n),
-        stalled_cycles=float(stalled),
-        machine_name=machine.name,
-        telemetry=(
-            _make_telemetry(tele, total_wait, stalled, last_finish)
-            if tele is not None else None
-        ),
-    )
+    return _finish(machine, s, "tick", bank_served, total_wait, max_wait,
+                   stalled, last_finish, tele)
 
 
 def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
@@ -319,7 +356,7 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
     total_wait = 0
     max_wait = 0
     stalled = 0
-    tele = _Counters(s) if s.telemetry else None
+    tele = _Counters(s) if (s.telemetry or s.sanitize) else None
 
     heappush, heappop = heapq.heappush, heapq.heappop
     t = 0
@@ -429,19 +466,8 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
                     tele.proc_stalls[q] += t_next - t - 1
         t = t_next
 
-    return SimResult(
-        time=float(last_finish + s.L),
-        n=n,
-        bank_loads=np.asarray(bank_served, dtype=np.int64),
-        max_wait=float(max_wait),
-        mean_wait=float(total_wait / n),
-        stalled_cycles=float(stalled),
-        machine_name=machine.name,
-        telemetry=(
-            _make_telemetry(tele, total_wait, stalled, last_finish)
-            if tele is not None else None
-        ),
-    )
+    return _finish(machine, s, "event", bank_served, total_wait, max_wait,
+                   stalled, last_finish, tele)
 
 
 _ENGINES = {"event": _run_event, "tick": _run_tick}
@@ -449,12 +475,13 @@ _ENGINES = {"event": _run_event, "tick": _run_tick}
 
 def simulate_scatter_cycle(
     machine: MachineConfig,
-    addresses,
+    addresses: ArrayLike,
     bank_map: Optional[BankMap] = None,
     assignment: Assignment = "round_robin",
     max_cycles: Optional[int] = None,
     engine: str = "event",
     telemetry: bool = False,
+    sanitize: Optional[bool] = None,
 ) -> SimResult:
     """Cycle-accurate simulation of one scatter on ``machine``.
 
@@ -477,6 +504,11 @@ def simulate_scatter_cycle(
         Collect :class:`SimTelemetry` counters (per-bank busy cycles,
         queue high-water marks, per-processor stall counts).  Off by
         default; both engines produce identical telemetry.
+    sanitize:
+        Assert the per-superstep conservation invariants of
+        :mod:`repro.simulator.sanitize` on the result (``None`` defers
+        to the process-wide default / ``REPRO_SANITIZE``).  The checks
+        only read engine state, so results are bit-identical either way.
     """
     require_machine(machine, "simulate_scatter_cycle")
     try:
@@ -487,9 +519,9 @@ def simulate_scatter_cycle(
             f"{sorted(_ENGINES)}"
         ) from None
     s = _prepare(machine, addresses, bank_map, assignment, max_cycles,
-                 telemetry)
+                 telemetry, sanitize=sanitize_enabled(sanitize))
     if s.n == 0:
-        return SimResult(
+        result = SimResult(
             time=float(s.L), n=0,
             bank_loads=np.zeros(s.n_banks, dtype=np.int64),
             machine_name=machine.name,
@@ -498,4 +530,9 @@ def simulate_scatter_cycle(
                 if telemetry else None
             ),
         )
+        if s.sanitize:
+            check_superstep(
+                machine, result, engine=engine, h_p=0, n_survivors=0,
+            )
+        return result
     return run(machine, s)

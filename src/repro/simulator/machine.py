@@ -16,7 +16,7 @@ not include the body of Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -170,7 +170,7 @@ class MachineConfig:
 
     @staticmethod
     def from_params(
-        params: DXBSPParams, name: str = "custom", **overrides
+        params: DXBSPParams, name: str = "custom", **overrides: Any
     ) -> "MachineConfig":
         """Build a machine realizing a (d,x)-BSP parameter set."""
         cfg = MachineConfig(
@@ -183,13 +183,13 @@ class MachineConfig:
         )
         return replace(cfg, **overrides) if overrides else cfg
 
-    def with_(self, **kwargs) -> "MachineConfig":
+    def with_(self, **kwargs: Any) -> "MachineConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
 
 #: Cray C90: 16 processors, 1024 SRAM banks, bank delay 6 cycles (paper §1).
-def require_machine(machine, where: str) -> None:
+def require_machine(machine: object, where: str) -> None:
     """Raise a clear ``TypeError`` unless ``machine`` is a
     :class:`MachineConfig`.
 
@@ -248,7 +248,7 @@ TABLE1_MACHINES = (CRAY_C90, CRAY_J90, CRAY_T90, TERA_MTA, NEC_SX4)
 
 def toy_machine(
     p: int = 4, x: float = 4.0, d: float = 6.0, g: float = 1.0, L: float = 0.0,
-    **overrides,
+    **overrides: Any,
 ) -> MachineConfig:
     """A small machine for tests and examples (defaults: 4 processors,
     16 banks, d=6)."""

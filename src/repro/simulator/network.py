@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import as_addresses
 from ..core.contention import BankMap
@@ -32,7 +33,7 @@ __all__ = [
 ]
 
 
-def section_of_banks(machine: MachineConfig, banks) -> np.ndarray:
+def section_of_banks(machine: MachineConfig, banks: ArrayLike) -> np.ndarray:
     """Map bank ids to section ids (contiguous grouping)."""
     banks = np.asarray(banks)
     bps = machine.banks_per_section
@@ -41,7 +42,7 @@ def section_of_banks(machine: MachineConfig, banks) -> np.ndarray:
     return banks // bps
 
 
-def section_loads(machine: MachineConfig, banks) -> np.ndarray:
+def section_loads(machine: MachineConfig, banks: ArrayLike) -> np.ndarray:
     """Requests crossing each section link."""
     sections = section_of_banks(machine, banks)
     return np.bincount(sections, minlength=machine.n_sections).astype(np.int64)
@@ -49,7 +50,7 @@ def section_loads(machine: MachineConfig, banks) -> np.ndarray:
 
 def predict_scatter_sections(
     machine: MachineConfig,
-    addresses,
+    addresses: ArrayLike,
     bank_map: Optional[BankMap] = None,
 ) -> float:
     """Section-aware (d,x)-BSP prediction:

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .._util import as_addresses
 from ..errors import ParameterError, PatternError
@@ -52,7 +53,7 @@ class RequestBatch:
 
     @staticmethod
     def from_addresses(
-        addresses,
+        addresses: ArrayLike,
         machine: MachineConfig,
         assignment: Assignment = "round_robin",
     ) -> "RequestBatch":

@@ -1,0 +1,338 @@
+"""Tests for the opt-in runtime sanitizer.
+
+Two properties carry the feature's weight:
+
+1. **Read-only** — ``sanitize=True`` results are bit-identical to
+   ``sanitize=False`` across all three engines and all machine
+   extensions (combining, bank cache, bounded queues, sections).
+2. **Sharp** — a corrupted :class:`SimResult` trips the matching
+   invariant with a :class:`SanitizerError` naming it.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    SanitizerError,
+    SimResult,
+    SimTelemetry,
+    check_superstep,
+    sanitize_enabled,
+    set_sanitize,
+    simulate_gather,
+    simulate_scatter,
+    simulate_scatter_blocked,
+    simulate_scatter_cycle,
+    toy_machine,
+)
+from repro.workloads import hotspot, uniform_random
+
+SEED = 1995
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_default():
+    yield
+    set_sanitize(None)
+
+
+def scatter(machine, addresses, engine, **kwargs):
+    if engine == "banksim":
+        return simulate_scatter(machine, addresses, **kwargs)
+    return simulate_scatter_cycle(machine, addresses, engine=engine, **kwargs)
+
+
+def assert_same(a: SimResult, b: SimResult) -> None:
+    assert a.time == b.time
+    assert a.n == b.n
+    assert np.array_equal(a.bank_loads, b.bank_loads)
+    assert a.max_wait == b.max_wait
+    assert a.mean_wait == b.mean_wait
+    assert a.stalled_cycles == b.stalled_cycles
+    assert a.machine_name == b.machine_name
+
+
+MACHINES = {
+    "plain": toy_machine(),
+    "latency": toy_machine(L=40.0, latency=5.0),
+    "combining": toy_machine(combining=True),
+    "bank_cache": toy_machine(cache_hit_delay=2.0),
+}
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("engine", ["banksim", "tick", "event"])
+    @pytest.mark.parametrize("name", sorted(MACHINES))
+    def test_sanitize_does_not_change_results(self, engine, name):
+        machine = MACHINES[name]
+        addr = hotspot(512, 64, 1 << 20, seed=SEED)
+        plain = scatter(machine, addr, engine)
+        checked = scatter(machine, addr, engine, sanitize=True)
+        assert_same(plain, checked)
+        assert checked.telemetry is None  # observer counters stay internal
+
+    def test_sections_banksim_only(self):
+        # The cycle engines reject sectioned machines; the vectorized
+        # simulator is the sectioned reference and must stay bit-stable.
+        machine = toy_machine(n_sections=4, section_gap=2.0)
+        addr = hotspot(512, 64, 1 << 20, seed=SEED)
+        assert_same(
+            simulate_scatter(machine, addr),
+            simulate_scatter(machine, addr, sanitize=True),
+        )
+
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_bounded_queues(self, engine):
+        machine = toy_machine(queue_capacity=2)
+        addr = hotspot(256, 128, 1 << 20, seed=SEED)
+        assert_same(
+            scatter(machine, addr, engine),
+            scatter(machine, addr, engine, sanitize=True),
+        )
+
+    @pytest.mark.parametrize("engine", ["banksim", "tick", "event"])
+    def test_engines_agree_under_sanitize(self, engine):
+        addr = uniform_random(1024, 1 << 20, seed=SEED)
+        machine = toy_machine()
+        assert_same(
+            simulate_scatter(machine, addr, sanitize=True),
+            scatter(machine, addr, engine, sanitize=True),
+        )
+
+    @pytest.mark.parametrize("engine", ["banksim", "tick", "event"])
+    def test_telemetry_unchanged_by_sanitize(self, engine):
+        addr = hotspot(512, 64, 1 << 20, seed=SEED)
+        machine = toy_machine()
+        with_tel = scatter(machine, addr, engine, telemetry=True)
+        both = scatter(machine, addr, engine, telemetry=True, sanitize=True)
+        assert_same(with_tel, both)
+        assert both.telemetry is not None
+        assert np.array_equal(
+            with_tel.telemetry.bank_busy, both.telemetry.bank_busy
+        )
+        assert np.array_equal(
+            with_tel.telemetry.queue_high_water,
+            both.telemetry.queue_high_water,
+        )
+        assert with_tel.telemetry.stall_breakdown == \
+            both.telemetry.stall_breakdown
+
+    def test_empty_batch(self):
+        machine = toy_machine(L=7.0)
+        for engine in ("banksim", "tick", "event"):
+            assert scatter(machine, [], engine, sanitize=True).time == 7.0
+
+    def test_gather_and_blocked(self):
+        machine = toy_machine()
+        addr = hotspot(512, 32, 1 << 20, seed=SEED)
+        assert_same(
+            simulate_gather(machine, addr),
+            simulate_gather(machine, addr, sanitize=True),
+        )
+        assert_same(
+            simulate_scatter_blocked(machine, addr, 128),
+            simulate_scatter_blocked(machine, addr, 128, sanitize=True),
+        )
+
+
+class TestEnablement:
+    def test_explicit_override_wins(self):
+        set_sanitize(False)
+        assert sanitize_enabled(True) is True
+        set_sanitize(True)
+        assert sanitize_enabled(False) is False
+
+    def test_global_default(self):
+        set_sanitize(True)
+        assert sanitize_enabled() is True
+        set_sanitize(None)
+
+    def test_env_fallback(self, monkeypatch):
+        set_sanitize(None)
+        for value, expected in [
+            ("1", True), ("true", True), ("on", True),
+            ("0", False), ("false", False), ("off", False), ("", False),
+        ]:
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert sanitize_enabled() is expected
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert sanitize_enabled() is False
+
+    def test_global_default_reaches_engines(self):
+        machine = toy_machine()
+        addr = hotspot(256, 16, 1 << 20, seed=SEED)
+        baseline = simulate_scatter(machine, addr)
+        set_sanitize(True)
+        for engine in ("banksim", "tick", "event"):
+            assert_same(baseline, scatter(machine, addr, engine))
+
+
+def good_result(machine, addr):
+    """A genuine banksim result plus the observer counters, as a
+    mutation base for the violation tests."""
+    res = simulate_scatter(machine, addr, telemetry=True)
+    return res, res.telemetry.bank_busy, res.telemetry.queue_high_water
+
+
+def check(machine, res, h_p, n_survivors, **kwargs):
+    check_superstep(
+        machine, res, engine="banksim", h_p=h_p,
+        n_survivors=n_survivors, **kwargs,
+    )
+
+
+class TestViolations:
+    machine = toy_machine()
+    addr = hotspot(64, 16, 1 << 20, seed=SEED)
+    h_p = 16  # 64 requests over 4 processors
+
+    def test_genuine_result_is_clean(self):
+        res, busy, qhw = good_result(self.machine, self.addr)
+        check(self.machine, res, self.h_p, res.n,
+              bank_busy=busy, queue_high_water=qhw)
+
+    def test_lost_request_trips_conservation(self):
+        res, _, _ = good_result(self.machine, self.addr)
+        loads = res.bank_loads.copy()
+        loads[int(loads.argmax())] -= 1
+        bad = dataclasses.replace(res, bank_loads=loads, telemetry=None)
+        with pytest.raises(SanitizerError, match="conservation"):
+            check(self.machine, bad, self.h_p, res.n)
+
+    def test_negative_load_trips_conservation(self):
+        res, _, _ = good_result(self.machine, self.addr)
+        loads = res.bank_loads.copy()
+        # Force one bank negative while preserving the total, so only
+        # the non-negativity check can catch it.
+        shift = loads[0] + 1
+        loads[0] -= shift
+        loads[1] += shift
+        bad = dataclasses.replace(res, bank_loads=loads, telemetry=None)
+        with pytest.raises(SanitizerError, match="conservation"):
+            check(self.machine, bad, self.h_p, res.n)
+
+    def test_wrong_shape_trips_conservation(self):
+        res, _, _ = good_result(self.machine, self.addr)
+        bad = dataclasses.replace(
+            res, bank_loads=res.bank_loads[:-1], telemetry=None
+        )
+        with pytest.raises(SanitizerError, match="conservation"):
+            check(self.machine, bad, self.h_p, res.n)
+
+    def test_overfull_bank_trips_bank_busy(self):
+        res, busy, _ = good_result(self.machine, self.addr)
+        inflated = busy.copy()
+        inflated[int(res.bank_loads.argmax())] += self.machine.d
+        bad = dataclasses.replace(res, telemetry=None)
+        with pytest.raises(SanitizerError, match="bank-busy"):
+            check(self.machine, bad, self.h_p, res.n, bank_busy=inflated)
+
+    def test_underworked_bank_trips_bank_busy(self):
+        res, busy, _ = good_result(self.machine, self.addr)
+        deflated = busy.copy()
+        deflated[int(res.bank_loads.argmax())] -= 1.0
+        bad = dataclasses.replace(res, telemetry=None)
+        with pytest.raises(SanitizerError, match="bank-busy"):
+            check(self.machine, bad, self.h_p, res.n, bank_busy=deflated)
+
+    def test_too_fast_trips_lower_bound(self):
+        res, _, _ = good_result(self.machine, self.addr)
+        bad = dataclasses.replace(res, time=res.time / 2.0, telemetry=None)
+        with pytest.raises(SanitizerError, match="lower-bound"):
+            check(self.machine, bad, self.h_p, res.n)
+
+    def test_time_below_overhead_trips_lower_bound(self):
+        machine = toy_machine(L=100.0)
+        empty = SimResult(
+            time=50.0, n=0,
+            bank_loads=np.zeros(machine.n_banks, dtype=np.int64),
+        )
+        with pytest.raises(SanitizerError, match="lower-bound"):
+            check(machine, empty, 0, 0)
+
+    def test_wrong_backpressure_trips_stall_accounting(self):
+        res, _, _ = good_result(self.machine, self.addr)
+        bad_tel = dataclasses.replace(
+            res.telemetry,
+            stall_breakdown={
+                **res.telemetry.stall_breakdown,
+                "issue_backpressure":
+                    res.telemetry.stall_breakdown.get(
+                        "issue_backpressure", 0.0) + 3.0,
+            },
+        )
+        bad = dataclasses.replace(res, telemetry=bad_tel)
+        with pytest.raises(SanitizerError, match="stall-accounting"):
+            check(self.machine, bad, self.h_p, res.n)
+
+    def test_wrong_makespan_trips_stall_accounting(self):
+        res, _, _ = good_result(self.machine, self.addr)
+        bad_tel = dataclasses.replace(
+            res.telemetry, makespan=res.telemetry.makespan + 1.0
+        )
+        bad = dataclasses.replace(res, telemetry=bad_tel)
+        with pytest.raises(SanitizerError, match="stall-accounting"):
+            check(self.machine, bad, self.h_p, res.n)
+
+    def test_phantom_queue_trips_stall_accounting(self):
+        # A pure broadcast loads exactly one bank, leaving idle banks
+        # whose queue high-water must stay zero.
+        addr = np.zeros(8, dtype=np.int64)
+        res, _, qhw = good_result(self.machine, addr)
+        idle = int(np.argmin(res.bank_loads))
+        assert res.bank_loads[idle] == 0
+        phantom = qhw.copy()
+        phantom[idle] = 3
+        bad = dataclasses.replace(res, telemetry=None)
+        with pytest.raises(SanitizerError, match="stall-accounting"):
+            check(self.machine, bad, 2, res.n,
+                  queue_high_water=phantom)
+
+
+class TestExperimentSmokeGrids:
+    """The paper's Experiments 1-3 on reduced grids, fully sanitized:
+    the sweep must run clean and produce bit-identical series."""
+
+    @pytest.fixture(autouse=True)
+    def _serial_uncached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+
+    @staticmethod
+    def assert_series_equal(a, b):
+        assert np.array_equal(a.x, b.x)
+        assert sorted(a.columns) == sorted(b.columns)
+        for label, col in a.columns.items():
+            assert np.array_equal(col, b.columns[label]), label
+
+    def _run_twice(self, fn, **kwargs):
+        plain = fn(**kwargs)
+        set_sanitize(True)
+        try:
+            checked = fn(**kwargs)
+        finally:
+            set_sanitize(None)
+        self.assert_series_equal(plain, checked)
+
+    def test_exp1_hotspot(self):
+        from repro.experiments import exp1_hotspot
+
+        self._run_twice(
+            exp1_hotspot.run, n=2048, contentions=[1, 16, 256], seed=SEED
+        )
+
+    def test_exp2_multihot(self):
+        from repro.experiments import exp2_multihot
+
+        self._run_twice(
+            exp2_multihot.run_vs_nhot, n=2048, n_hots=[1, 8, 64], seed=SEED
+        )
+
+    def test_exp3_entropy(self):
+        from repro.experiments import exp3_entropy
+
+        self._run_twice(
+            exp3_entropy.run, n=2048, bits=12, max_rounds=3, seed=SEED
+        )

@@ -1,0 +1,5 @@
+"""Developer tooling for the repro repository.
+
+Importable as a package so the linters run as modules from the repo
+root: ``python -m tools.reprolint src tests``.
+"""

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Repo gate: static analysis + strict typing + tier-1 tests.
+#
+#   sh tools/check.sh
+#
+# Runs, in order: reprolint (always), ruff and mypy (when installed —
+# both are optional in the reproduction image), then the tier-1 pytest
+# suite.  Exits nonzero on the first failure.
+
+set -e
+cd "$(dirname "$0")/.."
+
+LINT_PATHS="src tests benchmarks tools"
+
+echo "== reprolint =="
+python -m tools.reprolint $LINT_PATHS
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check $LINT_PATHS
+else
+    echo "ruff not installed; skipping (config in pyproject.toml)"
+fi
+
+echo "== mypy =="
+if python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy src/repro/simulator src/repro/mapping \
+        src/repro/experiments/runner.py src/repro/experiments/manifest.py
+else
+    echo "mypy not installed; skipping (config in pyproject.toml)"
+fi
+
+echo "== pytest (tier 1) =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "check.sh: all gates passed"

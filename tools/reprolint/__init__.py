@@ -1,0 +1,42 @@
+"""reprolint — repo-specific static analysis for the (d,x)-BSP repro.
+
+Run from the repo root::
+
+    python -m tools.reprolint src tests
+
+Exit status is nonzero when any finding survives suppressions.  See
+:mod:`tools.reprolint.rules` for the rule catalog and DESIGN.md §9 for
+the invariants each rule protects.
+"""
+
+from .core import (
+    Finding,
+    Rule,
+    SourceFile,
+    all_rules,
+    load_files,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "load_files",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "lint_paths",
+]
+
+
+def lint_paths(paths, root=None, select=None, ignore=None):
+    """Lint ``paths`` (files or directories); returns the finding list.
+
+    Parse failures surface as ``REPRO000`` findings rather than raising.
+    """
+    files, errors = load_files(list(paths), root=root)
+    return errors + run_lint(files, select=select, ignore=ignore)

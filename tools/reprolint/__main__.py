@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``.
+
+Options::
+
+    paths               files/directories to lint (default: src tests)
+    --format text|json  output format (default text)
+    --select IDS        comma-separated rule ids/names to run exclusively
+    --ignore IDS        comma-separated rule ids/names to skip
+    --list-rules        print the rule catalog and exit
+    --root DIR          repo root for path scoping (default: cwd)
+
+Exit status: 0 clean, 1 findings, 2 usage/parse trouble on the
+command line itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import all_rules, load_files, render_json, render_text, run_lint
+
+
+def _split(arg: Optional[str]) -> Optional[List[str]]:
+    if not arg:
+        return None
+    return [part.strip() for part in arg.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="repo-specific static analysis (see DESIGN.md §9)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files/directories to lint (default: src tests)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids/names to run")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule ids/names to skip")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--root", default=None,
+                        help="repo root for path scoping (default: cwd)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.paths) if rule.paths else "all files"
+            print(f"{rule.id}  {rule.name}  [{scope}]")
+            print(f"    {rule.description}")
+        return 0
+
+    files, errors = load_files(args.paths, root=args.root)
+    findings = errors + run_lint(
+        files, select=_split(args.select), ignore=_split(args.ignore)
+    )
+    if args.format == "json":
+        sys.stdout.write(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""reprolint core: rule registry, suppression handling, file walking,
+output rendering.
+
+reprolint is a repo-specific static-analysis pass: every rule encodes an
+invariant this reproduction actually depends on (deterministic RNG,
+no wall-clock on simulated paths, memo-cache-safe kwargs, engine
+signature parity, ...).  It is deliberately small and dependency-free —
+pure ``ast`` — so it runs anywhere the test suite runs.
+
+Concepts
+--------
+:class:`SourceFile`
+    One parsed Python file plus its repo-relative path and the
+    ``# reprolint: disable=RULE`` suppressions found in its source.
+:class:`Rule`
+    A check.  Per-file rules implement :meth:`Rule.check`; whole-repo
+    rules (e.g. cross-file signature parity) implement
+    :meth:`Rule.check_project` instead.
+:class:`Finding`
+    One violation: rule id, location, message.
+
+Suppressions
+------------
+A finding is suppressed when the physical line it points at carries a
+trailing pragma naming its rule id (or ``all``)::
+
+    t0 = time.perf_counter()  # reprolint: disable=REPRO102 -- wall-clock
+                              # is the measurement here, not sim state
+
+A whole file opts out of one rule with a pragma on a line of its own
+within the first ten lines::
+
+    # reprolint: disable-file=REPRO103
+
+Suppressions are intentionally loud in the diff: the justification
+travels with the pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import fnmatch
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Rule",
+    "RULES",
+    "register",
+    "all_rules",
+    "load_files",
+    "run_lint",
+    "render_text",
+    "render_json",
+]
+
+_PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+?)(?:--|$)")
+_PRAGMA_FILE = re.compile(r"^\s*#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+?)(?:--|$)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view for the JSON output format."""
+        return dataclasses.asdict(self)
+
+
+class SourceFile:
+    """A parsed source file with suppression metadata.
+
+    Parameters
+    ----------
+    rel:
+        Repo-relative posix path; rules scope themselves by matching
+        glob patterns against it, so tests can lint in-memory snippets
+        under any virtual path.
+    text:
+        Source code.
+    """
+
+    def __init__(self, rel: str, text: str) -> None:
+        self.rel = rel.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel)
+        self._line_disables: Dict[int, set] = {}
+        self._file_disables: set = set()
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _PRAGMA_FILE.match(line)
+            if m and lineno <= 10:
+                self._file_disables.update(
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                )
+                continue
+            m = _PRAGMA.search(line)
+            if m:
+                self._line_disables[lineno] = {
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                }
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled for ``line`` (or the file)."""
+        if rule in self._file_disables or "all" in self._file_disables:
+            return True
+        disabled = self._line_disables.get(line)
+        return disabled is not None and (rule in disabled or "all" in disabled)
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Class attributes
+    ----------------
+    id:
+        Stable identifier (``REPROnnn``), used in pragmas and output.
+    name:
+        Short kebab-case name for ``--list-rules``.
+    description:
+        One-line statement of the invariant the rule protects.
+    paths:
+        Glob patterns (repo-relative) the rule applies to; empty means
+        every linted file.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    paths: Tuple[str, ...] = ()
+
+    def applies_to(self, f: SourceFile) -> bool:
+        """Whether this rule's path scope covers ``f``."""
+        if not self.paths:
+            return True
+        return any(fnmatch.fnmatch(f.rel, pat) for pat in self.paths)
+
+    def check(self, f: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one file (per-file rules override this)."""
+        return iter(())
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        """Yield findings needing a whole-repo view (cross-file rules)."""
+        return iter(())
+
+    def finding(self, f: SourceFile, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` at ``node``'s location in ``f``."""
+        return Finding(
+            rule=self.id,
+            path=f.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: Registered rule classes, in registration (= id) order.
+RULES: List[Type[Rule]] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if any(r.id == cls.id for r in RULES):
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    # Import for side effect: the rule classes self-register on import.
+    from . import rules as _rules  # noqa: F401
+
+    return [cls() for cls in RULES]
+
+
+_SKIP_DIRS = {".git", "__pycache__", ".cache", "results", ".pytest_cache"}
+
+
+def load_files(
+    paths: Sequence[str], root: Optional[Path] = None
+) -> Tuple[List[SourceFile], List[Finding]]:
+    """Collect and parse every ``.py`` file under ``paths``.
+
+    Returns the parsed files plus parse-failure findings (a file that
+    does not parse is itself a finding, not a crash).
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    seen = set()
+    files: List[SourceFile] = []
+    errors: List[Finding] = []
+    for raw in paths:
+        p = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        candidates: Iterable[Path]
+        if p.is_dir():
+            candidates = [
+                c for c in sorted(p.rglob("*.py"))
+                if not (_SKIP_DIRS & set(c.parts))
+            ]
+        elif p.is_file():
+            candidates = [p]
+        else:
+            errors.append(Finding(
+                rule="REPRO000", path=str(raw), line=1, col=1,
+                message=f"path {raw!r} does not exist",
+            ))
+            continue
+        for c in candidates:
+            if c in seen:
+                continue
+            seen.add(c)
+            try:
+                rel = c.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = c.as_posix()
+            try:
+                files.append(SourceFile(rel, c.read_text()))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                errors.append(Finding(
+                    rule="REPRO000", path=rel,
+                    line=getattr(exc, "lineno", 1) or 1, col=1,
+                    message=f"file does not parse: {exc}",
+                ))
+    return files, errors
+
+
+def run_lint(
+    files: Sequence[SourceFile],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run ``rules`` over ``files``; returns unsuppressed findings sorted
+    by (path, line, col, rule)."""
+    active = list(rules) if rules is not None else all_rules()
+    if select:
+        wanted = set(select)
+        active = [r for r in active if r.id in wanted or r.name in wanted]
+    if ignore:
+        dropped = set(ignore)
+        active = [r for r in active if r.id not in dropped
+                  and r.name not in dropped]
+    by_rel = {f.rel: f for f in files}
+    findings: List[Finding] = []
+    for rule in active:
+        for f in files:
+            if rule.applies_to(f):
+                findings.extend(rule.check(f))
+        findings.extend(rule.check_project(files))
+    kept = []
+    for fi in findings:
+        src = by_rel.get(fi.path)
+        if src is not None and src.suppressed(fi.rule, fi.line):
+            continue
+        kept.append(fi)
+    kept.sort(key=lambda fi: (fi.path, fi.line, fi.col, fi.rule))
+    return kept
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [fi.format() for fi in findings]
+    lines.append(
+        f"reprolint: {len(findings)} finding(s)"
+        if findings else "reprolint: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable key order)."""
+    return json.dumps(
+        {"findings": [fi.to_dict() for fi in findings],
+         "count": len(findings)},
+        indent=2, sort_keys=True,
+    ) + "\n"
