@@ -1,13 +1,17 @@
-"""Perf — event-driven cycle engine vs the reference tick loop.
+"""Perf — the three cycle engines on the Exp-1 hot-spot scatter.
 
-Times both engines on the Experiment-1 hot-spot scatter at S = 64K
-requests on the J90 (contention k = n: every request targets the hot
-location, so the run is maximally contention-dominated — the regime
-where the tick loop burns ~d*n nearly idle cycles while the event
-engine jumps between the d-spaced serve events).  Asserts bit-identical
-results and a >= 10x speedup, saves the paper-style comparison under
-``benchmarks/results/`` and writes machine-readable numbers to
-``BENCH_cycle_engine.json`` at the repo root for ``tools/perf_guard.py``.
+Times the reference tick loop, the event-driven engine and the
+vectorized batch engine on the Experiment-1 hot-spot scatter at
+S = 64K requests on the J90 (contention k = n: every request targets
+the hot location, so the run is maximally contention-dominated — the
+regime where the tick loop burns ~d*n nearly idle cycles while the
+event engine jumps between the d-spaced serve events and the batch
+engine resolves the whole superstep with one kernel call).  Asserts
+bit-identical results across all three, a >= 10x event-over-tick
+speedup and a >= 10x batch-over-event speedup, saves the paper-style
+comparison under ``benchmarks/results/`` and writes machine-readable
+numbers to ``BENCH_cycle_engine.json`` at the repo root for
+``tools/perf_guard.py``.
 """
 
 import json
@@ -26,6 +30,7 @@ BENCH_JSON = pathlib.Path(__file__).parents[1] / "BENCH_cycle_engine.json"
 N = 64 * 1024
 K = N
 EVENT_REPEATS = 3
+BATCH_REPEATS = 5
 
 
 def _best_of(repeats, fn, *args, **kwargs):
@@ -45,20 +50,32 @@ def test_perf_cycle_engine(benchmark, save_result):
                             engine="tick")
     event_s, event = _best_of(EVENT_REPEATS, simulate_scatter_cycle,
                               machine, addr, engine="event")
+    batch_s, batch = _best_of(BATCH_REPEATS, simulate_scatter_cycle,
+                              machine, addr, engine="batch")
     run_once(benchmark, simulate_scatter_cycle, machine, addr,
-             engine="event")
+             engine="batch")
 
-    # The optimization is only valid if it changes nothing but the clock.
-    assert event.time == tick.time
-    assert (event.bank_loads == tick.bank_loads).all()
-    assert event.stalled_cycles == tick.stalled_cycles
+    # The optimizations are only valid if they change nothing but the
+    # clock: every engine must agree bit for bit.
+    for fast in (event, batch):
+        assert fast.time == tick.time
+        assert (fast.bank_loads == tick.bank_loads).all()
+        assert fast.stalled_cycles == tick.stalled_cycles
+        assert fast.mean_wait == tick.mean_wait
+        assert fast.max_wait == tick.max_wait
     # Telemetry is opt-in: the timed hot path must not have collected it.
     assert event.telemetry is None and tick.telemetry is None
+    assert batch.telemetry is None
 
     speedup = tick_s / event_s
     assert speedup >= 10.0, (
         f"event engine only {speedup:.1f}x faster than tick loop "
         f"({event_s:.3f}s vs {tick_s:.3f}s)"
+    )
+    batch_speedup = event_s / batch_s
+    assert batch_speedup >= 10.0, (
+        f"batch engine only {batch_speedup:.1f}x faster than event engine "
+        f"({batch_s:.4f}s vs {event_s:.3f}s)"
     )
 
     lines = [
@@ -68,8 +85,10 @@ def test_perf_cycle_engine(benchmark, save_result):
         f"{'engine':<10} {'seconds':>10} {'sim cycles':>12}",
         f"{'tick':<10} {tick_s:>10.3f} {tick.time:>12.0f}",
         f"{'event':<10} {event_s:>10.3f} {event.time:>12.0f}",
+        f"{'batch':<10} {batch_s:>10.4f} {batch.time:>12.0f}",
         "",
-        f"speedup: {speedup:.1f}x (bit-identical results)",
+        f"event over tick: {speedup:.1f}x, batch over event: "
+        f"{batch_speedup:.1f}x (bit-identical results)",
     ]
     save_result("perf_cycle_engine", "\n".join(lines))
 
@@ -81,6 +100,8 @@ def test_perf_cycle_engine(benchmark, save_result):
         "telemetry": "off",
         "tick_seconds": round(tick_s, 6),
         "event_seconds": round(event_s, 6),
+        "batch_seconds": round(batch_s, 6),
         "speedup": round(speedup, 2),
+        "batch_speedup": round(batch_speedup, 2),
         "sim_cycles": float(event.time),
     }, indent=2) + "\n")

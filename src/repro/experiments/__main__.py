@@ -93,7 +93,14 @@ def main(argv=None) -> int:
             text = f"{outcome.output}\n"
             if stray:
                 text += f"\n[captured stdout]\n{stray}\n"
-            text += f"\n[wall-clock: {outcome.seconds:.3f}s]\n"
+            # Pool vs cache split keeps saved timings honest: a fully
+            # cache-hit rerun reports near-zero pool time instead of
+            # passing the cache scan off as compute.
+            text += (
+                f"\n[wall-clock: {outcome.seconds:.3f}s "
+                f"(pool {outcome.stats.pool_seconds:.3f}s, "
+                f"cache {outcome.stats.cache_seconds:.3f}s)]\n"
+            )
             (save_dir / f"{outcome.exp_id}.txt").write_text(text)
         if json_dir is not None:
             from .manifest import RunManifest, write_manifest

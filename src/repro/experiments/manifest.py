@@ -5,8 +5,10 @@ Experiments 1-3 and Figures 11-12 — so reproduction runs need an
 auditable record of *how* each number was produced.  A
 :class:`RunManifest` captures, per experiment: the registry id, the
 package code version, the default machine parameters and seed the
-experiment ran under, wall-clock time, and the runner's fault/cache
-counters (hits, misses, retries, timeouts, quarantined cache entries).
+experiment ran under, wall-clock time (split into pool compute vs
+cache scan), the runner's fault/cache counters (hits, misses, retries,
+timeouts, quarantined cache entries) and its shared-memory traffic
+(bytes shipped to workers by handle instead of pickled copies).
 
 ``python -m repro.experiments --all --json DIR`` writes one
 schema-checked manifest per experiment as ``DIR/<id>.json``;
@@ -34,7 +36,9 @@ __all__ = [
 ]
 
 #: Manifest format version; bump on any incompatible field change.
-SCHEMA_VERSION = 1
+#: v2: adds shared-memory traffic (``bytes_shipped``/``shm_hits``) and
+#: the pool-vs-cache wall-clock split (``pool_seconds``/``cache_seconds``).
+SCHEMA_VERSION = 2
 
 #: Required fields and their types — the (flat) manifest schema.
 #: ``machine`` is the nested dict of default machine parameters.
@@ -52,6 +56,10 @@ MANIFEST_SCHEMA: Dict[str, type] = {
     "retries": int,
     "timeouts": int,
     "quarantined": int,
+    "bytes_shipped": int,
+    "shm_hits": int,
+    "pool_seconds": float,
+    "cache_seconds": float,
     "experiment_retries": int,
     "parallel": int,
     "cache_enabled": bool,
@@ -81,6 +89,10 @@ class RunManifest:
     retries: int
     timeouts: int
     quarantined: int
+    bytes_shipped: int
+    shm_hits: int
+    pool_seconds: float
+    cache_seconds: float
     experiment_retries: int
     parallel: int
     cache_enabled: bool
@@ -110,6 +122,10 @@ class RunManifest:
             retries=s.retries,
             timeouts=s.timeouts,
             quarantined=s.quarantined,
+            bytes_shipped=s.bytes_shipped,
+            shm_hits=s.shm_hits,
+            pool_seconds=float(s.pool_seconds),
+            cache_seconds=float(s.cache_seconds),
             experiment_retries=outcome.retries,
             parallel=int(parallel),
             cache_enabled=bool(cache_enabled),
@@ -160,7 +176,8 @@ def validate_manifest(data: Dict[str, Any]) -> None:
         if field_name not in MANIFEST_SCHEMA:
             problems.append(f"unknown field {field_name!r}")
     for counter in ("points", "cache_hits", "cache_misses", "retries",
-                    "timeouts", "quarantined", "experiment_retries"):
+                    "timeouts", "quarantined", "bytes_shipped",
+                    "shm_hits", "experiment_retries"):
         if isinstance(data.get(counter), int) and data[counter] < 0:
             problems.append(f"field {counter!r} must be >= 0")
     if data.get("schema_version") not in (None, SCHEMA_VERSION):

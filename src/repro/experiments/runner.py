@@ -24,14 +24,24 @@ Whole experiments also run concurrently: :func:`run_experiments` fans
 the registry ids of ``python -m repro.experiments --all`` out over the
 pool, capturing each experiment's stdout so reports stay untangled.
 
+The pooled fan-out is **zero-copy** for array payloads: large ndarray
+kwargs (a 64K address pattern, an SpMV input vector) are published once
+into named ``multiprocessing.shared_memory`` segments and workers
+receive a small handle instead of a pickled copy; cache hits never
+reach the pool at all, and the misses are submitted in *chunks* (a few
+tasks per worker) rather than one future per point, so pool overhead
+stays O(workers), not O(points).
+
 Both layers are **fault tolerant**: a grid point that raises, times out
 or takes its worker process down does not abort the sweep — the failed
 points are retried serially in-process once the pool drains (and a
 crashed experiment under ``--all`` is likewise rerun serially).
 Unreadable cache entries are quarantined (renamed to ``*.corrupt``)
 instead of being re-hit, and Ctrl-C tears the pool down without waiting
-for stragglers.  Every run tallies :class:`GridStats` (cache hits and
-misses, retries, timeouts, quarantines) which
+for stragglers; shared-memory segments orphaned by an abnormal exit are
+swept by :func:`clear_cache` alongside stale tmp files.  Every run
+tallies :class:`GridStats` (cache hits and misses, retries, timeouts,
+quarantines, shared-memory traffic, pool vs cache wall-clock) which
 :mod:`repro.experiments.manifest` exports as machine-readable run
 manifests.
 """
@@ -41,6 +51,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import io
+import itertools
 import os
 import pickle
 import time
@@ -50,6 +61,7 @@ from concurrent.futures import (
     as_completed,
 )
 from contextlib import redirect_stdout
+from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -99,6 +111,20 @@ class GridStats:
         Points whose pooled attempt exceeded the per-point timeout.
     quarantined:
         Unreadable cache entries renamed to ``*.corrupt``.
+    bytes_shipped:
+        ndarray payload bytes routed to pool workers through shared
+        memory instead of pickled copies (counted per point reference:
+        one vector shared by ten points ships its size ten times here
+        while occupying one segment).
+    shm_hits:
+        Point kwargs served to workers via a shared-memory handle.
+    pool_seconds:
+        Wall-clock spent computing cache misses (pool fan-out plus
+        serial retries and result stores).
+    cache_seconds:
+        Wall-clock spent scanning/loading the on-disk memo cache —
+        kept separate from ``pool_seconds`` because hits never reach
+        the pool.
     """
 
     points: int = 0
@@ -107,8 +133,12 @@ class GridStats:
     retries: int = 0
     timeouts: int = 0
     quarantined: int = 0
+    bytes_shipped: int = 0
+    shm_hits: int = 0
+    pool_seconds: float = 0.0
+    cache_seconds: float = 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (manifest/JSON export)."""
         return dataclasses.asdict(self)
 
@@ -182,13 +212,16 @@ def clear_cache() -> int:
     """Delete every cached entry; returns the number removed.
 
     Sweeps live entries (``*.pkl``), quarantined unreadable ones
-    (``*.corrupt``) and temp files orphaned by interrupted writers
-    (``.<key>.<pid>.tmp``), all counted in the return value.
+    (``*.corrupt``), temp files orphaned by interrupted writers
+    (``.<key>.<pid>.tmp``) and shared-memory scratch segments orphaned
+    by an abnormal exit (``/dev/shm/repro_shm_*`` — a run killed
+    between publishing its arrays and unlinking them leaves these
+    behind), all counted in the return value.
     """
+    removed = _sweep_shm()
     root = cache_dir()
     if not root.is_dir():
-        return 0
-    removed = 0
+        return removed
     for pattern in ("*.pkl", "*.corrupt", ".*.tmp"):
         for path in sorted(root.glob(pattern)):
             path.unlink(missing_ok=True)
@@ -310,6 +343,153 @@ def _cache_store(key: str, result: Any) -> None:
         pass
 
 
+#: Name prefix of this package's shared-memory segments (visible as
+#: ``/dev/shm/<prefix>*`` files on Linux; swept by :func:`clear_cache`).
+_SHM_PREFIX = "repro_shm_"
+
+#: ndarray kwargs at least this big ship via shared memory; smaller
+#: ones ride in the pickled task payload (a segment per tiny array
+#: would cost more than it saves).
+_SHM_MIN_BYTES = 64 * 1024
+
+#: Where POSIX shared memory appears as plain files (Linux tmpfs);
+#: monkeypatched by tests, skipped where the platform has no such dir.
+_SHM_DIR = Path("/dev/shm")
+
+_shm_counter = itertools.count()
+
+
+def _sweep_shm() -> int:
+    """Remove orphaned shared-memory scratch segments; returns the count.
+
+    A normally-exiting :func:`run_grid` unlinks its own segments; this
+    sweep (part of :func:`clear_cache`) collects what SIGKILL or a hard
+    crash left behind.  Best-effort by design: live runs re-create what
+    they need, and a segment that vanishes mid-delete is still gone.
+    """
+    if not _SHM_DIR.is_dir():
+        return 0
+    removed = 0
+    for path in sorted(_SHM_DIR.glob(_SHM_PREFIX + "*")):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # reprolint: disable=REPRO112 -- sweep is best-effort; the segment may already be gone
+            pass
+    return removed
+
+
+@dataclasses.dataclass(frozen=True)
+class _ShmHandle:
+    """Pickled in place of a large ndarray kwarg: workers attach the
+    named segment and rebuild a (read-only) view instead of receiving
+    a multi-megabyte pickled copy."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+class _ShmSession:
+    """Parent-side shared-memory publication for one :func:`run_grid`.
+
+    Arrays are copied into named segments once each (deduplicated by
+    object identity — an SpMV vector shared by every grid point
+    occupies one segment) and unlinked in the grid's ``finally``;
+    worker mappings survive the unlink until the pool winds down.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._handles: Dict[int, _ShmHandle] = {}
+
+    def adapt(self, point: Dict[str, Any]) -> Dict[str, Any]:
+        """Copy of ``point`` with large ndarray values replaced by
+        handles (counted in ``GridStats.bytes_shipped``/``shm_hits``)."""
+        out: Dict[str, Any] = {}
+        for key, value in point.items():
+            if (
+                isinstance(value, np.ndarray)
+                and value.nbytes >= _SHM_MIN_BYTES
+                and not value.dtype.hasobject
+            ):
+                out[key] = self._publish(value)
+                _stats.shm_hits += 1
+                _stats.bytes_shipped += int(value.nbytes)
+            else:
+                out[key] = value
+        return out
+
+    def _publish(self, arr: np.ndarray) -> _ShmHandle:
+        handle = self._handles.get(id(arr))
+        if handle is not None:
+            return handle
+        contig = np.ascontiguousarray(arr)
+        seg = shared_memory.SharedMemory(
+            name=f"{_SHM_PREFIX}{os.getpid()}_{next(_shm_counter)}",
+            create=True,
+            size=contig.nbytes,
+        )
+        np.ndarray(contig.shape, dtype=contig.dtype, buffer=seg.buf)[...] \
+            = contig
+        handle = _ShmHandle(seg.name, str(contig.dtype), tuple(contig.shape))
+        self._segments.append(seg)
+        self._handles[id(arr)] = handle
+        return handle
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent, best-effort)."""
+        segments, self._segments = self._segments, []
+        self._handles = {}
+        for seg in segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except OSError:  # reprolint: disable=REPRO112 -- teardown is best-effort; clear_cache sweeps leftovers
+                pass
+
+
+#: Worker-side attachment cache: one mapping per segment per worker
+#: process, kept alive for the pool's lifetime.
+_attached: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(handle: _ShmHandle) -> np.ndarray:
+    seg = _attached.get(handle.name)
+    if seg is None:
+        # Attaching re-registers the name with the resource tracker.
+        # Pool workers (fork and spawn both) inherit the parent's
+        # tracker, whose registry is a set, so the re-registration is
+        # idempotent and the parent's unlink clears the single entry —
+        # no unregister dance needed worker-side.
+        seg = shared_memory.SharedMemory(name=handle.name)
+        _attached[handle.name] = seg
+    arr = np.ndarray(
+        handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf
+    )
+    # Read-only: grid points share these pages across workers, so a
+    # mutating point function must fail loudly, not corrupt its peers.
+    arr.setflags(write=False)
+    return arr
+
+
+def _resolve(point: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        key: _attach(value) if isinstance(value, _ShmHandle) else value
+        for key, value in point.items()
+    }
+
+
+def _run_chunk(fn: Callable, chunk: List[Dict[str, Any]]) -> List[Any]:
+    """Worker-side execution of one chunk of grid points."""
+    return [fn(**_resolve(point)) for point in chunk]
+
+
+#: Chunks submitted per worker: >1 keeps the pool load-balanced when
+#: point costs vary without falling back to one future per point.
+_CHUNKS_PER_WORKER = 4
+
+
 def _pool(workers: int, cache: Optional[bool] = None) -> ProcessPoolExecutor:
     # Workers inherit the parent's effective cache settings but run
     # serially themselves — nested pools would oversubscribe the machine.
@@ -358,10 +538,11 @@ def run_grid(
         wall-clock time must pass ``cache=False``.
     timeout:
         Per-point seconds before a pooled point is abandoned and
-        retried serially (measured from when the runner starts waiting
-        on that point, so it is an upper bound per point, not a global
-        budget).  ``None`` (default) waits forever.  Serial execution
-        ignores it — in-process work cannot be preempted safely.
+        retried serially (a chunk of ``k`` points is waited on for
+        ``k * timeout``, so the bound is per point, not a global
+        budget; a timed-out chunk retries all of its points).
+        ``None`` (default) waits forever.  Serial execution ignores
+        it — in-process work cannot be preempted safely.
     """
     points = [dict(p) for p in points]
     results: List[Any] = [None] * len(points)
@@ -369,6 +550,9 @@ def run_grid(
     keys: List[Optional[str]] = [None] * len(points)
     todo: List[int] = []
     _stats.points += len(points)
+    # Cache-scan wall-clock is a GridStats datum (pool vs cache split
+    # in run manifests), never itself cached or compared.
+    t0 = time.perf_counter()  # reprolint: disable=REPRO102
     for i, point in enumerate(points):
         if enabled:
             keys[i] = cache_key(fn, point)
@@ -379,31 +563,59 @@ def run_grid(
                 continue
             _stats.cache_misses += 1
         todo.append(i)
+    _stats.cache_seconds += time.perf_counter() - t0  # reprolint: disable=REPRO102
 
+    t0 = time.perf_counter()  # reprolint: disable=REPRO102
     workers = min(_parallelism(parallel), len(todo))
     if workers > 1:
         failed: List[int] = []
+        session = _ShmSession()
         pool = _pool(workers, cache)
         try:
-            futures = {pool.submit(fn, **points[i]): i for i in todo}
-            for fut, i in futures.items():
+            payload = {i: session.adapt(points[i]) for i in todo}
+            # A few chunks per worker: large enough to amortize pool
+            # dispatch, small enough to balance uneven point costs.
+            chunk_size = max(
+                1, -(-len(todo) // (workers * _CHUNKS_PER_WORKER))
+            )
+            chunks = [
+                todo[j:j + chunk_size]
+                for j in range(0, len(todo), chunk_size)
+            ]
+            futures = {
+                pool.submit(_run_chunk, fn, [payload[i] for i in chunk]):
+                    chunk
+                for chunk in chunks
+            }
+            for fut, chunk in futures.items():
                 try:
-                    results[i] = fut.result(timeout=timeout)
+                    chunk_results = fut.result(
+                        timeout=None if timeout is None
+                        else timeout * len(chunk)
+                    )
                 except FuturesTimeoutError:
                     fut.cancel()
-                    _stats.timeouts += 1
-                    failed.append(i)
+                    _stats.timeouts += len(chunk)
+                    failed.extend(chunk)
+                    continue
                 except Exception:  # reprolint: disable=REPRO111 -- fault-tolerant retry must catch everything
                     # Includes BrokenProcessPool: when a worker dies the
                     # executor poisons every outstanding future, so each
                     # lands here and joins the serial retry pass.
-                    failed.append(i)
+                    failed.extend(chunk)
+                    continue
+                for i, r in zip(chunk, chunk_results):
+                    results[i] = r
         finally:
             # On SIGINT (or any error) drop queued work and return
             # without waiting for stragglers; workers are reaped on
-            # interpreter exit.
+            # interpreter exit.  Unlinking the segments here is safe:
+            # workers that already mapped them keep their mappings.
             pool.shutdown(wait=False, cancel_futures=True)
+            session.close()
         for i in failed:
+            # Serial retries take the original points — arrays inline,
+            # no shared-memory indirection to go wrong twice.
             _stats.retries += 1
             results[i] = fn(**points[i])
     else:
@@ -413,6 +625,7 @@ def run_grid(
     if enabled:
         for i in todo:
             _cache_store(keys[i], results[i])
+    _stats.pool_seconds += time.perf_counter() - t0  # reprolint: disable=REPRO102
     return results
 
 

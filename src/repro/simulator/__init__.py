@@ -11,6 +11,7 @@ from .banksim import (
 )
 from .butterfly import omega_ports, simulate_scatter_butterfly
 from .cycle import simulate_scatter_cycle
+from .cycle_batch import simulate_scatter_batch
 from .machine import (
     CRAY_C90,
     CRAY_J90,
@@ -51,6 +52,7 @@ __all__ = [
     "simulate_gather",
     "simulate_scatter_blocked",
     "simulate_scatter_cycle",
+    "simulate_scatter_batch",
     "SanitizerError",
     "sanitize_enabled",
     "set_sanitize",

@@ -56,7 +56,8 @@ __all__ = [
 
 
 def fifo_service_times(
-    arrivals: np.ndarray, servers: np.ndarray, gap: float
+    arrivals: np.ndarray, servers: np.ndarray, gap: float,
+    init_free: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Start times for FIFO service with one start per ``gap`` cycles per
     server.
@@ -70,6 +71,11 @@ def fifo_service_times(
     gap:
         Minimum spacing between consecutive service starts at one server.
         ``gap = 0`` means an unlimited server: start == arrival.
+    init_free:
+        Optional per-server floor on the first start (indexed by server
+        id): the cycle at which a previously busy server becomes free
+        again.  Lets the batch cycle engine re-enter the recurrence from
+        a mid-run machine state.  ``None`` means every server starts free.
 
     Returns
     -------
@@ -87,6 +93,10 @@ def fifo_service_times(
     if gap < 0:
         raise SimulationError(f"service gap must be >= 0, got {gap}")
     if gap == 0:
+        if init_free is not None:
+            return np.maximum(
+                arrivals, np.asarray(init_free, dtype=np.float64)[servers]
+            )
         return arrivals.copy()
 
     idx = np.arange(n)
@@ -102,6 +112,15 @@ def fifo_service_times(
     rank = idx - first_of_seg[seg_id]
 
     adjusted = s_arr - rank * gap
+    if init_free is not None:
+        # Seed each segment head with its server's external floor: the
+        # first start becomes max(arrival, floor) (rank 0, so adjusted
+        # is the start itself) and the cummax propagates the constraint
+        # to the rest of the segment.
+        floors = np.asarray(init_free, dtype=np.float64)
+        adjusted[first_of_seg] = np.maximum(
+            adjusted[first_of_seg], floors[s_srv[first_of_seg]]
+        )
     # Segmented cumulative max via per-segment offsets: each segment is
     # lifted above the previous one's value range, so the running max never
     # leaks across segments.  Exact for integer-valued times (span and
@@ -122,6 +141,8 @@ def fifo_service_times_cached(
     addresses: np.ndarray,
     miss_cost: float,
     hit_cost: float,
+    init_free: Optional[np.ndarray] = None,
+    init_addr: Optional[np.ndarray] = None,
 ) -> tuple:
     """FIFO service with a one-entry bank cache (cached-DRAM extension,
     Hsu & Smith [HS93]).
@@ -131,6 +152,12 @@ def fifo_service_times_cached(
     server for ``hit_cost`` cycles; otherwise ``miss_cost``.  Solved
     vectorized like :func:`fifo_service_times`, with the per-segment gap
     prefix sums replacing ``rank * gap``.
+
+    ``init_free`` floors each server's first start as in
+    :func:`fifo_service_times`; ``init_addr`` seeds each server's row
+    buffer with the address it last serviced (``-1`` = cold buffer;
+    addresses are non-negative), so a mid-run re-entry preserves hits
+    across the seam.
 
     Returns ``(start, cost)`` aligned with the input order.
     """
@@ -167,6 +194,10 @@ def fifo_service_times_cached(
     hit = np.zeros(n, dtype=bool)
     np.equal(s_addr[1:], s_addr[:-1], out=hit[1:])
     hit &= ~seg_start
+    if init_addr is not None:
+        # Segment heads hit iff they match the seeded row buffer.
+        seeds = np.asarray(init_addr)[s_srv[first_of_seg]]
+        hit[first_of_seg] = s_addr[first_of_seg] == seeds
     cost = np.where(hit, hit_cost, miss_cost)
 
     # Segment-local prefix sums of the costs of *earlier* requests.
@@ -178,6 +209,11 @@ def fifo_service_times_cached(
     gap_prefix = csum_prev - base
 
     adjusted = s_arr - gap_prefix
+    if init_free is not None:
+        floors = np.asarray(init_free, dtype=np.float64)
+        adjusted[first_of_seg] = np.maximum(
+            adjusted[first_of_seg], floors[s_srv[first_of_seg]]
+        )
     span = float(adjusted.max() - adjusted.min()) + miss_cost + 1.0
     lifted = adjusted + seg_id * span
     running = np.maximum.accumulate(lifted) - seg_id * span

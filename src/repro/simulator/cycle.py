@@ -1,6 +1,6 @@
 """Cycle-accurate simulator with bounded queues and back-pressure.
 
-Two engines compute the same machine, cycle for cycle:
+Three engines compute the same machine, cycle for cycle:
 
 1. **event** (default) — a discrete-event engine that jumps between the
    cycles where something can actually happen (an issue, an arrival, a
@@ -9,10 +9,16 @@ Two engines compute the same machine, cycle for cycle:
    idles and of ``n_banks`` — which makes 64K-request sweeps cheap.
 2. **tick** — the original explicit per-cycle loop, advancing one cycle
    at a time and scanning every bank each cycle.  It is kept as the
-   obviously-correct reference: the event engine is property-tested to
+   obviously-correct reference: the other engines are property-tested to
    produce bit-identical :class:`~repro.simulator.stats.SimResult`\\ s
    against it across every mode (unbounded queues, bounded queues with
    stall accounting, combining, and the bank-cache extension).
+3. **batch** (:mod:`repro.simulator.cycle_batch`) — numpy array stepping:
+   it solves whole stall-free spans with the segmented-cummax kernel of
+   :mod:`repro.simulator.banksim` and falls back to exact event-style
+   scalar stepping only across spans where queue-full back-pressure
+   actually binds (a sound stall certificate decides which, so the
+   results stay bit-identical, not approximately close).
 
 Both serve two purposes in the repo:
 
@@ -65,7 +71,7 @@ def _require_int(name: str, value: float) -> int:
 @dataclass
 class _Setup:
     """Validated integer machine parameters plus the per-processor
-    request streams, shared by both engines."""
+    request streams, shared by all engines."""
 
     p: int
     n_banks: int
@@ -82,6 +88,11 @@ class _Setup:
     sanitize: bool = False
     h_p: int = 0  # max requests issued by one processor
     n_survivors: int = 0  # requests surviving combining to the banks
+    # Vectorized request arrays for the batch engine (which skips the
+    # per-request deque construction above; see _prepare(build_queues=)).
+    batch: Optional[RequestBatch] = None
+    banks: Optional[np.ndarray] = None
+    survives: Optional[np.ndarray] = None
 
 
 class _Counters:
@@ -127,7 +138,7 @@ def _finish(
     tele: Optional[_Counters],
 ) -> SimResult:
     """Build the engine's :class:`SimResult` and, when sanitizing, check
-    the conservation invariants.  Shared verbatim by both engines so the
+    the conservation invariants.  Shared verbatim by all engines so the
     bit-identity property covers the epilogue by construction."""
     result = SimResult(
         time=float(last_finish + s.L),
@@ -162,6 +173,7 @@ def _prepare(
     max_cycles: Optional[int],
     telemetry: bool = False,
     sanitize: bool = False,
+    build_queues: bool = True,
 ) -> _Setup:
     if machine.n_sections > 1 and machine.section_gap > 0:
         raise ParameterError(
@@ -206,12 +218,18 @@ def _prepare(
         survives[:] = False
         survives[keep] = True
 
-    # Per-processor request streams, in issue order.
-    proc_reqs: List[deque] = [deque() for _ in range(machine.p)]
-    for i in range(n):
-        proc_reqs[batch.proc[i]].append(
-            (int(banks[i]), int(batch.addresses[i]), bool(survives[i]))
-        )
+    # Per-processor request streams, in issue order.  The batch engine
+    # works on the arrays directly (build_queues=False): this O(n)
+    # Python loop would otherwise dominate its runtime, so it is paid
+    # only by the scalar engines (and lazily by the batch engine's
+    # back-pressure fallback).
+    proc_reqs: List[deque] = []
+    if build_queues:
+        proc_reqs = [deque() for _ in range(machine.p)]
+        for i in range(n):
+            proc_reqs[batch.proc[i]].append(
+                (int(banks[i]), int(batch.addresses[i]), bool(survives[i]))
+            )
 
     capacity = machine.queue_capacity  # None = unbounded
     if max_cycles is None:
@@ -230,8 +248,9 @@ def _prepare(
         p=machine.p, n_banks=n_banks, g=g, d=d, latency=latency, L=L,
         hit_delay=hit_delay, capacity=capacity, n=n, proc_reqs=proc_reqs,
         max_cycles=max_cycles, telemetry=telemetry, sanitize=sanitize,
-        h_p=max((len(q) for q in proc_reqs), default=0),
+        h_p=int(batch.per_processor_counts(machine.p).max()),
         n_survivors=int(survives.sum()),
+        batch=batch, banks=banks, survives=survives,
     )
 
 
@@ -470,7 +489,14 @@ def _run_event(machine: MachineConfig, s: _Setup) -> SimResult:
                    stalled, last_finish, tele)
 
 
-_ENGINES = {"event": _run_event, "tick": _run_tick}
+def _run_batch(machine: MachineConfig, s: _Setup) -> SimResult:
+    """Dispatch to the vectorized batch engine (imported lazily: the
+    batch module imports this one for the shared setup/epilogue)."""
+    from .cycle_batch import run_batch
+    return run_batch(machine, s)
+
+
+_ENGINES = {"event": _run_event, "tick": _run_tick, "batch": _run_batch}
 
 
 def simulate_scatter_cycle(
@@ -495,7 +521,9 @@ def simulate_scatter_cycle(
     engine:
         ``"event"`` (default) uses the event-driven engine that skips
         idle cycles; ``"tick"`` uses the retained per-cycle reference
-        loop.  Both produce bit-identical results (property-tested).
+        loop; ``"batch"`` uses the vectorized array-stepping engine of
+        :mod:`repro.simulator.cycle_batch`.  All three produce
+        bit-identical results (property-tested).
     max_cycles:
         Runaway guard; defaults to a serialization bound that scales
         with the queue capacity (a bounded hot queue legitimately adds
@@ -503,7 +531,7 @@ def simulate_scatter_cycle(
     telemetry:
         Collect :class:`SimTelemetry` counters (per-bank busy cycles,
         queue high-water marks, per-processor stall counts).  Off by
-        default; both engines produce identical telemetry.
+        default; all engines produce identical telemetry.
     sanitize:
         Assert the per-superstep conservation invariants of
         :mod:`repro.simulator.sanitize` on the result (``None`` defers
@@ -519,7 +547,8 @@ def simulate_scatter_cycle(
             f"{sorted(_ENGINES)}"
         ) from None
     s = _prepare(machine, addresses, bank_map, assignment, max_cycles,
-                 telemetry, sanitize=sanitize_enabled(sanitize))
+                 telemetry, sanitize=sanitize_enabled(sanitize),
+                 build_queues=(engine != "batch"))
     if s.n == 0:
         result = SimResult(
             time=float(s.L), n=0,

@@ -62,6 +62,19 @@ class TestRunManifest:
         assert path == tmp_path / "E1.json"
         validate_manifest(json.loads(path.read_text()))
 
+    def test_v2_shm_and_timing_fields(self):
+        # Schema v2: shared-memory traffic plus the pool/cache
+        # wall-clock split ride along from GridStats.
+        m = RunManifest.from_outcome(_outcome(stats=GridStats(
+            points=4, cache_hits=1, cache_misses=3,
+            bytes_shipped=1 << 20, shm_hits=3,
+            pool_seconds=0.5, cache_seconds=0.125,
+        )))
+        assert m.schema_version == SCHEMA_VERSION == 2
+        assert (m.bytes_shipped, m.shm_hits) == (1 << 20, 3)
+        assert (m.pool_seconds, m.cache_seconds) == (0.5, 0.125)
+        validate_manifest(m.to_dict())
+
 
 class TestValidateManifest:
     def _valid(self) -> dict:
@@ -110,6 +123,12 @@ class TestValidateManifest:
         data = self._valid()
         data["retries"] = -1
         with pytest.raises(ParameterError, match="'retries'"):
+            validate_manifest(data)
+
+    def test_negative_shm_counter_rejected(self):
+        data = self._valid()
+        data["shm_hits"] = -2
+        with pytest.raises(ParameterError, match="'shm_hits'"):
             validate_manifest(data)
 
     def test_schema_version_mismatch_rejected(self):

@@ -190,6 +190,176 @@ def _typename(x):
     return type(x).__name__
 
 
+def _array_sum(addresses, scale):
+    # Workers receive a live ndarray view regardless of how it shipped.
+    assert isinstance(addresses, np.ndarray)
+    return float(addresses.sum()) * scale
+
+
+class _RecordingFuture:
+    """Synchronous stand-in for a pool future, recording the timeout."""
+
+    def __init__(self, pool, fn, args, kwargs):
+        self._pool = pool
+        self._fn, self._args, self._kwargs = fn, args, kwargs
+
+    def result(self, timeout=None):
+        self._pool.timeouts.append(timeout)
+        return self._fn(*self._args, **self._kwargs)
+
+    def cancel(self):
+        pass
+
+
+class _RecordingPool:
+    """In-process ProcessPoolExecutor stand-in: runs submissions
+    synchronously and records what run_grid handed it."""
+
+    def __init__(self):
+        self.submissions = []
+        self.timeouts = []
+
+    def submit(self, fn, *args, **kwargs):
+        self.submissions.append((fn, args, kwargs))
+        return _RecordingFuture(self, fn, args, kwargs)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestSharedMemoryShipping:
+    BIG = runner._SHM_MIN_BYTES // 8 + 16  # int64 elements, over threshold
+
+    def test_publish_attach_round_trip(self):
+        session = runner._ShmSession()
+        arr = np.arange(self.BIG, dtype=np.int64)
+        try:
+            adapted = session.adapt({"addresses": arr, "scale": 2})
+            handle = adapted["addresses"]
+            assert isinstance(handle, runner._ShmHandle)
+            assert adapted["scale"] == 2
+            resolved = runner._resolve(adapted)
+            np.testing.assert_array_equal(resolved["addresses"], arr)
+            assert not resolved["addresses"].flags.writeable
+        finally:
+            session.close()
+            runner._attached.clear()
+
+    def test_small_and_object_arrays_stay_inline(self):
+        session = runner._ShmSession()
+        small = np.arange(8, dtype=np.int64)
+        objs = np.array([object()] * self.BIG, dtype=object)
+        try:
+            adapted = session.adapt({"a": small, "b": objs})
+            assert adapted["a"] is small
+            assert adapted["b"] is objs
+        finally:
+            session.close()
+
+    def test_shared_array_published_once(self):
+        runner.reset_grid_stats()
+        session = runner._ShmSession()
+        arr = np.arange(self.BIG, dtype=np.int64)
+        try:
+            h1 = session.adapt({"addresses": arr})["addresses"]
+            h2 = session.adapt({"addresses": arr})["addresses"]
+            assert h1.name == h2.name
+            assert len(session._segments) == 1
+            # bytes_shipped counts per point reference, not per segment.
+            stats = runner.grid_stats()
+            assert stats.shm_hits == 2
+            assert stats.bytes_shipped == 2 * arr.nbytes
+        finally:
+            session.close()
+
+    def test_pooled_grid_ships_via_shm(self):
+        runner.reset_grid_stats()
+        arr = np.arange(self.BIG, dtype=np.int64)
+        points = [dict(addresses=arr, scale=s) for s in range(6)]
+        res = run_grid(_array_sum, points, parallel=2, cache=False)
+        assert res == [float(arr.sum()) * s for s in range(6)]
+        stats = runner.grid_stats()
+        assert stats.shm_hits == 6
+        assert stats.bytes_shipped == 6 * arr.nbytes
+        # Normal exit unlinks every segment.
+        if runner._SHM_DIR.is_dir():
+            assert not list(runner._SHM_DIR.glob(runner._SHM_PREFIX + "*"))
+
+    def test_serial_grid_ships_nothing(self):
+        runner.reset_grid_stats()
+        arr = np.arange(self.BIG, dtype=np.int64)
+        res = run_grid(_array_sum, [dict(addresses=arr, scale=3)],
+                       cache=False)
+        assert res == [float(arr.sum()) * 3]
+        assert runner.grid_stats().shm_hits == 0
+
+
+class TestChunkedSubmission:
+    def _pooled(self, monkeypatch, n_points, parallel, timeout=None):
+        pool = _RecordingPool()
+        monkeypatch.setattr(runner, "_pool", lambda *a, **k: pool)
+        points = [dict(x=i) for i in range(n_points)]
+        res = run_grid(_square, points, parallel=parallel, cache=False,
+                       timeout=timeout)
+        assert res == [i * i for i in range(n_points)]
+        return pool
+
+    def test_misses_submitted_in_chunks(self, monkeypatch):
+        # 32 points over 2 workers x 4 chunks each -> chunks of 4.
+        pool = self._pooled(monkeypatch, n_points=32, parallel=2)
+        assert len(pool.submissions) == 8
+        for fn, args, _kwargs in pool.submissions:
+            assert fn is runner._run_chunk
+            assert len(args[1]) == 4
+
+    def test_small_grids_keep_one_point_chunks(self, monkeypatch):
+        # Fewer points than worker slots: chunk size stays 1, so the
+        # retry/timeout granularity of small sweeps is unchanged.
+        pool = self._pooled(monkeypatch, n_points=3, parallel=2)
+        assert len(pool.submissions) == 3
+
+    def test_timeout_scales_with_chunk_length(self, monkeypatch):
+        pool = self._pooled(monkeypatch, n_points=32, parallel=2,
+                            timeout=0.5)
+        assert pool.timeouts == [pytest.approx(0.5 * 4)] * 8
+
+    def test_no_timeout_waits_forever(self, monkeypatch):
+        pool = self._pooled(monkeypatch, n_points=32, parallel=2)
+        assert pool.timeouts == [None] * 8
+
+    def test_chunk_timeout_fails_whole_chunk(self):
+        # A real pool with a sleeping chunk: every point of the
+        # timed-out chunk is counted and retried serially.
+        runner.reset_grid_stats()
+        points = [dict(x=i) for i in range(2)]
+        res = run_grid(_flaky_slow, points, parallel=2, cache=False,
+                       timeout=0.4)
+        assert res == [0, -1]
+        stats = runner.grid_stats()
+        assert stats.timeouts >= 1
+        assert stats.retries == stats.timeouts
+
+
+class TestWallClockSplit:
+    def test_pool_and_cache_seconds_accumulate(self):
+        runner.reset_grid_stats()
+        points = [dict(x=i) for i in range(3)]
+        run_grid(_square, points)
+        first = runner.grid_stats()
+        assert first.pool_seconds > 0
+        assert first.cache_seconds >= 0
+        run_grid(_square, points)  # all hits this time
+        second = runner.grid_stats()
+        assert second.cache_seconds > first.cache_seconds
+        assert second.cache_hits == 3
+
+    def test_cache_off_still_times_pool(self):
+        runner.reset_grid_stats()
+        run_grid(_square, [dict(x=2)], cache=False)
+        stats = runner.grid_stats()
+        assert stats.pool_seconds > 0
+
+
 class TestFaultTolerance:
     def test_raising_worker_retried_serially(self):
         runner.reset_grid_stats()
@@ -243,15 +413,34 @@ class TestCacheRobustness:
         assert run_grid(_square, [dict(x=9)]) == [81]
         assert runner.grid_stats().cache_hits == 1
 
-    def test_clear_cache_sweeps_corrupt_and_tmp(self):
+    def test_clear_cache_sweeps_corrupt_and_tmp(self, tmp_path,
+                                                monkeypatch):
+        shm_dir = tmp_path / "shm"
+        shm_dir.mkdir()
+        monkeypatch.setattr(runner, "_SHM_DIR", shm_dir)
         root = runner.cache_dir()
         root.mkdir(parents=True, exist_ok=True)
         run_grid(_square, [dict(x=5)])                        # one .pkl
         (root / "deadbeef.corrupt").write_bytes(b"x")         # quarantined
         (root / ".deadbeef.123.tmp").write_bytes(b"x")        # orphaned tmp
-        assert clear_cache() == 3
+        (shm_dir / "repro_shm_42_0").write_bytes(b"x")        # orphaned shm
+        (shm_dir / "other_seg").write_bytes(b"x")             # not ours
+        assert clear_cache() == 4
         assert clear_cache() == 0
         assert list(root.iterdir()) == []
+        # Foreign segments are never touched by the sweep.
+        assert [p.name for p in shm_dir.iterdir()] == ["other_seg"]
+
+    def test_clear_cache_sweeps_shm_without_cache_dir(self, tmp_path,
+                                                     monkeypatch):
+        # Orphaned segments are collected even before any cache exists
+        # (the abnormal exit may have happened on a cache-off run).
+        shm_dir = tmp_path / "shm"
+        shm_dir.mkdir()
+        monkeypatch.setattr(runner, "_SHM_DIR", shm_dir)
+        (shm_dir / "repro_shm_42_0").write_bytes(b"x")
+        assert not runner.cache_dir().is_dir()
+        assert clear_cache() == 1
 
     def test_list_tuple_keys_distinct(self):
         # Regression: lists and tuples used to hash under the same tag,

@@ -3,7 +3,7 @@
 Two properties carry the feature's weight:
 
 1. **Read-only** — ``sanitize=True`` results are bit-identical to
-   ``sanitize=False`` across all three engines and all machine
+   ``sanitize=False`` across all four engines and all machine
    extensions (combining, bank cache, bounded queues, sections).
 2. **Sharp** — a corrupted :class:`SimResult` trips the matching
    invariant with a :class:`SanitizerError` naming it.
@@ -63,7 +63,7 @@ MACHINES = {
 
 
 class TestBitIdentity:
-    @pytest.mark.parametrize("engine", ["banksim", "tick", "event"])
+    @pytest.mark.parametrize("engine", ["banksim", "tick", "event", "batch"])
     @pytest.mark.parametrize("name", sorted(MACHINES))
     def test_sanitize_does_not_change_results(self, engine, name):
         machine = MACHINES[name]
@@ -83,7 +83,7 @@ class TestBitIdentity:
             simulate_scatter(machine, addr, sanitize=True),
         )
 
-    @pytest.mark.parametrize("engine", ["tick", "event"])
+    @pytest.mark.parametrize("engine", ["tick", "event", "batch"])
     def test_bounded_queues(self, engine):
         machine = toy_machine(queue_capacity=2)
         addr = hotspot(256, 128, 1 << 20, seed=SEED)
@@ -92,7 +92,7 @@ class TestBitIdentity:
             scatter(machine, addr, engine, sanitize=True),
         )
 
-    @pytest.mark.parametrize("engine", ["banksim", "tick", "event"])
+    @pytest.mark.parametrize("engine", ["banksim", "tick", "event", "batch"])
     def test_engines_agree_under_sanitize(self, engine):
         addr = uniform_random(1024, 1 << 20, seed=SEED)
         machine = toy_machine()
@@ -101,7 +101,7 @@ class TestBitIdentity:
             scatter(machine, addr, engine, sanitize=True),
         )
 
-    @pytest.mark.parametrize("engine", ["banksim", "tick", "event"])
+    @pytest.mark.parametrize("engine", ["banksim", "tick", "event", "batch"])
     def test_telemetry_unchanged_by_sanitize(self, engine):
         addr = hotspot(512, 64, 1 << 20, seed=SEED)
         machine = toy_machine()

@@ -1,5 +1,5 @@
-"""Telemetry counters: banksim vs both cycle engines, opt-in contract,
-edge cases, and the swapped-argument guard."""
+"""Telemetry counters: banksim vs all three cycle engines, opt-in
+contract, edge cases, and the swapped-argument guard."""
 
 import numpy as np
 import pytest
@@ -19,11 +19,12 @@ def _addrs(n, seed=0, space=1 << 10):
     return np.random.default_rng(seed).integers(0, space, size=n)
 
 
-def _all_three(machine, addr):
+def _all_engines(machine, addr):
     return (
         simulate_scatter(machine, addr, telemetry=True),
         simulate_scatter_cycle(machine, addr, engine="tick", telemetry=True),
         simulate_scatter_cycle(machine, addr, engine="event", telemetry=True),
+        simulate_scatter_cycle(machine, addr, engine="batch", telemetry=True),
     )
 
 
@@ -34,7 +35,7 @@ class TestOptIn:
         assert simulate_scatter(m, addr).telemetry is None
         assert simulate_gather(m, addr).telemetry is None
         assert simulate_scatter_blocked(m, addr, 16).telemetry is None
-        for engine in ("tick", "event"):
+        for engine in ("tick", "event", "batch"):
             assert simulate_scatter_cycle(
                 m, addr, engine=engine
             ).telemetry is None
@@ -48,10 +49,10 @@ class TestOptIn:
 class TestEngineParity:
     @pytest.mark.parametrize("seed", range(4))
     @pytest.mark.parametrize("n", [7, 64, 300])
-    def test_banksim_matches_both_engines(self, n, seed):
+    def test_banksim_matches_every_engine(self, n, seed):
         m = toy_machine()
         addr = _addrs(n, seed)
-        results = _all_three(m, addr)
+        results = _all_engines(m, addr)
         base = results[0].telemetry
         for res in results:
             t = res.telemetry
@@ -68,7 +69,7 @@ class TestEngineParity:
         m = toy_machine()
         n = 50
         addr = np.zeros(n, dtype=np.int64)  # every request to bank 0
-        for res in _all_three(m, addr):
+        for res in _all_engines(m, addr):
             t = res.telemetry
             assert t.bank_busy[0] == n * m.d
             assert t.bank_busy[1:].sum() == 0
@@ -79,7 +80,7 @@ class TestEngineParity:
         # Every request occupies exactly one bank for d cycles.
         m = toy_machine()
         addr = _addrs(200, seed=3)
-        for res in _all_three(m, addr):
+        for res in _all_engines(m, addr):
             assert res.telemetry.bank_busy.sum() == addr.size * m.d
 
     @pytest.mark.parametrize("capacity", [1, 2, 4])
@@ -87,15 +88,17 @@ class TestEngineParity:
         m = toy_machine(queue_capacity=capacity)
         addr = np.concatenate([np.zeros(40, dtype=np.int64), _addrs(80, 5)])
         tick = simulate_scatter_cycle(m, addr, engine="tick", telemetry=True)
-        event = simulate_scatter_cycle(m, addr, engine="event",
-                                       telemetry=True)
-        tt, te = tick.telemetry, event.telemetry
-        np.testing.assert_array_equal(tt.bank_busy, te.bank_busy)
-        np.testing.assert_array_equal(tt.queue_high_water,
-                                      te.queue_high_water)
-        np.testing.assert_array_equal(tt.proc_stalls, te.proc_stalls)
-        assert tt.stall_breakdown == te.stall_breakdown
-        assert tt.makespan == te.makespan
+        tt = tick.telemetry
+        for engine in ("event", "batch"):
+            other = simulate_scatter_cycle(m, addr, engine=engine,
+                                           telemetry=True)
+            te = other.telemetry
+            np.testing.assert_array_equal(tt.bank_busy, te.bank_busy)
+            np.testing.assert_array_equal(tt.queue_high_water,
+                                          te.queue_high_water)
+            np.testing.assert_array_equal(tt.proc_stalls, te.proc_stalls)
+            assert tt.stall_breakdown == te.stall_breakdown
+            assert tt.makespan == te.makespan
         # The stall bucket mirrors the headline stalled_cycles counter
         # and the per-processor counts sum to it.
         assert tt.stall_breakdown["issue_backpressure"] == \
@@ -118,7 +121,7 @@ class TestEdgeCases:
     def test_tiny_inputs_all_paths(self, n):
         m = toy_machine()
         addr = np.zeros(n, dtype=np.int64)
-        for res in _all_three(m, addr):
+        for res in _all_engines(m, addr):
             t = res.telemetry
             assert t.bank_busy.shape == (m.n_banks,)
             assert t.bank_busy.sum() == n * m.d
@@ -131,7 +134,7 @@ class TestEdgeCases:
         m = toy_machine()
         addr = np.zeros(n, dtype=np.int64)
         times = {simulate_scatter(m, addr).time}
-        for engine in ("tick", "event"):
+        for engine in ("tick", "event", "batch"):
             times.add(simulate_scatter_cycle(m, addr, engine=engine).time)
         assert len(times) == 1  # all paths agree
 

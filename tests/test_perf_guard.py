@@ -28,7 +28,7 @@ class TestPerfGuard:
             pytest.skip("no BENCH_cycle_engine.json — run the benchmark "
                         "first")
         assert perf_guard.main([]) == 0
-        assert "perf_guard:" in capsys.readouterr().out
+        assert "perf_guard" in capsys.readouterr().out
 
     def test_compare_flags_regression(self):
         base = {"benchmark": "cycle_engine", "machine": "Cray J90",
@@ -59,3 +59,32 @@ class TestPerfGuard:
         # Pre-telemetry baselines (no field) still compare cleanly.
         legacy = {k: v for k, v in base.items() if k != "telemetry"}
         assert perf_guard.compare(legacy, legacy, 2.0).startswith("ok")
+
+    def test_compare_gates_every_requested_key(self):
+        # One slow timing fails the run even if the others are fine.
+        base = {"benchmark": "cycle_engine", "machine": "Cray J90",
+                "n": 65536, "k": 65536, "telemetry": "off",
+                "event_seconds": 0.1, "batch_seconds": 0.005}
+        slow_batch = dict(base, batch_seconds=0.05)
+        with pytest.raises(SystemExit, match="batch_seconds"):
+            perf_guard.compare(slow_batch, base, 2.0,
+                               keys=("event_seconds", "batch_seconds"))
+        ok = perf_guard.compare(base, base, 2.0,
+                                keys=("event_seconds", "batch_seconds"))
+        assert "event_seconds" in ok and "batch_seconds" in ok
+
+    def test_compare_skips_key_missing_from_baseline(self):
+        # A baseline seeded before a timing existed gates what it has.
+        base = {"benchmark": "cycle_engine", "machine": "Cray J90",
+                "n": 65536, "k": 65536, "telemetry": "off",
+                "event_seconds": 0.1}
+        current = dict(base, batch_seconds=99.0)
+        verdict = perf_guard.compare(current, base, 2.0,
+                                     keys=("event_seconds", "batch_seconds"))
+        assert verdict.startswith("ok")
+        assert "baseline lacks batch_seconds" in verdict
+
+    def test_benches_cover_both_files(self):
+        names = [cur.name for cur, _base, _keys in perf_guard.BENCHES]
+        assert "BENCH_cycle_engine.json" in names
+        assert "BENCH_banksim.json" in names

@@ -308,15 +308,24 @@ def simulate_scatter_cycle(machine, addresses, bank_map=None,
     pass
 """
 
+BATCH_OK = """\
+def simulate_scatter_batch(machine, addresses, bank_map=None,
+                           assignment='round_robin', max_cycles=None,
+                           telemetry=False, sanitize=None):
+    pass
+"""
+
 
 class TestEngineParity:
     BANKSIM = "src/repro/simulator/banksim.py"
     CYCLE = "src/repro/simulator/cycle.py"
+    BATCH = "src/repro/simulator/cycle_batch.py"
 
-    def _lint(self, banksim_src, cycle_src):
+    def _lint(self, banksim_src, cycle_src, batch_src=BATCH_OK):
         files = [
             SourceFile(self.BANKSIM, banksim_src),
             SourceFile(self.CYCLE, cycle_src),
+            SourceFile(self.BATCH, batch_src),
         ]
         return run_lint(files, select=["REPRO110"])
 
@@ -345,6 +354,20 @@ class TestEngineParity:
         drifted = CYCLE_OK.replace("max_cycles=None", "budget=None")
         findings = self._lint(BANKSIM_OK, drifted)
         assert rule_ids(findings) == ["REPRO110"]
+
+    def test_flags_batch_engine_drift(self):
+        # The batch engine is held to the same canonical surface.
+        drifted = BATCH_OK.replace("sanitize=None", "sanitize=True")
+        findings = self._lint(BANKSIM_OK, CYCLE_OK, drifted)
+        assert rule_ids(findings) == ["REPRO110"]
+        assert "sanitize" in findings[0].message
+
+    def test_flags_missing_batch_entry_point(self):
+        drifted = BATCH_OK.replace("def simulate_scatter_batch",
+                                   "def run_scatter_batch")
+        findings = self._lint(BANKSIM_OK, CYCLE_OK, drifted)
+        assert rule_ids(findings) == ["REPRO110"]
+        assert "simulate_scatter_batch" in findings[0].message
 
     def test_silent_when_engines_not_linted(self):
         # Linting only test files must not fabricate parity findings.

@@ -4,8 +4,11 @@
 #   sh tools/check.sh
 #
 # Runs, in order: reprolint (always), ruff and mypy (when installed —
-# both are optional in the reproduction image), then the tier-1 pytest
-# suite.  Exits nonzero on the first failure.
+# both are optional in the reproduction image), the tier-1 pytest
+# suite, then the opt-in perf-regression gate (which compares the
+# telemetry-off bench JSONs for all three cycle engines and the bank
+# kernel against their committed baselines, when present).  Exits
+# nonzero on the first failure.
 
 set -e
 cd "$(dirname "$0")/.."
@@ -32,5 +35,12 @@ fi
 
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q
+
+echo "== perf guard =="
+if [ -f BENCH_cycle_engine.json ]; then
+    PYTHONPATH=src python -m pytest -m perf_guard tests/test_perf_guard.py -q
+else
+    echo "no BENCH_cycle_engine.json; skipping (run pytest benchmarks/ first)"
+fi
 
 echo "check.sh: all gates passed"

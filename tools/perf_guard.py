@@ -1,16 +1,23 @@
 #!/usr/bin/env python
-"""Guard against cycle-engine performance regressions.
+"""Guard against simulator performance regressions.
 
-Compares the freshly generated ``BENCH_cycle_engine.json`` (written by
-``pytest benchmarks/test_perf_cycle_engine.py``) against the previous
-accepted run stored next to it as ``BENCH_cycle_engine.prev.json``.
-Exits nonzero if the event engine slowed down by more than the allowed
+Compares the freshly generated bench files at the repo root against the
+previous accepted runs stored next to them as ``*.prev.json``:
+
+* ``BENCH_cycle_engine.json`` (written by
+  ``pytest benchmarks/test_perf_cycle_engine.py``) — gates the event
+  and batch cycle engines;
+* ``BENCH_banksim.json`` (written by
+  ``pytest benchmarks/test_perf_banksim.py``) — gates the segmented
+  FIFO kernel and the closed-form scatter path.
+
+Exits nonzero if any gated timing slowed down by more than the allowed
 factor (default 2x) on the same workload.
 
 Usage::
 
     python tools/perf_guard.py             # compare, exit 1 on regression
-    python tools/perf_guard.py --update    # accept current run as baseline
+    python tools/perf_guard.py --update    # accept current runs as baseline
     python tools/perf_guard.py --max-ratio 1.5
 
 Also runnable through pytest as an opt-in marker::
@@ -27,16 +34,29 @@ import json
 import pathlib
 import shutil
 import sys
+from typing import Sequence, Tuple
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 CURRENT = ROOT / "BENCH_cycle_engine.json"
 BASELINE = ROOT / "BENCH_cycle_engine.prev.json"
 
+#: Every gated benchmark: (current file, baseline file, timing keys).
+BENCHES: Tuple[Tuple[pathlib.Path, pathlib.Path, Tuple[str, ...]], ...] = (
+    (CURRENT, BASELINE, ("event_seconds", "batch_seconds")),
+    (ROOT / "BENCH_banksim.json", ROOT / "BENCH_banksim.prev.json",
+     ("kernel_seconds", "banksim_seconds")),
+)
+
 #: Keys that must match for two runs to be comparable.
-_WORKLOAD_KEYS = ("benchmark", "machine", "n", "k", "telemetry")
+_WORKLOAD_KEYS = ("benchmark", "machine", "n", "k", "kernel_n", "telemetry")
 
 
-def compare(current: dict, baseline: dict, max_ratio: float) -> str:
+def compare(
+    current: dict,
+    baseline: dict,
+    max_ratio: float,
+    keys: Sequence[str] = ("event_seconds",),
+) -> str:
     """Return a human-readable verdict; raise SystemExit(1) on regression."""
     # Telemetry counters are strictly opt-in: the guarded hot path must
     # have been benchmarked with them off, otherwise the 2x gate would
@@ -51,45 +71,57 @@ def compare(current: dict, baseline: dict, max_ratio: float) -> str:
         if current.get(key) != baseline.get(key):
             return (f"workload changed ({key}: {baseline.get(key)!r} -> "
                     f"{current.get(key)!r}); skipping comparison")
-    now = float(current["event_seconds"])
-    then = float(baseline["event_seconds"])
-    if then <= 0:
-        return "baseline has no timing; skipping comparison"
-    ratio = now / then
-    verdict = (f"event engine: {then:.3f}s -> {now:.3f}s "
-               f"({ratio:.2f}x, limit {max_ratio:.2f}x)")
-    if ratio > max_ratio:
-        raise SystemExit(f"PERF REGRESSION: {verdict}")
-    return f"ok: {verdict}"
+    verdicts = []
+    for key in keys:
+        if key not in baseline:
+            # A baseline predating this timing (e.g. seeded before the
+            # batch engine existed) gates the keys it has; --update
+            # brings the new key under guard.
+            verdicts.append(f"baseline lacks {key}; skipped")
+            continue
+        now = float(current[key])
+        then = float(baseline[key])
+        if then <= 0:
+            verdicts.append(f"{key}: baseline has no timing; skipped")
+            continue
+        ratio = now / then
+        verdict = (f"{key}: {then:.3f}s -> {now:.3f}s "
+                   f"({ratio:.2f}x, limit {max_ratio:.2f}x)")
+        if ratio > max_ratio:
+            raise SystemExit(f"PERF REGRESSION: {verdict}")
+        verdicts.append(verdict)
+    return "ok: " + "; ".join(verdicts)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--max-ratio", type=float, default=2.0,
-                        help="fail if event_seconds grew by more than this "
-                             "factor (default 2.0)")
+                        help="fail if any gated timing grew by more than "
+                             "this factor (default 2.0)")
     parser.add_argument("--update", action="store_true",
-                        help="accept the current run as the new baseline")
+                        help="accept the current runs as the new baselines")
     args = parser.parse_args(argv)
 
-    if not CURRENT.is_file():
-        print(f"perf_guard: {CURRENT.name} not found — run "
-              "`pytest benchmarks/test_perf_cycle_engine.py` first",
-              file=sys.stderr)
-        return 2
-
-    if not BASELINE.is_file():
-        shutil.copy(CURRENT, BASELINE)
-        print(f"perf_guard: seeded baseline {BASELINE.name} from current run")
-        return 0
-
-    current = json.loads(CURRENT.read_text())
-    baseline = json.loads(BASELINE.read_text())
-    print("perf_guard:", compare(current, baseline, args.max_ratio))
-    if args.update:
-        shutil.copy(CURRENT, BASELINE)
-        print(f"perf_guard: baseline {BASELINE.name} updated")
-    return 0
+    status = 0
+    for current_path, baseline_path, keys in BENCHES:
+        if not current_path.is_file():
+            print(f"perf_guard: {current_path.name} not found — run "
+                  "`pytest benchmarks/` first", file=sys.stderr)
+            status = 2
+            continue
+        if not baseline_path.is_file():
+            shutil.copy(current_path, baseline_path)
+            print(f"perf_guard: seeded baseline {baseline_path.name} "
+                  "from current run")
+            continue
+        current = json.loads(current_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        print(f"perf_guard [{current_path.name}]:",
+              compare(current, baseline, args.max_ratio, keys))
+        if args.update:
+            shutil.copy(current_path, baseline_path)
+            print(f"perf_guard: baseline {baseline_path.name} updated")
+    return status
 
 
 if __name__ == "__main__":

@@ -520,6 +520,7 @@ class EngineParityRule(Rule):
         "simulate_gather": "src/repro/simulator/banksim.py",
         "simulate_scatter_blocked": "src/repro/simulator/banksim.py",
         "simulate_scatter_cycle": "src/repro/simulator/cycle.py",
+        "simulate_scatter_batch": "src/repro/simulator/cycle_batch.py",
     }
 
     @staticmethod
