@@ -20,6 +20,8 @@ The package provides, as importable subsystems:
   generators and trace capture.
 * :mod:`repro.analysis` — predicted-vs-measured comparison and reporting.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.serving` — micro-batching prediction/simulation service
+  (in-process API, NDJSON CLI, optional HTTP endpoint).
 
 Quickstart::
 

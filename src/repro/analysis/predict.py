@@ -17,7 +17,7 @@ from .._util import as_addresses
 from ..core.contention import BankMap, max_location_contention
 from ..core.cost import predict_scatter_bsp, predict_scatter_dxbsp
 from ..core.model import Program
-from ..simulator.banksim import simulate_scatter
+from ..simulator.dispatch import simulate_scatter_engine
 from ..simulator.machine import MachineConfig
 from ..simulator.trace import simulate_program
 
@@ -83,8 +83,15 @@ def compare_scatter(
     addresses,
     bank_map: Optional[BankMap] = None,
     label: str = "",
+    engine: str = "banksim",
 ) -> PredictionComparison:
-    """Predict and simulate one scatter of ``addresses`` on ``machine``."""
+    """Predict and simulate one scatter of ``addresses`` on ``machine``.
+
+    ``engine`` selects which simulator produces the measured side
+    (any :data:`repro.simulator.ENGINES` name); the analytic columns are
+    engine-independent.  The default, ``"banksim"``, keeps the historic
+    behaviour bit-identical.
+    """
     addr = as_addresses(addresses)
     params = machine.params()
     return PredictionComparison(
@@ -93,7 +100,9 @@ def compare_scatter(
         contention=max_location_contention(addr),
         bsp_time=predict_scatter_bsp(params, addr),
         dxbsp_time=predict_scatter_dxbsp(params, addr, bank_map),
-        simulated_time=simulate_scatter(machine, addr, bank_map).time,
+        simulated_time=simulate_scatter_engine(
+            machine, addr, bank_map, engine=engine
+        ).time,
     )
 
 
@@ -122,10 +131,14 @@ def sweep_scatter(
     machine: MachineConfig,
     patterns: Sequence[Tuple[str, np.ndarray]],
     bank_map: Optional[BankMap] = None,
+    engine: str = "banksim",
 ) -> List[PredictionComparison]:
-    """Compare every ``(label, addresses)`` pattern on one machine."""
+    """Compare every ``(label, addresses)`` pattern on one machine.
+
+    ``engine`` is forwarded to :func:`compare_scatter` for every row.
+    """
     return [
-        compare_scatter(machine, addr, bank_map, label=label)
+        compare_scatter(machine, addr, bank_map, label=label, engine=engine)
         for label, addr in patterns
     ]
 

@@ -20,6 +20,7 @@ from . import runner
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures "

@@ -22,7 +22,7 @@ import dataclasses
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from ..errors import ParameterError
 from . import runner
@@ -143,16 +143,27 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
 
-def validate_manifest(data: Dict[str, Any]) -> None:
+def validate_manifest(
+    data: Dict[str, Any],
+    schema: Optional[Dict[str, type]] = None,
+    expected_version: Optional[int] = None,
+) -> None:
     """Raise :class:`ParameterError` unless ``data`` matches the schema.
 
-    Checks presence and type of every :data:`MANIFEST_SCHEMA` field,
-    rejects unknown fields (schema drift must bump
-    :data:`SCHEMA_VERSION`, not leak silently) and rejects negative
-    counters.
+    Checks presence and type of every schema field, rejects unknown
+    fields (schema drift must bump the schema version, not leak
+    silently) and rejects negative counters.  Defaults validate an
+    experiment :class:`RunManifest` against :data:`MANIFEST_SCHEMA`;
+    other manifest producers (the serving metrics export,
+    :mod:`repro.serving.metrics`) pass their own flat ``schema`` dict
+    and ``expected_version`` to reuse the same checker.
     """
+    if schema is None:
+        schema = MANIFEST_SCHEMA
+    if expected_version is None:
+        expected_version = SCHEMA_VERSION
     problems = []
-    for field_name, typ in MANIFEST_SCHEMA.items():
+    for field_name, typ in schema.items():
         if field_name not in data:
             problems.append(f"missing field {field_name!r}")
             continue
@@ -173,16 +184,23 @@ def validate_manifest(data: Dict[str, Any]) -> None:
                 f"got {type(value).__name__}"
             )
     for field_name in data:
-        if field_name not in MANIFEST_SCHEMA:
+        if field_name not in schema:
             problems.append(f"unknown field {field_name!r}")
     for counter in ("points", "cache_hits", "cache_misses", "retries",
                     "timeouts", "quarantined", "bytes_shipped",
-                    "shm_hits", "experiment_retries"):
+                    "shm_hits", "experiment_retries",
+                    # serving-manifest counters share the nonneg check
+                    "received", "served", "shed", "expired", "failed",
+                    "invalid", "lru_hits", "disk_hits", "evaluations",
+                    "batches", "batched_requests", "max_batch",
+                    "queue_high_water"):
+        if counter not in schema:
+            continue
         if isinstance(data.get(counter), int) and data[counter] < 0:
             problems.append(f"field {counter!r} must be >= 0")
-    if data.get("schema_version") not in (None, SCHEMA_VERSION):
+    if data.get("schema_version") not in (None, expected_version):
         problems.append(
-            f"schema_version {data['schema_version']!r} != {SCHEMA_VERSION}"
+            f"schema_version {data['schema_version']!r} != {expected_version}"
         )
     if problems:
         raise ParameterError(

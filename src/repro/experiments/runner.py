@@ -79,6 +79,7 @@ __all__ = [
     "configure",
     "cache_dir",
     "cache_key",
+    "cache_fetch",
     "code_version",
     "clear_cache",
 ]
@@ -310,6 +311,27 @@ def cache_key(fn: Callable, kwargs: Dict[str, Any]) -> str:
 
 
 _MISS = object()
+
+
+def cache_fetch(
+    fn: Callable, kwargs: Dict[str, Any]
+) -> Tuple[bool, Any]:
+    """Probe the on-disk memo for one point: ``(True, value)`` on a hit
+    for ``fn(**kwargs)``, else ``(False, None)``.  Never computes.
+
+    This is the read-only side of the memo :func:`run_grid` maintains;
+    the serving layer (:mod:`repro.serving`) probes it at admission so a
+    previously-computed request can be answered without occupying a
+    queue slot.  Returns a miss outright while caching is disabled
+    (same switches as :func:`run_grid`), and deliberately leaves
+    :class:`GridStats` untouched — the probe is not a grid point.
+    """
+    if not _cache_enabled(None):
+        return False, None
+    hit = _cache_load(cache_key(fn, kwargs))
+    if hit is _MISS:
+        return False, None
+    return True, hit
 
 
 def _cache_load(key: str) -> Any:

@@ -1,0 +1,68 @@
+"""Request serving: a micro-batching prediction/simulation service.
+
+The paper's argument is that ``max(L, g·h_p, d·h_b)`` is cheap enough
+to consult *online*; this package is the online front end.  A
+:class:`PredictionService` answers "predict this scatter on this
+machine", "simulate it with engine X" and "sweep k over these values"
+questions — bit-identically to calling the library directly — while
+adding the traffic engineering a shared endpoint needs: a bounded
+admission queue with deadline/shed backpressure, micro-batching of
+compatible requests (grouped by machine + engine + bank mapping,
+flushed on size/latency watermarks, duplicates collapsed onto single
+engine evaluations), an in-memory LRU in front of the experiment
+runner's on-disk memo, and a schema-checked metrics manifest.
+
+``python -m repro.serving`` exposes the same service as a
+line-delimited-JSON filter and an optional ``http.server`` endpoint;
+see docs/serving.md for the architecture and the capacity math.
+"""
+
+from .batcher import MicroBatcher
+from .metrics import (
+    SERVING_MANIFEST_SCHEMA,
+    SERVING_SCHEMA_VERSION,
+    ServingStats,
+    metrics_table,
+    percentile,
+    serving_manifest,
+    write_serving_manifest,
+)
+from .request import (
+    BANK_MAPS,
+    MACHINES,
+    OPS,
+    PATTERN_KINDS,
+    STATUS_CODES,
+    ServeRequest,
+    ServeResponse,
+    request_from_dict,
+    resolve_bank_map,
+    resolve_machine,
+    resolve_pattern,
+)
+from .service import PredictionService, Ticket, evaluate_point
+
+__all__ = [
+    "PredictionService",
+    "Ticket",
+    "evaluate_point",
+    "ServeRequest",
+    "ServeResponse",
+    "request_from_dict",
+    "resolve_machine",
+    "resolve_pattern",
+    "resolve_bank_map",
+    "MACHINES",
+    "BANK_MAPS",
+    "OPS",
+    "PATTERN_KINDS",
+    "STATUS_CODES",
+    "MicroBatcher",
+    "ServingStats",
+    "SERVING_MANIFEST_SCHEMA",
+    "SERVING_SCHEMA_VERSION",
+    "percentile",
+    "serving_manifest",
+    "write_serving_manifest",
+    "metrics_table",
+]

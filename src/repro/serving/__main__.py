@@ -1,0 +1,173 @@
+"""Command-line front end for the prediction service.
+
+Line-delimited JSON (the default): one request object per stdin line,
+one response object per stdout line, in submit order::
+
+    echo '{"op": "compare", "machine": "j90", \
+           "pattern": {"kind": "hotspot", "n": 65536, "k": 4096}}' \
+        | python -m repro.serving
+
+HTTP mode (stdlib ``http.server``; one-shot what-ifs, not a hardened
+frontend)::
+
+    python -m repro.serving --http 8123
+    # POST /            a request object (or a list of them) as JSON
+    # GET  /metrics     the schema-checked serving metrics manifest
+    # GET  /healthz     liveness probe
+
+Service knobs (``--batch-size``, ``--flush-ms``, ``--max-queue``,
+``--deadline-ms``, ``--lru``, ``--parallel``, ``--no-disk-cache``)
+map one-to-one onto :class:`repro.serving.PredictionService`;
+``--metrics`` prints the metrics table to stderr on exit and
+``--manifest PATH`` writes the JSON manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Sequence
+
+from .metrics import metrics_table, serving_manifest, write_serving_manifest
+from .service import PredictionService
+
+
+def _build_service(args: argparse.Namespace) -> PredictionService:
+    return PredictionService(
+        max_queue=args.max_queue,
+        batch_size=args.batch_size,
+        flush_ms=args.flush_ms,
+        deadline_ms=args.deadline_ms,
+        lru_size=args.lru,
+        disk_cache=False if args.no_disk_cache else None,
+        parallel=args.parallel,
+    )
+
+
+def _run_ndjson(service: PredictionService, stream_in: Any,
+                stream_out: Any) -> int:
+    """Serve line-delimited JSON: responses stream out in submit order."""
+    tickets = []
+    for line in stream_in:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            data = {"op": f"<unparsable: {exc}>"}
+        tickets.append(service.submit(data))
+    for ticket in tickets:
+        print(ticket.result().to_json(), file=stream_out)
+    return 0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bridging HTTP to the in-process service."""
+
+    service: PredictionService  # set by _run_http
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        """Silence the default per-request stderr chatter."""
+
+    def _send(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Answer the metrics and liveness endpoints."""
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self._send(200, serving_manifest(self.service))
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Answer one request object, or a list of them, posted as JSON."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            data = json.loads(self.rfile.read(length) or b"null")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"bad JSON body: {exc}"})
+            return
+        if isinstance(data, list):
+            responses = self.service.serve(data)
+            worst = max((r.code for r in responses), default=200)
+            self._send(worst, [r.to_dict() for r in responses])
+        else:
+            response = self.service.call(data if isinstance(data, dict)
+                                         else {"op": str(data)})
+            self._send(response.code, response.to_dict())
+
+
+def _run_http(service: PredictionService, port: int) -> int:
+    """Serve HTTP until interrupted."""
+    handler = type("_BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer(("127.0.0.1", port), handler)
+    host, bound_port = server.server_address[:2]
+    print(f"serving on http://{host}:{bound_port} "
+          "(POST / | GET /metrics | GET /healthz; Ctrl-C stops)",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # reprolint: disable=REPRO112 -- Ctrl-C is the documented stop; there is nothing to record
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Micro-batching prediction/simulation service: "
+        "line-delimited JSON on stdin/stdout, or an HTTP endpoint.",
+    )
+    parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                        help="serve HTTP on 127.0.0.1:PORT instead of "
+                        "NDJSON on stdio (0 picks a free port)")
+    parser.add_argument("--max-queue", type=int, default=1024,
+                        help="admission queue capacity (work items)")
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="micro-batch size watermark")
+    parser.add_argument("--flush-ms", type=float, default=2.0,
+                        help="micro-batch latency watermark (ms)")
+    parser.add_argument("--deadline-ms", type=float, default=1000.0,
+                        help="default per-request deadline (ms)")
+    parser.add_argument("--lru", type=int, default=4096,
+                        help="in-memory result cache entries (0 disables)")
+    parser.add_argument("--parallel", type=int, default=1,
+                        help="worker processes per flush (run_grid pool)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="skip the on-disk memo cache")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics table to stderr on exit")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write the serving metrics manifest JSON")
+    args = parser.parse_args(argv)
+
+    service = _build_service(args)
+    try:
+        if args.http is not None:
+            status = _run_http(service, args.http)
+        else:
+            status = _run_ndjson(service, sys.stdin, sys.stdout)
+    finally:
+        service.close()
+        if args.metrics:
+            print(metrics_table(service), file=sys.stderr)
+        if args.manifest:
+            write_serving_manifest(service, args.manifest)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Micro-batching: group compatible work items, flush on watermarks.
+
+Two requests are *compatible* — answerable by one batched evaluation
+pass — when they agree on everything but the access pattern: same
+resolved :class:`MachineConfig`, same engine, same bank mapping.  The
+batcher holds one open bucket per such group and decides when a bucket
+is due:
+
+* **size watermark** — the bucket reached ``batch_size`` items, or
+* **latency watermark** — its oldest item has waited ``flush_interval``
+  seconds.
+
+Under load, buckets fill to the size watermark and a single flush
+answers many requests (high occupancy, maximum throughput); under
+trickle traffic the latency watermark bounds how long any request can
+sit waiting for company.  This is the classic service trade-off, and —
+not coincidentally — the same shape as the (d,x)-BSP superstep law the
+service computes: batching amortizes a fixed per-flush cost exactly the
+way a superstep amortizes ``L`` (see docs/serving.md for the capacity
+math).
+
+The batcher is pure bookkeeping: no threads, no clocks of its own
+(callers pass ``now``), which keeps it deterministic and directly
+unit-testable.  The service's dispatcher thread drives it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Per-group buckets of work items with size/latency flush rules.
+
+    Parameters
+    ----------
+    batch_size:
+        Size watermark: a bucket with this many items is due immediately.
+    flush_interval:
+        Latency watermark, seconds: a bucket whose oldest item is this
+        old is due regardless of size.
+    """
+
+    def __init__(self, batch_size: int = 32,
+                 flush_interval: float = 0.002) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if flush_interval < 0:
+            raise ValueError(
+                f"flush_interval must be >= 0, got {flush_interval}"
+            )
+        self.batch_size = int(batch_size)
+        self.flush_interval = float(flush_interval)
+        self._buckets: Dict[Hashable, List] = {}
+        self._opened: Dict[Hashable, float] = {}
+
+    @property
+    def pending(self) -> int:
+        """Items currently held across all buckets."""
+        return sum(len(items) for items in self._buckets.values())
+
+    def add(self, group: Hashable, item: object, now: float) -> None:
+        """File ``item`` under ``group``; ``now`` stamps the bucket's
+        age if this opens it."""
+        bucket = self._buckets.get(group)
+        if bucket is None:
+            self._buckets[group] = [item]
+            self._opened[group] = now
+        else:
+            bucket.append(item)
+
+    def seconds_until_due(self, now: float) -> Optional[float]:
+        """Time until the next latency-watermark flush (0.0 when a
+        bucket is already due, ``None`` when everything is empty).  The
+        dispatcher uses this as its queue-poll timeout so idle waiting
+        never delays a due bucket."""
+        if not self._buckets:
+            return None
+        if any(len(items) >= self.batch_size
+               for items in self._buckets.values()):
+            return 0.0
+        next_deadline = min(
+            opened + self.flush_interval for opened in self._opened.values()
+        )
+        return max(0.0, next_deadline - now)
+
+    def take_due(self, now: float) -> List[Sequence]:
+        """Remove and return every bucket past a watermark (insertion
+        order preserved within and across buckets)."""
+        due = [
+            group for group, items in self._buckets.items()
+            if len(items) >= self.batch_size
+            or now - self._opened[group] >= self.flush_interval
+        ]
+        return [self._take(group) for group in due]
+
+    def take_all(self) -> List[Sequence]:
+        """Remove and return every bucket (service shutdown drain)."""
+        return [self._take(group) for group in list(self._buckets)]
+
+    def _take(self, group: Hashable) -> Sequence:
+        self._opened.pop(group, None)
+        return self._buckets.pop(group)

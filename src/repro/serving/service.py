@@ -1,0 +1,599 @@
+"""The prediction service: admission control, micro-batching, caching.
+
+:class:`PredictionService` answers :class:`~repro.serving.request.ServeRequest`
+questions with the library's own entry points — the response's numbers
+are *bit-identical* to calling :func:`repro.simulator.simulate_scatter`
+(or the chosen cycle engine) and
+:func:`repro.core.cost.predict_scatter_dxbsp` directly, because that is
+literally what :func:`evaluate_point` does.  What the service adds is
+the traffic engineering around those calls:
+
+* **Admission control** — a bounded request queue; a request arriving
+  when it is full is shed immediately with a 429-style ``overloaded``
+  response instead of growing an unbounded backlog.  Per-request
+  deadlines turn stale queued work into ``deadline-exceeded`` answers
+  rather than wasted evaluations.
+* **Micro-batching** — queued work items are grouped by compatibility
+  (machine + engine + bank mapping) and flushed together when a group
+  hits the size or latency watermark
+  (:class:`~repro.serving.batcher.MicroBatcher`).  Within a flush,
+  *identical* work items are deduplicated: one engine evaluation
+  answers every duplicate request (the hot-spot dashboard poll case),
+  and the distinct remainder is evaluated through a single
+  :func:`~repro.experiments.runner.run_grid` call — one batched pass
+  that inherits the runner's on-disk memo, fault tolerance and
+  (optionally) its process pool.
+* **Two-level memoization** — an in-memory LRU in front of the
+  experiment runner's on-disk memo cache.  Both are probed at
+  admission, so a repeated question is answered without ever occupying
+  a queue slot; keys are the runner's own
+  :func:`~repro.experiments.runner.cache_key` over the fully-resolved
+  work item, which makes cached and freshly-evaluated answers
+  interchangeable by construction.
+
+One dispatcher thread drives the batcher; evaluation happens in that
+thread (or in the runner's process pool when ``parallel > 1``).  All
+public methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._util import as_addresses
+from ..core.contention import max_location_contention
+from ..core.cost import predict_scatter_bsp, predict_scatter_dxbsp
+from ..errors import ParameterError
+from ..experiments import runner
+from ..simulator.dispatch import simulate_scatter_engine
+from ..simulator.machine import MachineConfig
+from .metrics import ServingStats
+from .batcher import MicroBatcher
+from .request import (
+    STATUS_CODES,
+    ServeRequest,
+    ServeResponse,
+    _sweep_points,
+    request_from_dict,
+    resolve_bank_map,
+    resolve_machine,
+    resolve_pattern,
+)
+
+__all__ = ["PredictionService", "Ticket", "evaluate_point"]
+
+#: Admission-queue poll period while the batcher is idle, seconds.
+_IDLE_POLL_S = 0.05
+
+#: Latency ring-buffer length (enough for stable p95 on any bench run
+#: without unbounded growth on a long-lived service).
+_LATENCY_WINDOW = 4096
+
+
+def evaluate_point(
+    op: str,
+    machine: MachineConfig,
+    addresses: np.ndarray,
+    engine: str,
+    bank_map_kind: str,
+    map_seed: int,
+) -> Dict[str, Any]:
+    """Evaluate one fully-resolved work item with the plain library calls.
+
+    This is the *entire* computation behind a served answer — the
+    service layers (queueing, batching, caching) only decide when and
+    how often it runs, never what it computes, which is what makes
+    service responses bit-identical to direct library calls.  Returns a
+    flat dict of scalars (JSON-able, picklable, cheap to memoize).
+
+    Module-level on purpose: it is the point function handed to
+    :func:`repro.experiments.runner.run_grid`, so it must be picklable
+    by reference, and its identity + kwargs are the shared cache key of
+    the LRU and the on-disk memo.
+    """
+    mapping = resolve_bank_map(bank_map_kind, map_seed)
+    addr = as_addresses(addresses)
+    out: Dict[str, Any] = {"n": int(addr.size)}
+    if op in ("predict", "compare"):
+        params = machine.params()
+        out["contention"] = int(max_location_contention(addr))
+        out["bsp_time"] = float(predict_scatter_bsp(params, addr))
+        out["dxbsp_time"] = float(
+            predict_scatter_dxbsp(params, addr, mapping)
+        )
+    if op in ("simulate", "compare"):
+        res = simulate_scatter_engine(
+            machine, addr, mapping, engine=engine
+        )
+        out["simulated_time"] = float(res.time)
+        out["max_bank_load"] = int(res.max_bank_load)
+        out["max_wait"] = float(res.max_wait)
+        out["mean_wait"] = float(res.mean_wait)
+        out["stalled_cycles"] = float(res.stalled_cycles)
+    return out
+
+
+@dataclasses.dataclass
+class _WorkItem:
+    """One queued unit of evaluation, bound to its ticket slot."""
+
+    ticket: "Ticket"
+    slot: int
+    key: str
+    group: Tuple[Any, ...]
+    point: Dict[str, Any]
+    deadline: Optional[float]  # absolute monotonic instant, or None
+
+
+class Ticket:
+    """Handle for one submitted request; ``result()`` blocks for the
+    :class:`~repro.serving.request.ServeResponse`."""
+
+    def __init__(self, service: "PredictionService", request: ServeRequest,
+                 n_slots: int, sweep_param: Optional[str],
+                 sweep_values: Sequence[Any]) -> None:
+        self._service = service
+        self.request = request
+        self.t_submit = time.monotonic()
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._values: List[Optional[Dict[str, Any]]] = [None] * n_slots
+        self._pending = n_slots
+        self._status = "ok"
+        self._error = ""
+        self._all_cached = True
+        self._batch = 0
+        self._sweep_param = sweep_param
+        self._sweep_values = list(sweep_values)
+        self.response: Optional[ServeResponse] = None
+
+    @property
+    def dead(self) -> bool:
+        """True once the ticket resolved to a non-ok status (queued
+        work items for it are dropped unevaluated at flush time)."""
+        return self._status != "ok"
+
+    def _complete(self, slot: int, value: Dict[str, Any],
+                  cached: bool, batch: int) -> None:
+        finished = False
+        with self._lock:
+            if self._values[slot] is None and self._pending > 0:
+                self._values[slot] = value
+                self._pending -= 1
+                self._all_cached = self._all_cached and cached
+                self._batch = max(self._batch, batch)
+                finished = self._pending == 0
+        if finished:
+            self._service._finalize(self)
+
+    def _fail(self, status: str, error: str) -> None:
+        with self._lock:
+            if self._status != "ok":
+                return
+            self._status = status
+            self._error = error
+            self._pending = 0
+        self._service._finalize(self)
+
+    def _build_response(self, latency_ms: float) -> ServeResponse:
+        req = self.request
+        machine_name = ""
+        try:
+            machine_name = resolve_machine(req.machine).name
+        except ParameterError:
+            machine_name = str(req.machine)
+        result: Optional[Dict[str, Any]] = None
+        if self._status == "ok":
+            if self._sweep_param is None:
+                result = self._values[0]
+            else:
+                result = {
+                    "param": self._sweep_param,
+                    "rows": [
+                        dict(value=v, **(r or {}))
+                        for v, r in zip(self._sweep_values, self._values)
+                    ],
+                }
+        return ServeResponse(
+            status=self._status,
+            code=STATUS_CODES[self._status],
+            op=req.op,
+            engine=req.engine,
+            machine=machine_name,
+            request_id=req.request_id,
+            result=result,
+            cached=self._status == "ok" and self._all_cached,
+            batch=self._batch,
+            latency_ms=latency_ms,
+            error=self._error,
+        )
+
+    def result(self, timeout: Optional[float] = None) -> ServeResponse:
+        """Block until the response is ready (raises ``TimeoutError``
+        after ``timeout`` seconds)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        assert self.response is not None
+        return self.response
+
+
+class _LRU:
+    """Tiny ordered-dict LRU (caller provides locking)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class PredictionService:
+    """Micro-batching, cache-backed front end over the simulator stack.
+
+    Parameters
+    ----------
+    max_queue:
+        Admission-queue capacity (work items); a submit that finds it
+        full is answered ``overloaded`` (429) immediately —
+        backpressure by shedding, never by unbounded buffering.
+    batch_size:
+        Micro-batch size watermark (flush a group at this many items).
+    flush_ms:
+        Micro-batch latency watermark, milliseconds (flush a group
+        whose oldest item has waited this long).
+    deadline_ms:
+        Default per-request deadline (overridable per request);
+        ``None`` disables deadlines.
+    lru_size:
+        In-memory result-cache entries (0 disables the LRU).
+    disk_cache:
+        Probe/populate the experiment runner's on-disk memo; ``None``
+        follows the runner's own configuration (``REPRO_CACHE``).
+    parallel:
+        Worker processes for flush evaluation (forwarded to
+        :func:`~repro.experiments.runner.run_grid`; 1 = evaluate in the
+        dispatcher thread).
+
+    Use as a context manager (``with PredictionService() as svc:``) or
+    call :meth:`close` to drain and stop the dispatcher.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 1024,
+        batch_size: int = 32,
+        flush_ms: float = 2.0,
+        deadline_ms: Optional[float] = 1000.0,
+        lru_size: int = 4096,
+        disk_cache: Optional[bool] = None,
+        parallel: int = 1,
+    ) -> None:
+        if max_queue < 1:
+            raise ParameterError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self.batch_size = int(batch_size)
+        self.flush_ms = float(flush_ms)
+        self.deadline_ms = deadline_ms
+        self.lru_size = int(lru_size)
+        self.disk_cache = disk_cache
+        self.parallel = int(parallel)
+        # The queue itself is unbounded; admission is bounded by the
+        # in-flight counter below, which covers items waiting in open
+        # micro-batch buckets too — capacity is only released when an
+        # item is actually resolved, so backpressure cannot leak into
+        # the batcher.
+        self._queue: "queue.Queue[_WorkItem]" = queue.Queue()
+        self._in_flight = 0
+        self._batcher = MicroBatcher(
+            batch_size=self.batch_size,
+            flush_interval=self.flush_ms / 1000.0,
+        )
+        self._lock = threading.Lock()
+        self._stats = ServingStats()
+        self._latencies: "deque[float]" = deque(maxlen=_LATENCY_WINDOW)
+        self._lru = _LRU(self.lru_size)
+        self._closing = threading.Event()
+        self._t_start = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serving-dispatch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain queued work, flush every open batch, stop the
+        dispatcher.  Idempotent; pending tickets resolve before this
+        returns."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        self._thread.join()
+        # A submit racing the shutdown check may have queued after the
+        # dispatcher's final drain; resolve those as shed, never hang.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            with self._lock:
+                self._stats.shed += 1
+                self._in_flight -= 1
+            item.ticket._fail("overloaded", "service closed")
+
+    def submit(
+        self, request: Union[ServeRequest, Dict[str, Any]]
+    ) -> Ticket:
+        """Admit one request; returns a :class:`Ticket` immediately.
+
+        A dict is parsed/validated first (invalid → ``bad-request``).
+        Cache hits resolve the ticket before this returns; everything
+        else resolves once its micro-batch flushes (or sheds/expires).
+        """
+        with self._lock:
+            self._stats.received += 1
+        try:
+            if isinstance(request, dict):
+                request = request_from_dict(request)
+            else:
+                request.validate()
+            return self._admit(request)
+        except ParameterError as exc:
+            req = request if isinstance(request, ServeRequest) \
+                else ServeRequest(request_id=self._request_id_of(request))
+            ticket = Ticket(self, req, 1, None, ())
+            with self._lock:
+                self._stats.invalid += 1
+            ticket._fail("bad-request", str(exc))
+            return ticket
+
+    def call(
+        self,
+        request: Union[ServeRequest, Dict[str, Any]],
+        timeout: Optional[float] = None,
+    ) -> ServeResponse:
+        """Submit one request and block for its response."""
+        return self.submit(request).result(timeout)
+
+    def serve(
+        self,
+        requests: Sequence[Union[ServeRequest, Dict[str, Any]]],
+        timeout: Optional[float] = None,
+    ) -> List[ServeResponse]:
+        """Submit many requests, then collect responses in submit order
+        (submitting everything before waiting is what lets compatible
+        requests share micro-batches)."""
+        tickets = [self.submit(r) for r in requests]
+        return [t.result(timeout) for t in tickets]
+
+    def stats(self) -> ServingStats:
+        """Snapshot of the service counters."""
+        with self._lock:
+            return dataclasses.replace(self._stats)
+
+    def latencies_ms(self) -> List[float]:
+        """Snapshot of the recent response latencies (ring buffer)."""
+        with self._lock:
+            return list(self._latencies)
+
+    def uptime_seconds(self) -> float:
+        """Seconds since the service started."""
+        return time.monotonic() - self._t_start
+
+    def queue_depth(self) -> int:
+        """Current admission-queue depth (approximate by nature)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _request_id_of(data: Any) -> Optional[str]:
+        if isinstance(data, dict):
+            rid = data.get("request_id")
+            return rid if isinstance(rid, str) else None
+        return None
+
+    def _admit(self, req: ServeRequest) -> Ticket:
+        machine = resolve_machine(req.machine)
+        if req.sweep is not None:
+            pairs = _sweep_points(req)
+            sweep_param: Optional[str] = req.sweep["param"]
+            sweep_values = [v for v, _spec in pairs]
+            patterns = [
+                resolve_pattern(spec, None) for _v, spec in pairs
+            ]
+        else:
+            sweep_param = None
+            sweep_values = []
+            patterns = [resolve_pattern(req.pattern, req.addresses)]
+        # Resolving the bank map here validates kind+seed up front; the
+        # map itself is rebuilt inside evaluate_point from the canonical
+        # (kind, seed) pair so every cache key stays canonical types.
+        resolve_bank_map(req.bank_map, req.map_seed)
+
+        ticket = Ticket(self, req, len(patterns), sweep_param, sweep_values)
+        deadline_ms = req.deadline_ms if req.deadline_ms is not None \
+            else self.deadline_ms
+        deadline = None if deadline_ms is None \
+            else ticket.t_submit + deadline_ms / 1000.0
+        group = (machine, req.engine, req.bank_map, req.map_seed, req.op)
+        for slot, addr in enumerate(patterns):
+            point = {
+                "op": req.op,
+                "machine": machine,
+                "addresses": addr,
+                "engine": req.engine,
+                "bank_map_kind": req.bank_map,
+                "map_seed": req.map_seed,
+            }
+            key = runner.cache_key(evaluate_point, point)
+            with self._lock:
+                hit = self._lru.get(key)
+                if hit is not None:
+                    self._stats.lru_hits += 1
+            if hit is not None:
+                ticket._complete(slot, hit, cached=True, batch=0)
+                continue
+            if self.disk_cache is not False:
+                found, value = runner.cache_fetch(evaluate_point, point)
+                if found:
+                    with self._lock:
+                        self._stats.disk_hits += 1
+                        self._lru.put(key, value)
+                    ticket._complete(slot, value, cached=True, batch=0)
+                    continue
+            if self._closing.is_set():
+                with self._lock:
+                    self._stats.shed += 1
+                ticket._fail("overloaded", "service is shutting down")
+                break
+            item = _WorkItem(ticket, slot, key, group, point, deadline)
+            with self._lock:
+                if self._in_flight >= self.max_queue:
+                    self._stats.shed += 1
+                    admitted = False
+                else:
+                    self._in_flight += 1
+                    self._stats.queue_high_water = max(
+                        self._stats.queue_high_water, self._in_flight
+                    )
+                    admitted = True
+            if not admitted:
+                ticket._fail(
+                    "overloaded",
+                    f"admission queue full ({self.max_queue} items)",
+                )
+                break
+            self._queue.put_nowait(item)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # dispatch + flush
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            wait = self._batcher.seconds_until_due(now)
+            if wait is None:
+                wait = _IDLE_POLL_S
+            try:
+                item: Optional[_WorkItem] = self._queue.get(
+                    timeout=max(wait, 0.0005)
+                )
+            except queue.Empty:
+                item = None
+            if item is not None:
+                now = time.monotonic()
+                self._batcher.add(item.group, item, now)
+                # Opportunistic drain: everything already queued joins
+                # this batching round without another poll cycle.
+                while True:
+                    try:
+                        nxt = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    self._batcher.add(nxt.group, nxt, now)
+            for items in self._batcher.take_due(time.monotonic()):
+                self._flush(items)
+            if self._closing.is_set() and self._queue.empty():
+                # Shutdown drain: flush every open bucket regardless of
+                # watermarks, then re-check for submits that raced in.
+                for items in self._batcher.take_all():
+                    self._flush(items)
+                if self._queue.empty() and self._batcher.pending == 0:
+                    return
+
+    def _flush(self, items: Sequence[_WorkItem]) -> None:
+        now = time.monotonic()
+        with self._lock:
+            # Every item in this flush resolves below, one way or
+            # another — its admission capacity is released up front.
+            self._in_flight -= len(items)
+        live: List[_WorkItem] = []
+        for it in items:
+            if it.deadline is not None and now > it.deadline:
+                with self._lock:
+                    self._stats.expired += 1
+                it.ticket._fail(
+                    "deadline-exceeded",
+                    "deadline lapsed before evaluation",
+                )
+            elif not it.ticket.dead:
+                live.append(it)
+        if not live:
+            return
+        # Deduplicate identical work items: one evaluation answers every
+        # duplicate in the flush (first-seen order kept for determinism).
+        takers: "OrderedDict[str, List[_WorkItem]]" = OrderedDict()
+        for it in live:
+            takers.setdefault(it.key, []).append(it)
+        unique = [group[0].point for group in takers.values()]
+        try:
+            # One batched call evaluates the whole flush: run_grid
+            # re-checks the on-disk memo, runs the distinct points
+            # (pooled when parallel > 1) and stores the results.
+            results = runner.run_grid(
+                evaluate_point, unique,
+                parallel=self.parallel, cache=self.disk_cache,
+            )
+        except Exception as exc:  # reprolint: disable=REPRO111 -- the service must answer 500 and stay up, whatever the evaluation raised
+            with self._lock:
+                self._stats.failed += len(live)
+            for it in live:
+                it.ticket._fail("error", f"evaluation failed: {exc}")
+            return
+        with self._lock:
+            self._stats.batches += 1
+            self._stats.batched_requests += len(live)
+            self._stats.evaluations += len(unique)
+            self._stats.max_batch = max(self._stats.max_batch, len(live))
+            for key, value in zip(takers, results):
+                self._lru.put(key, value)
+        for (key, waiting), value in zip(takers.items(), results):
+            for it in waiting:
+                it.ticket._complete(
+                    it.slot, value, cached=False, batch=len(live)
+                )
+
+    def _finalize(self, ticket: Ticket) -> None:
+        latency_ms = (time.monotonic() - ticket.t_submit) * 1000.0
+        ticket.response = ticket._build_response(latency_ms)
+        with self._lock:
+            if ticket.response.ok:
+                self._stats.served += 1
+            self._latencies.append(latency_ms)
+        ticket._event.set()

@@ -12,6 +12,7 @@ from .banksim import (
 from .butterfly import omega_ports, simulate_scatter_butterfly
 from .cycle import simulate_scatter_cycle
 from .cycle_batch import simulate_scatter_batch
+from .dispatch import ENGINES, simulate_scatter_engine
 from .machine import (
     CRAY_C90,
     CRAY_J90,
@@ -53,6 +54,8 @@ __all__ = [
     "simulate_scatter_blocked",
     "simulate_scatter_cycle",
     "simulate_scatter_batch",
+    "ENGINES",
+    "simulate_scatter_engine",
     "SanitizerError",
     "sanitize_enabled",
     "set_sanitize",

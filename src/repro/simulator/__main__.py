@@ -53,6 +53,7 @@ def _build_mapping(name: str, seed: int) -> Optional[BankMap]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.simulator",
         description="Scatter a synthetic pattern through the memory-bank "

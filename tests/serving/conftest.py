@@ -1,0 +1,14 @@
+"""Shared fixtures for the serving tests: cache isolation."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the runner's on-disk memo at a per-test directory so
+    serving tests neither see nor pollute a shared cache."""
+    cache_dir = tmp_path / "memo-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    return cache_dir

@@ -1,0 +1,129 @@
+"""MicroBatcher unit tests (synthetic clock) and service-level
+batching behaviour: grouping, duplicate collapse, occupancy accounting.
+"""
+
+import pytest
+
+from repro.serving import MicroBatcher, PredictionService
+
+N = 1024
+
+
+class TestMicroBatcher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(flush_interval=-1.0)
+
+    def test_empty_batcher_is_idle(self):
+        b = MicroBatcher(batch_size=4, flush_interval=1.0)
+        assert b.pending == 0
+        assert b.seconds_until_due(now=0.0) is None
+        assert b.take_due(now=100.0) == []
+        assert b.take_all() == []
+
+    def test_size_watermark(self):
+        b = MicroBatcher(batch_size=3, flush_interval=1000.0)
+        for i in range(2):
+            b.add("g", f"item{i}", now=0.0)
+        assert b.take_due(now=0.0) == []           # below both watermarks
+        b.add("g", "item2", now=0.0)
+        assert b.seconds_until_due(now=0.0) == 0.0  # size watermark hit
+        (flushed,) = b.take_due(now=0.0)
+        assert flushed == ["item0", "item1", "item2"]
+        assert b.pending == 0
+
+    def test_latency_watermark(self):
+        b = MicroBatcher(batch_size=100, flush_interval=0.5)
+        b.add("g", "lonely", now=10.0)
+        assert b.take_due(now=10.4) == []
+        assert b.seconds_until_due(now=10.4) == pytest.approx(0.1)
+        (flushed,) = b.take_due(now=10.5)
+        assert flushed == ["lonely"]
+
+    def test_bucket_age_is_oldest_item(self):
+        b = MicroBatcher(batch_size=100, flush_interval=1.0)
+        b.add("g", "first", now=0.0)
+        b.add("g", "second", now=0.9)   # does not reset the bucket age
+        (flushed,) = b.take_due(now=1.0)
+        assert flushed == ["first", "second"]
+
+    def test_groups_flush_independently(self):
+        b = MicroBatcher(batch_size=2, flush_interval=1000.0)
+        b.add("a", 1, now=0.0)
+        b.add("b", 2, now=0.0)
+        b.add("a", 3, now=0.0)
+        (flushed,) = b.take_due(now=0.0)
+        assert flushed == [1, 3]
+        assert b.pending == 1            # group "b" still open
+        assert b.take_all() == [[2]]
+
+    def test_take_all_ignores_watermarks(self):
+        b = MicroBatcher(batch_size=100, flush_interval=1000.0)
+        b.add("a", 1, now=0.0)
+        b.add("b", 2, now=0.0)
+        assert sorted(map(tuple, b.take_all())) == [(1,), (2,)]
+        assert b.pending == 0
+
+
+class TestServiceBatching:
+    def test_duplicates_collapse_to_one_evaluation(self):
+        n_dup = 6
+        req = {"op": "predict", "machine": "toy",
+               "pattern": {"kind": "hotspot", "n": N, "k": 32}}
+        with PredictionService(batch_size=n_dup, flush_ms=60_000.0,
+                               disk_cache=False) as svc:
+            responses = svc.serve([dict(req) for _ in range(n_dup)])
+        assert all(r.ok for r in responses)
+        assert len({r.result["dxbsp_time"] for r in responses}) == 1
+        stats = svc.stats()
+        assert stats.evaluations == 1          # one engine pass ...
+        assert stats.batched_requests == n_dup  # ... answered them all
+        assert stats.batches == 1
+        assert stats.max_batch == n_dup
+        assert stats.mean_occupancy == n_dup
+        assert all(r.batch == n_dup for r in responses)
+
+    def test_incompatible_requests_do_not_share_a_flush(self):
+        reqs = [
+            {"op": "predict", "machine": "toy",
+             "pattern": {"kind": "hotspot", "n": N, "k": 8}},
+            {"op": "predict", "machine": "j90",     # different machine
+             "pattern": {"kind": "hotspot", "n": N, "k": 8}},
+            {"op": "simulate", "machine": "toy", "engine": "event",
+             "pattern": {"kind": "hotspot", "n": N, "k": 8}},
+        ]
+        with PredictionService(batch_size=100, flush_ms=30.0,
+                               disk_cache=False) as svc:
+            responses = svc.serve(reqs)
+        assert all(r.ok for r in responses)
+        assert all(r.batch == 1 for r in responses)
+        assert svc.stats().batches == 3
+
+    def test_sweep_values_ride_one_flush(self):
+        values = [2, 8, 32, 128]
+        with PredictionService(batch_size=len(values), flush_ms=60_000.0,
+                               disk_cache=False) as svc:
+            resp = svc.call({
+                "op": "predict", "machine": "toy",
+                "pattern": {"kind": "hotspot", "n": N},
+                "sweep": {"param": "k", "values": values},
+            })
+        assert resp.ok
+        stats = svc.stats()
+        assert stats.batches == 1
+        assert stats.evaluations == len(values)
+        assert resp.batch == len(values)
+
+    def test_lru_hit_skips_the_queue_entirely(self):
+        req = {"op": "predict", "machine": "toy",
+               "pattern": {"kind": "uniform", "n": N}}
+        with PredictionService(disk_cache=False, flush_ms=1.0) as svc:
+            first = svc.call(req)
+            second = svc.call(req)
+            stats = svc.stats()
+        assert not first.cached and second.cached
+        assert second.batch == 0
+        assert stats.lru_hits == 1
+        assert stats.evaluations == 1

@@ -1,0 +1,182 @@
+"""Service responses must be bit-identical to direct library calls.
+
+The acceptance bar for the serving layer: queueing, micro-batching and
+caching may decide *when* an evaluation runs, never *what* it computes.
+Every test here asks the service a question, makes the same library
+call by hand, and compares with ``==`` — no tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.contention import max_location_contention
+from repro.core.cost import predict_scatter_bsp, predict_scatter_dxbsp
+from repro.serving import (
+    PredictionService,
+    evaluate_point,
+    resolve_bank_map,
+    resolve_machine,
+    resolve_pattern,
+)
+from repro.simulator import ENGINES, simulate_scatter_engine
+from repro.workloads import hotspot
+
+N = 2048
+
+
+def _service(**kw):
+    kw.setdefault("disk_cache", False)
+    kw.setdefault("flush_ms", 1.0)
+    return PredictionService(**kw)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_simulate_matches_direct_engine_call(engine):
+    machine = resolve_machine("toy")
+    addr = hotspot(n=N, k=64, space=1 << 24, seed=1995)
+    direct = simulate_scatter_engine(machine, addr, None, engine=engine)
+    with _service() as svc:
+        resp = svc.call({
+            "op": "simulate", "machine": "toy", "engine": engine,
+            "pattern": {"kind": "hotspot", "n": N, "k": 64},
+        })
+    assert resp.ok
+    assert resp.result["simulated_time"] == float(direct.time)
+    assert resp.result["max_bank_load"] == int(direct.max_bank_load)
+    assert resp.result["max_wait"] == float(direct.max_wait)
+    assert resp.result["mean_wait"] == float(direct.mean_wait)
+    assert resp.result["stalled_cycles"] == float(direct.stalled_cycles)
+    assert resp.result["n"] == N
+
+
+@pytest.mark.parametrize("bank_map", ["interleave", "random", "h1", "h2", "h3"])
+def test_predict_matches_direct_cost_call(bank_map):
+    machine = resolve_machine("j90")
+    addr = hotspot(n=N, k=256, space=1 << 24, seed=1995)
+    mapping = resolve_bank_map(bank_map, 1995)
+    params = machine.params()
+    with _service() as svc:
+        resp = svc.call({
+            "op": "predict", "machine": "j90", "bank_map": bank_map,
+            "map_seed": 1995,
+            "pattern": {"kind": "hotspot", "n": N, "k": 256},
+        })
+    assert resp.ok
+    assert resp.result["bsp_time"] == float(predict_scatter_bsp(params, addr))
+    assert resp.result["dxbsp_time"] == float(
+        predict_scatter_dxbsp(params, addr, mapping)
+    )
+    assert resp.result["contention"] == int(max_location_contention(addr))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@given(k=st.sampled_from([1, 4, 32, 256, N]))
+def test_compare_matches_direct_calls_property(engine, k):
+    machine = resolve_machine("toy")
+    addr = hotspot(n=N, k=k, space=1 << 24, seed=1995)
+    direct_sim = simulate_scatter_engine(machine, addr, None, engine=engine)
+    params = machine.params()
+    with _service() as svc:
+        resp = svc.call({
+            "op": "compare", "machine": "toy", "engine": engine,
+            "pattern": {"kind": "hotspot", "n": N, "k": k},
+        })
+    assert resp.ok
+    assert resp.result["simulated_time"] == float(direct_sim.time)
+    assert resp.result["bsp_time"] == float(predict_scatter_bsp(params, addr))
+    assert resp.result["dxbsp_time"] == float(
+        predict_scatter_dxbsp(params, addr, None)
+    )
+
+
+def test_explicit_addresses_match_direct_call():
+    machine = resolve_machine("toy")
+    rng = np.random.default_rng(7)
+    addresses = rng.integers(0, 1 << 16, size=512).tolist()
+    addr = resolve_pattern(None, addresses)
+    direct = simulate_scatter_engine(machine, addr, None, engine="banksim")
+    with _service() as svc:
+        resp = svc.call({
+            "op": "simulate", "machine": "toy", "addresses": addresses,
+        })
+    assert resp.ok
+    assert resp.result["simulated_time"] == float(direct.time)
+
+
+def test_cached_answer_is_bit_identical():
+    req = {
+        "op": "compare", "machine": "toy",
+        "pattern": {"kind": "zipf", "n": N, "alpha": 1.2},
+    }
+    with _service() as svc:
+        first = svc.call(req)
+        second = svc.call(req)
+    assert first.ok and second.ok
+    assert not first.cached
+    assert second.cached
+    assert second.result == first.result
+
+
+def test_disk_cached_answer_is_bit_identical(isolated_cache):
+    req = {
+        "op": "simulate", "machine": "toy", "engine": "event",
+        "pattern": {"kind": "multi_hotspot", "n": N, "n_hot": 4,
+                    "hot_fraction": 0.5},
+    }
+    with PredictionService(disk_cache=True, flush_ms=1.0) as svc:
+        first = svc.call(req)
+    # A brand-new service (empty LRU) must answer from the on-disk memo.
+    with PredictionService(disk_cache=True, flush_ms=1.0) as svc:
+        second = svc.call(req)
+        assert svc.stats().disk_hits == 1
+    assert second.cached
+    assert second.batch == 0
+    assert second.result == first.result
+
+
+def test_sweep_rows_match_direct_calls():
+    machine = resolve_machine("toy")
+    values = [4, 64, 1024]
+    with _service() as svc:
+        resp = svc.call({
+            "op": "simulate", "machine": "toy", "engine": "tick",
+            "pattern": {"kind": "hotspot", "n": N},
+            "sweep": {"param": "k", "values": values},
+        })
+    assert resp.ok
+    assert resp.result["param"] == "k"
+    assert [row["value"] for row in resp.result["rows"]] == values
+    for k, row in zip(values, resp.result["rows"]):
+        addr = hotspot(n=N, k=k, space=1 << 24, seed=1995)
+        direct = simulate_scatter_engine(machine, addr, None, engine="tick")
+        assert row["simulated_time"] == float(direct.time)
+
+
+def test_json_round_trip_preserves_values():
+    import json
+
+    with _service() as svc:
+        resp = svc.call({
+            "op": "compare", "machine": "c90",
+            "pattern": {"kind": "uniform", "n": N},
+        })
+    decoded = json.loads(resp.to_json())
+    assert decoded["result"] == resp.result
+    assert decoded["status"] == "ok" and decoded["code"] == 200
+
+
+def test_evaluate_point_is_the_single_source_of_truth():
+    """The service's point function itself must agree with the library
+    (guards against evaluate_point drifting from the entry points)."""
+    machine = resolve_machine("sx4")
+    addr = hotspot(n=N, k=16, space=1 << 24, seed=3)
+    out = evaluate_point("compare", machine, addr, "banksim",
+                         "h2", 11)
+    mapping = resolve_bank_map("h2", 11)
+    direct = simulate_scatter_engine(machine, addr, mapping,
+                                     engine="banksim")
+    assert out["simulated_time"] == float(direct.time)
+    assert out["dxbsp_time"] == float(
+        predict_scatter_dxbsp(machine.params(), addr, mapping)
+    )

@@ -1,0 +1,141 @@
+"""CLI front-end tests: the NDJSON filter (in-process and as a real
+subprocess) and the HTTP endpoint (in-process on an ephemeral port).
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serving import PredictionService
+from repro.serving.__main__ import _Handler, _run_ndjson, main
+
+ROOT = Path(__file__).resolve().parents[2]
+
+N = 1024
+
+LINES = [
+    json.dumps({"op": "predict", "machine": "toy",
+                "pattern": {"kind": "hotspot", "n": N, "k": 16},
+                "request_id": "first"}),
+    "",                                     # blank lines are skipped
+    "this is not json",                     # must answer 400, not crash
+    json.dumps({"op": "simulate", "machine": "toy", "engine": "event",
+                "pattern": {"kind": "uniform", "n": N},
+                "request_id": "last"}),
+]
+
+
+def test_ndjson_in_process():
+    out = io.StringIO()
+    with PredictionService(disk_cache=False, flush_ms=1.0) as svc:
+        status = _run_ndjson(svc, io.StringIO("\n".join(LINES)), out)
+    assert status == 0
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert len(responses) == 3              # blank line produced nothing
+    assert responses[0]["status"] == "ok"
+    assert responses[0]["request_id"] == "first"
+    assert responses[1]["status"] == "bad-request"
+    assert responses[2]["status"] == "ok"
+    assert responses[2]["request_id"] == "last"
+    assert responses[2]["result"]["simulated_time"] > 0
+
+
+def test_ndjson_subprocess(tmp_path, isolated_cache):
+    manifest_path = tmp_path / "serve-manifest.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.serving", "--no-disk-cache",
+         "--flush-ms", "1", "--manifest", str(manifest_path), "--metrics"],
+        input="\n".join(LINES) + "\n",
+        capture_output=True, text=True, timeout=120, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    responses = [json.loads(line) for line in proc.stdout.splitlines()]
+    assert [r["status"] for r in responses] == ["ok", "bad-request", "ok"]
+    assert "serving metrics" in proc.stderr
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["received"] == 3
+    assert manifest["served"] == 2 and manifest["invalid"] == 1
+
+
+@pytest.fixture()
+def http_server():
+    from http.server import ThreadingHTTPServer
+
+    with PredictionService(disk_cache=False, flush_ms=1.0) as svc:
+        handler = type("_BoundHandler", (_Handler,), {"service": svc})
+        server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{server.server_address[1]}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join()
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        # Error responses still carry the JSON payload.
+        return exc.code, json.loads(exc.read())
+
+
+def test_http_endpoints(http_server):
+    status, body = _post(http_server, {
+        "op": "predict", "machine": "toy",
+        "pattern": {"kind": "hotspot", "n": N, "k": 8},
+    })
+    assert status == 200 and body["status"] == "ok"
+    assert body["result"]["dxbsp_time"] > 0
+
+    status, body = _post(http_server, [
+        {"op": "predict", "machine": "toy",
+         "pattern": {"kind": "uniform", "n": N}},
+        {"op": "nope"},
+    ])
+    # a list answers with the worst member's code
+    assert status == 400
+    assert [r["status"] for r in body] == ["ok", "bad-request"]
+
+    with urllib.request.urlopen(http_server + "/healthz", timeout=30) as resp:
+        assert json.loads(resp.read()) == {"status": "ok"}
+    with urllib.request.urlopen(http_server + "/metrics", timeout=30) as resp:
+        metrics = json.loads(resp.read())
+    assert metrics["received"] == 3
+
+
+def test_http_error_paths(http_server):
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(http_server + "/nowhere", timeout=30)
+    assert exc_info.value.code == 404
+
+    req = urllib.request.Request(
+        http_server, data=b"{not json", method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(req, timeout=30)
+    assert exc_info.value.code == 400
+
+
+def test_main_rejects_unknown_flag(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--warp-speed"])
+    assert exc_info.value.code == 2

@@ -84,7 +84,12 @@ class TestPerfGuard:
         assert verdict.startswith("ok")
         assert "baseline lacks batch_seconds" in verdict
 
-    def test_benches_cover_both_files(self):
+    def test_benches_cover_every_gated_file(self):
         names = [cur.name for cur, _base, _keys in perf_guard.BENCHES]
         assert "BENCH_cycle_engine.json" in names
         assert "BENCH_banksim.json" in names
+        assert "BENCH_serving.json" in names
+
+    def test_serving_bench_gates_hot_path(self):
+        keys = {cur.name: keys for cur, _base, keys in perf_guard.BENCHES}
+        assert "serving_seconds" in keys["BENCH_serving.json"]

@@ -103,54 +103,54 @@ class TestWallClock:
         assert lint(code, rel="src/repro/analysis/report.py") == []
 
     def test_passes_time_arithmetic(self):
-        code = "def f(t0, t1):\n    return t1 - t0\n"
+        code = "def _f(t0, t1):\n    return t1 - t0\n"
         assert lint(code) == []
 
 
 class TestFloatEquality:
     def test_flags_float_literal_equality(self):
-        code = "def f(x):\n    return x == 1.5\n"
+        code = "def _f(x):\n    return x == 1.5\n"
         assert rule_ids(lint(code)) == ["REPRO103"]
 
     def test_flags_float_cast_inequality(self):
-        code = "def f(a, b):\n    return float(a) != b\n"
+        code = "def _f(a, b):\n    return float(a) != b\n"
         assert rule_ids(lint(code)) == ["REPRO103"]
 
     def test_passes_integer_equality(self):
-        code = "def f(x):\n    return x == 1\n"
+        code = "def _f(x):\n    return x == 1\n"
         assert lint(code) == []
 
     def test_passes_tolerance_compare(self):
-        code = "def f(a, b):\n    return abs(a - b) <= 1e-9\n"
+        code = "def _f(a, b):\n    return abs(a - b) <= 1e-9\n"
         assert lint(code) == []
 
     def test_passes_float_ordering(self):
-        code = "def f(x):\n    return x < 1.5\n"
+        code = "def _f(x):\n    return x < 1.5\n"
         assert lint(code) == []
 
 
 class TestMutableDefault:
     def test_flags_list_literal_default(self):
-        code = "def f(xs=[]):\n    return xs\n"
+        code = "def _f(xs=[]):\n    return xs\n"
         assert rule_ids(lint(code)) == ["REPRO104"]
 
     def test_flags_numpy_array_default(self):
-        code = "import numpy as np\ndef f(a=np.zeros(3)):\n    return a\n"
+        code = "import numpy as np\ndef _f(a=np.zeros(3)):\n    return a\n"
         assert rule_ids(lint(code)) == ["REPRO104"]
 
     def test_flags_kwonly_dict_default(self):
-        code = "def f(*, opts={}):\n    return opts\n"
+        code = "def _f(*, opts={}):\n    return opts\n"
         assert rule_ids(lint(code)) == ["REPRO104"]
 
     def test_passes_none_default(self):
         code = (
-            "def f(xs=None):\n"
+            "def _f(xs=None):\n"
             "    return list(xs) if xs is not None else []\n"
         )
         assert lint(code) == []
 
     def test_passes_tuple_default(self):
-        code = "def f(xs=()):\n    return xs\n"
+        code = "def _f(xs=()):\n    return xs\n"
         assert lint(code) == []
 
 
@@ -160,7 +160,7 @@ class TestSetIteration:
         assert rule_ids(lint(code)) == ["REPRO105"]
 
     def test_flags_comprehension_over_set_call(self):
-        code = "def f(items):\n    return [y for y in set(items)]\n"
+        code = "def _f(items):\n    return [y for y in set(items)]\n"
         assert rule_ids(lint(code)) == ["REPRO105"]
 
     def test_passes_sorted_set(self):
@@ -205,7 +205,7 @@ class TestPoolClosure:
     def test_flags_nested_function(self):
         code = (
             "from repro.experiments.runner import run_grid\n"
-            "def sweep():\n"
+            "def _sweep():\n"
             "    def point(a):\n"
             "        return a\n"
             "    return run_grid(point, [dict(a=1)])\n"
@@ -215,10 +215,10 @@ class TestPoolClosure:
     def test_passes_module_level_function(self):
         code = (
             "from repro.experiments.runner import run_grid\n"
-            "def point(a):\n"
+            "def _point(a):\n"
             "    return a\n"
-            "def sweep():\n"
-            "    return run_grid(point, [dict(a=1)])\n"
+            "def _sweep():\n"
+            "    return run_grid(_point, [dict(a=1)])\n"
         )
         assert lint(code) == []
 
@@ -315,17 +315,27 @@ def simulate_scatter_batch(machine, addresses, bank_map=None,
     pass
 """
 
+DISPATCH_OK = """\
+def simulate_scatter_engine(machine, addresses, bank_map=None,
+                            assignment='round_robin', telemetry=False,
+                            sanitize=None, engine='banksim'):
+    pass
+"""
+
 
 class TestEngineParity:
     BANKSIM = "src/repro/simulator/banksim.py"
     CYCLE = "src/repro/simulator/cycle.py"
     BATCH = "src/repro/simulator/cycle_batch.py"
+    DISPATCH = "src/repro/simulator/dispatch.py"
 
-    def _lint(self, banksim_src, cycle_src, batch_src=BATCH_OK):
+    def _lint(self, banksim_src, cycle_src, batch_src=BATCH_OK,
+              dispatch_src=DISPATCH_OK):
         files = [
             SourceFile(self.BANKSIM, banksim_src),
             SourceFile(self.CYCLE, cycle_src),
             SourceFile(self.BATCH, batch_src),
+            SourceFile(self.DISPATCH, dispatch_src),
         ]
         return run_lint(files, select=["REPRO110"])
 
@@ -368,6 +378,22 @@ class TestEngineParity:
         findings = self._lint(BANKSIM_OK, CYCLE_OK, drifted)
         assert rule_ids(findings) == ["REPRO110"]
         assert "simulate_scatter_batch" in findings[0].message
+
+    def test_flags_dispatcher_drift(self):
+        # The engine dispatcher is a parity entry point like the engines
+        # it routes to; `engine=` is its one allowed extra.
+        drifted = DISPATCH_OK.replace("assignment='round_robin'",
+                                      "assignment='block'")
+        findings = self._lint(BANKSIM_OK, CYCLE_OK, dispatch_src=drifted)
+        assert rule_ids(findings) == ["REPRO110"]
+        assert "assignment" in findings[0].message
+
+    def test_flags_missing_dispatcher_entry_point(self):
+        drifted = DISPATCH_OK.replace("def simulate_scatter_engine",
+                                      "def route_engine")
+        findings = self._lint(BANKSIM_OK, CYCLE_OK, dispatch_src=drifted)
+        assert rule_ids(findings) == ["REPRO110"]
+        assert "simulate_scatter_engine" in findings[0].message
 
     def test_silent_when_engines_not_linted(self):
         # Linting only test files must not fabricate parity findings.
@@ -426,6 +452,70 @@ class TestSilentHandler:
         assert lint(code) == []
 
 
+class TestPublicDocstring:
+    def test_flags_undocumented_public_function(self):
+        code = "def served(x):\n    return x\n"
+        findings = lint(code, select=["REPRO113"])
+        assert rule_ids(findings) == ["REPRO113"]
+        assert "`served`" in findings[0].message
+
+    def test_flags_undocumented_public_class_and_method(self):
+        code = (
+            "class Service:\n"
+            "    def submit(self, r):\n"
+            "        return r\n"
+        )
+        findings = lint(code, select=["REPRO113"])
+        assert [f.message for f in findings] == [
+            "public class `Service` has no docstring",
+            "public method `Service.submit` has no docstring",
+        ]
+
+    def test_passes_documented_api(self):
+        code = (
+            'class Service:\n'
+            '    """Answers requests."""\n'
+            '\n'
+            '    def submit(self, r):\n'
+            '        """Admit one request."""\n'
+            '        return r\n'
+            '\n'
+            'def served(x):\n'
+            '    """Count served requests."""\n'
+            '    return x\n'
+        )
+        assert lint(code, select=["REPRO113"]) == []
+
+    def test_passes_private_names(self):
+        code = (
+            "def _helper(x):\n    return x\n"
+            "class _Impl:\n"
+            "    def run(self):\n        return 1\n"
+        )
+        assert lint(code, select=["REPRO113"]) == []
+
+    def test_skips_function_nested_defs(self):
+        code = (
+            'def outer():\n'
+            '    """Documented."""\n'
+            '    def inner(a):\n'
+            '        return a\n'
+            '    return inner\n'
+        )
+        assert lint(code, select=["REPRO113"]) == []
+
+    def test_out_of_scope_path_passes(self):
+        code = "def served(x):\n    return x\n"
+        assert lint(code, rel="tools/helper.py", select=["REPRO113"]) == []
+
+    def test_line_suppression_works(self):
+        code = (
+            "def served(x):  # reprolint: disable=REPRO113 -- thin alias\n"
+            "    return x\n"
+        )
+        assert lint(code, select=["REPRO113"]) == []
+
+
 class TestSuppressions:
     def test_line_pragma_suppresses(self):
         code = (
@@ -471,7 +561,7 @@ class TestFramework:
         code = (
             "import time\n"
             "t = time.perf_counter()\n"
-            "def f(xs=[]):\n"
+            "def _f(xs=[]):\n"
             "    return xs\n"
         )
         assert rule_ids(lint(code)) == ["REPRO102", "REPRO104"]
@@ -484,7 +574,7 @@ class TestFramework:
     def test_findings_sorted_and_formatted(self):
         code = (
             "import time\n"
-            "def f(xs=[]):\n"
+            "def _f(xs=[]):\n"
             "    return time.perf_counter()\n"
         )
         findings = lint(code)
@@ -535,7 +625,7 @@ class TestCli:
     def test_findings_exit_nonzero(self, tmp_path):
         pkg = tmp_path / "src" / "repro"
         pkg.mkdir(parents=True)
-        (pkg / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        (pkg / "bad.py").write_text("def _f(xs=[]):\n    return xs\n")
         proc = self._run("src", "--root", str(tmp_path))
         assert proc.returncode == 1
         assert "REPRO104" in proc.stdout
@@ -543,7 +633,7 @@ class TestCli:
     def test_json_format(self, tmp_path):
         pkg = tmp_path / "src" / "repro"
         pkg.mkdir(parents=True)
-        (pkg / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        (pkg / "bad.py").write_text("def _f(xs=[]):\n    return xs\n")
         proc = self._run("src", "--root", str(tmp_path), "--format", "json")
         assert proc.returncode == 1
         payload = json.loads(proc.stdout)

@@ -4,11 +4,13 @@
 #   sh tools/check.sh
 #
 # Runs, in order: reprolint (always), ruff and mypy (when installed —
-# both are optional in the reproduction image), the tier-1 pytest
-# suite, then the opt-in perf-regression gate (which compares the
-# telemetry-off bench JSONs for all three cycle engines and the bank
-# kernel against their committed baselines, when present).  Exits
-# nonzero on the first failure.
+# both are optional in the reproduction image), the docs-freshness
+# check (docs/api.md must match the live public surface), the tier-1
+# pytest suite, the examples smoke run (every examples/*.py must
+# execute cleanly), then the opt-in perf-regression gate (which
+# compares the telemetry-off bench JSONs for the cycle engines, the
+# bank kernel and the serving hot path against their committed
+# baselines, when present).  Exits nonzero on the first failure.
 
 set -e
 cd "$(dirname "$0")/.."
@@ -33,8 +35,15 @@ else
     echo "mypy not installed; skipping (config in pyproject.toml)"
 fi
 
+echo "== docs freshness =="
+PYTHONPATH=src python tools/gen_api_docs.py --check
+
 echo "== pytest (tier 1) =="
-PYTHONPATH=src python -m pytest -x -q
+# The examples smoke tests run as their own step below.
+PYTHONPATH=src python -m pytest -x -q --ignore=tests/test_examples.py
+
+echo "== examples smoke =="
+PYTHONPATH=src python -m pytest -x -q tests/test_examples.py
 
 echo "== perf guard =="
 if [ -f BENCH_cycle_engine.json ]; then

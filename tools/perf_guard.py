@@ -9,7 +9,10 @@ previous accepted runs stored next to them as ``*.prev.json``:
   and batch cycle engines;
 * ``BENCH_banksim.json`` (written by
   ``pytest benchmarks/test_perf_banksim.py``) — gates the segmented
-  FIFO kernel and the closed-form scatter path.
+  FIFO kernel and the closed-form scatter path;
+* ``BENCH_serving.json`` (written by
+  ``pytest benchmarks/test_perf_serving.py``) — gates the prediction
+  service's cached hot path.
 
 Exits nonzero if any gated timing slowed down by more than the allowed
 factor (default 2x) on the same workload.
@@ -45,6 +48,8 @@ BENCHES: Tuple[Tuple[pathlib.Path, pathlib.Path, Tuple[str, ...]], ...] = (
     (CURRENT, BASELINE, ("event_seconds", "batch_seconds")),
     (ROOT / "BENCH_banksim.json", ROOT / "BENCH_banksim.prev.json",
      ("kernel_seconds", "banksim_seconds")),
+    (ROOT / "BENCH_serving.json", ROOT / "BENCH_serving.prev.json",
+     ("serving_seconds",)),
 )
 
 #: Keys that must match for two runs to be comparable.

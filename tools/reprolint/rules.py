@@ -28,6 +28,8 @@ REPRO110  engine-parity         the public simulate_* signatures of the
                                 three engines stay in parity
 REPRO111  broad-except          no bare/over-broad except without re-raise
 REPRO112  silent-handler        no except handler that only passes
+REPRO113  public-docstring      every public function/class in src/repro/
+                                documents its contract with a docstring
 ========  ====================  ==========================================
 
 Every rule is suppressible per line with ``# reprolint: disable=ID`` —
@@ -521,6 +523,7 @@ class EngineParityRule(Rule):
         "simulate_scatter_blocked": "src/repro/simulator/banksim.py",
         "simulate_scatter_cycle": "src/repro/simulator/cycle.py",
         "simulate_scatter_batch": "src/repro/simulator/cycle_batch.py",
+        "simulate_scatter_engine": "src/repro/simulator/dispatch.py",
     }
 
     @staticmethod
@@ -667,3 +670,54 @@ class SilentHandlerRule(Rule):
                     "exception silently dropped — record it (counter/"
                     "result field) or suppress with the justification",
                 )
+
+
+@register
+class PublicDocstringRule(Rule):
+    """Flag public package API without a docstring.
+
+    The package doubles as the paper's written-out methodology: the
+    generated API reference (``tools/gen_api_docs.py`` -> docs/api.md)
+    is assembled from docstrings, so an undocumented public function is
+    a hole in the methodology document, not just a style nit.
+    """
+
+    id = "REPRO113"
+    name = "public-docstring"
+    description = (
+        "docs/api.md is generated from docstrings; a public function, "
+        "class or method without one ships an undocumented contract — "
+        "document it (or suppress with the justification for why the "
+        "name must stay public yet undocumented)"
+    )
+    paths = _SRC
+
+    @staticmethod
+    def _public(name: str) -> bool:
+        return not name.startswith("_")
+
+    def _scan(
+        self, f: SourceFile, body: Sequence[ast.stmt], owner: str
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef) and self._public(node.name):
+                label = f"{owner}{node.name}"
+                if ast.get_docstring(node) is None:
+                    yield self.finding(
+                        f, node,
+                        f"public class `{label}` has no docstring",
+                    )
+                # Methods of a public class are API surface too; nested
+                # helpers inside functions are not.
+                yield from self._scan(f, node.body, f"{label}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and self._public(node.name) \
+                    and ast.get_docstring(node) is None:
+                kind = "method" if owner else "function"
+                yield self.finding(
+                    f, node,
+                    f"public {kind} `{owner}{node.name}` has no docstring",
+                )
+
+    def check(self, f: SourceFile) -> Iterator[Finding]:
+        yield from self._scan(f, f.tree.body, "")
