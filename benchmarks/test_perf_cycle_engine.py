@@ -105,3 +105,95 @@ def test_perf_cycle_engine(benchmark, save_result):
         "batch_speedup": round(batch_speedup, 2),
         "sim_cycles": float(event.time),
     }, indent=2) + "\n")
+
+
+GRID_POINTS = 64
+GRID_N = 256
+GRID_REPEATS = 3
+
+
+def test_perf_grid_fusion(benchmark, save_result):
+    """Fused whole-grid evaluation vs. per-point pooled dispatch.
+
+    A 64-point same-``n`` sweep (hot-spot scatter, J90, batch engine)
+    submitted through :func:`repro.experiments.runner.run_grid` twice:
+    once with grid fusion on (one fused :func:`simulate_scatter_grid`
+    task, serial, no pool) and once forced down the legacy path
+    (``fuse=False``, four pooled workers evaluating points one by one).
+    The sweep uses a small per-point ``n``, the regime grid fusion
+    targets: per-task dispatch overhead dominates, so collapsing the
+    sweep into one kernel pass wins even against a warm pool.  Asserts
+    per-point equality of the two result lists and a >= 5x
+    points-per-second win for the fused pass, then merges the grid
+    timings into ``BENCH_cycle_engine.json`` next to the engine keys so
+    ``tools/perf_guard.py`` gates ``grid_fused_seconds``.
+    """
+    from repro.experiments import runner
+    from repro.serving.service import evaluate_point
+
+    machine = j90()
+    points = [
+        dict(op="simulate", machine=machine,
+             addresses=hotspot(GRID_N, GRID_N, DEFAULT_SPACE, seed=s),
+             engine="batch", bank_map_kind="interleave", map_seed=0)
+        for s in range(GRID_POINTS)
+    ]
+
+    runner.reset_grid_stats()
+    fused_s, fused = _best_of(GRID_REPEATS, runner.run_grid,
+                              evaluate_point, points,
+                              parallel=1, cache=False)
+    stats = runner.grid_stats()
+    # Evidence the fused path actually ran: every point of every repeat
+    # went through the fused grid task, none through per-point calls.
+    assert stats.fused_points == GRID_REPEATS * GRID_POINTS
+    assert stats.fused_seconds > 0.0
+    run_once(benchmark, runner.run_grid, evaluate_point, points,
+             parallel=1, cache=False)
+
+    pooled_s, pooled = _best_of(GRID_REPEATS, runner.run_grid,
+                                evaluate_point, points, parallel=4,
+                                cache=False, fuse=False)
+
+    # Fusion is only a performance lever: both passes must agree on
+    # every point.
+    assert fused == pooled
+
+    fused_pps = GRID_POINTS / fused_s
+    pooled_pps = GRID_POINTS / pooled_s
+    grid_speedup = pooled_s / fused_s
+    assert grid_speedup >= 5.0, (
+        f"fused grid pass only {grid_speedup:.1f}x faster than per-point "
+        f"pooled dispatch ({fused_s:.3f}s vs {pooled_s:.3f}s for "
+        f"{GRID_POINTS} points)"
+    )
+
+    lines = [
+        "grid fusion performance (hot-spot sweep, "
+        f"{machine.name}, {GRID_POINTS} points, n={GRID_N})",
+        "",
+        f"{'dispatch':<18} {'seconds':>10} {'points/sec':>12}",
+        f"{'fused (1 task)':<18} {fused_s:>10.4f} {fused_pps:>12.0f}",
+        f"{'pooled (4 procs)':<18} {pooled_s:>10.3f} {pooled_pps:>12.0f}",
+        "",
+        f"fused over pooled: {grid_speedup:.1f}x "
+        "(bit-identical results)",
+    ]
+    save_result("perf_grid_fusion", "\n".join(lines))
+
+    # Merge with the engine timings written by test_perf_cycle_engine
+    # (pytest runs it first within this file); a standalone run of this
+    # test still produces a guard-comparable file.
+    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.is_file() \
+        else {"benchmark": "cycle_engine", "machine": machine.name,
+              "n": N, "k": K, "telemetry": "off"}
+    data.update({
+        "grid_points": GRID_POINTS,
+        "grid_n": GRID_N,
+        "grid_fused_seconds": round(fused_s, 6),
+        "grid_pooled_seconds": round(pooled_s, 6),
+        "grid_points_per_sec": round(fused_pps, 1),
+        "grid_pooled_points_per_sec": round(pooled_pps, 1),
+        "grid_fused_speedup": round(grid_speedup, 2),
+    })
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")

@@ -94,13 +94,15 @@ def main(argv=None) -> int:
             text = f"{outcome.output}\n"
             if stray:
                 text += f"\n[captured stdout]\n{stray}\n"
-            # Pool vs cache split keeps saved timings honest: a fully
-            # cache-hit rerun reports near-zero pool time instead of
-            # passing the cache scan off as compute.
+            # Pool vs cache vs fused split keeps saved timings honest:
+            # a fully cache-hit rerun reports near-zero pool time
+            # instead of passing the cache scan off as compute, and
+            # fused grid passes are not hidden inside pool time.
             text += (
                 f"\n[wall-clock: {outcome.seconds:.3f}s "
                 f"(pool {outcome.stats.pool_seconds:.3f}s, "
-                f"cache {outcome.stats.cache_seconds:.3f}s)]\n"
+                f"cache {outcome.stats.cache_seconds:.3f}s, "
+                f"fused {outcome.stats.fused_seconds:.3f}s)]\n"
             )
             (save_dir / f"{outcome.exp_id}.txt").write_text(text)
         if json_dir is not None:

@@ -5,8 +5,9 @@ Experiments 1-3 and Figures 11-12 — so reproduction runs need an
 auditable record of *how* each number was produced.  A
 :class:`RunManifest` captures, per experiment: the registry id, the
 package code version, the default machine parameters and seed the
-experiment ran under, wall-clock time (split into pool compute vs
-cache scan), the runner's fault/cache counters (hits, misses, retries,
+experiment ran under, wall-clock time (split into pool compute, cache
+scan and fused grid evaluation), the runner's fault/cache counters
+(hits, misses, duplicates collapsed, fused points, retries,
 timeouts, quarantined cache entries) and its shared-memory traffic
 (bytes shipped to workers by handle instead of pickled copies).
 
@@ -38,7 +39,11 @@ __all__ = [
 #: Manifest format version; bump on any incompatible field change.
 #: v2: adds shared-memory traffic (``bytes_shipped``/``shm_hits``) and
 #: the pool-vs-cache wall-clock split (``pool_seconds``/``cache_seconds``).
-SCHEMA_VERSION = 2
+#: v3: adds grid fusion accounting — ``dedup_collapsed`` (identical
+#: points collapsed within one submission), ``fused_points`` (misses
+#: evaluated through a fused grid task) and the ``fused_seconds``
+#: wall-clock bucket (fused evaluation time, previously unaccounted).
+SCHEMA_VERSION = 3
 
 #: Required fields and their types — the (flat) manifest schema.
 #: ``machine`` is the nested dict of default machine parameters.
@@ -58,8 +63,11 @@ MANIFEST_SCHEMA: Dict[str, type] = {
     "quarantined": int,
     "bytes_shipped": int,
     "shm_hits": int,
+    "dedup_collapsed": int,
+    "fused_points": int,
     "pool_seconds": float,
     "cache_seconds": float,
+    "fused_seconds": float,
     "experiment_retries": int,
     "parallel": int,
     "cache_enabled": bool,
@@ -91,8 +99,11 @@ class RunManifest:
     quarantined: int
     bytes_shipped: int
     shm_hits: int
+    dedup_collapsed: int
+    fused_points: int
     pool_seconds: float
     cache_seconds: float
+    fused_seconds: float
     experiment_retries: int
     parallel: int
     cache_enabled: bool
@@ -124,8 +135,11 @@ class RunManifest:
             quarantined=s.quarantined,
             bytes_shipped=s.bytes_shipped,
             shm_hits=s.shm_hits,
+            dedup_collapsed=s.dedup_collapsed,
+            fused_points=s.fused_points,
             pool_seconds=float(s.pool_seconds),
             cache_seconds=float(s.cache_seconds),
+            fused_seconds=float(s.fused_seconds),
             experiment_retries=outcome.retries,
             parallel=int(parallel),
             cache_enabled=bool(cache_enabled),
@@ -188,7 +202,8 @@ def validate_manifest(
             problems.append(f"unknown field {field_name!r}")
     for counter in ("points", "cache_hits", "cache_misses", "retries",
                     "timeouts", "quarantined", "bytes_shipped",
-                    "shm_hits", "experiment_retries",
+                    "shm_hits", "dedup_collapsed", "fused_points",
+                    "experiment_retries",
                     # serving-manifest counters share the nonneg check
                     "received", "served", "shed", "expired", "failed",
                     "invalid", "lru_hits", "disk_hits", "evaluations",

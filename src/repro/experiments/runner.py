@@ -119,13 +119,28 @@ class GridStats:
         while occupying one segment).
     shm_hits:
         Point kwargs served to workers via a shared-memory handle.
+    dedup_collapsed:
+        Points collapsed onto an identical earlier point (same
+        ``cache_key``) within one :func:`run_grid` submission — they
+        never probe the disk memo nor reach the pool; the first
+        occurrence's result answers them all.  Zero while caching is
+        disabled (no keys, no dedupe).
+    fused_points:
+        Cache-miss points evaluated through a fused grid task (the
+        point function's ``grid_fuse`` adapter) instead of one-by-one.
     pool_seconds:
         Wall-clock spent computing cache misses (pool fan-out plus
-        serial retries and result stores).
+        serial retries and result stores); excludes in-process fused
+        evaluation, which lands in ``fused_seconds``.
     cache_seconds:
         Wall-clock spent scanning/loading the on-disk memo cache —
         kept separate from ``pool_seconds`` because hits never reach
         the pool.
+    fused_seconds:
+        Wall-clock spent inside fused grid evaluations.  Disjoint from
+        ``pool_seconds`` when fused groups run in-process; measured
+        worker-side (and therefore concurrent with ``pool_seconds``)
+        when they run as pooled tasks.
     """
 
     points: int = 0
@@ -136,8 +151,11 @@ class GridStats:
     quarantined: int = 0
     bytes_shipped: int = 0
     shm_hits: int = 0
+    dedup_collapsed: int = 0
+    fused_points: int = 0
     pool_seconds: float = 0.0
     cache_seconds: float = 0.0
+    fused_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (manifest/JSON export)."""
@@ -507,6 +525,68 @@ def _run_chunk(fn: Callable, chunk: List[Dict[str, Any]]) -> List[Any]:
     return [fn(**_resolve(point)) for point in chunk]
 
 
+def _run_fused(
+    fn: Callable, group: List[Dict[str, Any]]
+) -> Tuple[float, List[Any]]:
+    """Evaluate one fused group through ``fn.grid_fuse.run``.
+
+    Runs in-process on the serial path and as a single pooled task on
+    the pooled path (one dispatch for the whole group instead of one
+    per point).  Returns ``(elapsed_seconds, results)`` — the elapsed
+    time is the ``GridStats.fused_seconds`` datum, measured here so
+    pooled fused tasks report their own compute time.
+    """
+    points = [_resolve(point) for point in group]
+    # Fused evaluation wall-clock is a GridStats datum, never cached.
+    t0 = time.perf_counter()  # reprolint: disable=REPRO102
+    out = fn.grid_fuse.run(points)
+    elapsed = time.perf_counter() - t0  # reprolint: disable=REPRO102
+    if not isinstance(out, list) or len(out) != len(points):
+        raise ParameterError(
+            f"{fn.__name__}.grid_fuse.run must return one result per "
+            f"point; got {len(out) if isinstance(out, list) else out!r} "
+            f"for {len(points)} points"
+        )
+    return elapsed, out
+
+
+def _fusion_split(
+    fn: Callable,
+    points: List[Dict[str, Any]],
+    todo: List[int],
+    fuse: Optional[bool],
+) -> Tuple[List[int], List[List[int]]]:
+    """Partition the cache misses into per-point work and fused groups.
+
+    A point function opts in by exposing a ``grid_fuse`` adapter with
+    ``key(point)`` (a hashable compatibility key, or ``None`` for "run
+    this point alone") and ``run(points)`` (evaluate a compatible group,
+    results aligned).  Misses sharing a key form one fused group; keys
+    held by a single point, keyless points, and everything when fusion
+    is off stay on the per-point path.  ``fuse=None`` means "fuse when
+    the adapter exists"; ``False`` forces per-point evaluation.
+    """
+    fuser = getattr(fn, "grid_fuse", None)
+    if fuse is False or fuser is None or len(todo) < 2:
+        return list(todo), []
+    singles: List[int] = []
+    by_key: Dict[Any, List[int]] = {}
+    for i in todo:
+        key = fuser.key(points[i])
+        if key is None:
+            singles.append(i)
+        else:
+            by_key.setdefault(key, []).append(i)
+    groups: List[List[int]] = []
+    for group in by_key.values():
+        if len(group) >= 2:
+            groups.append(group)
+        else:
+            singles.append(group[0])
+    singles.sort()
+    return singles, groups
+
+
 #: Chunks submitted per worker: >1 keeps the pool load-balanced when
 #: point costs vary without falling back to one future per point.
 _CHUNKS_PER_WORKER = 4
@@ -529,12 +609,26 @@ def run_grid(
     parallel: Optional[int] = None,
     cache: Optional[bool] = None,
     timeout: Optional[float] = None,
+    fuse: Optional[bool] = None,
 ) -> List[Any]:
     """Evaluate ``fn(**point)`` for every point, in order.
 
     Results come back aligned with ``points`` regardless of completion
     order.  Cached points are served from disk without touching the
-    pool; only misses are executed (and then stored).
+    pool; only misses are executed (and then stored).  While caching is
+    enabled, *identical* points (same ``cache_key``) within one call
+    are deduplicated up front: the first occurrence probes the memo and
+    computes, the duplicates share its result
+    (``GridStats.dedup_collapsed`` counts them).
+
+    A point function may expose a ``grid_fuse`` adapter (see
+    :func:`_fusion_split`): compatible cache misses are then dispatched
+    as *one fused task* — a single vectorized pass over the whole group
+    — instead of one task per point.  Each fused result is stored under
+    its own point's ``cache_key``, and the adapter contract requires
+    per-point results identical to ``fn(**point)``, so the memo stays
+    bit-identical point for point.  A fused group that fails for any
+    reason falls back to evaluating its points individually.
 
     The pooled fan-out never aborts the sweep on a single bad point: a
     point whose worker raises, exceeds ``timeout``, or dies (OOM kill,
@@ -557,7 +651,9 @@ def run_grid(
     cache:
         Force caching on/off for this grid; default from
         :func:`configure` / ``REPRO_CACHE`` / on.  Points that measure
-        wall-clock time must pass ``cache=False``.
+        wall-clock time must pass ``cache=False``.  Disabling the cache
+        also disables dedupe (no keys are computed, and repeat points
+        may be intentional timing probes).
     timeout:
         Per-point seconds before a pooled point is abandoned and
         retried serially (a chunk of ``k`` points is waited on for
@@ -565,20 +661,37 @@ def run_grid(
         budget; a timed-out chunk retries all of its points).
         ``None`` (default) waits forever.  Serial execution ignores
         it — in-process work cannot be preempted safely.
+    fuse:
+        ``None`` (default) fuses whenever ``fn`` carries a
+        ``grid_fuse`` adapter; ``False`` forces per-point evaluation
+        (e.g. for benchmarking the unfused path); ``True`` is the
+        explicit spelling of the default behaviour.
     """
     points = [dict(p) for p in points]
     results: List[Any] = [None] * len(points)
     enabled = _cache_enabled(cache)
     keys: List[Optional[str]] = [None] * len(points)
     todo: List[int] = []
+    dup_of: Dict[int, int] = {}
+    first_of_key: Dict[str, int] = {}
     _stats.points += len(points)
     # Cache-scan wall-clock is a GridStats datum (pool vs cache split
     # in run manifests), never itself cached or compared.
     t0 = time.perf_counter()  # reprolint: disable=REPRO102
     for i, point in enumerate(points):
         if enabled:
-            keys[i] = cache_key(fn, point)
-            hit = _cache_load(keys[i])
+            key = cache_key(fn, point)
+            keys[i] = key
+            first = first_of_key.get(key)
+            if first is not None:
+                # Identical point already seen in this submission:
+                # collapse onto it — no second disk probe, no second
+                # evaluation; its result is copied in at the end.
+                dup_of[i] = first
+                _stats.dedup_collapsed += 1
+                continue
+            first_of_key[key] = i
+            hit = _cache_load(key)
             if hit is not _MISS:
                 results[i] = hit
                 _stats.cache_hits += 1
@@ -588,7 +701,9 @@ def run_grid(
     _stats.cache_seconds += time.perf_counter() - t0  # reprolint: disable=REPRO102
 
     t0 = time.perf_counter()  # reprolint: disable=REPRO102
-    workers = min(_parallelism(parallel), len(todo))
+    serial_fused = 0.0
+    singles, fused_groups = _fusion_split(fn, points, todo, fuse)
+    workers = min(_parallelism(parallel), len(singles) + len(fused_groups))
     if workers > 1:
         failed: List[int] = []
         session = _ShmSession()
@@ -598,20 +713,27 @@ def run_grid(
             # A few chunks per worker: large enough to amortize pool
             # dispatch, small enough to balance uneven point costs.
             chunk_size = max(
-                1, -(-len(todo) // (workers * _CHUNKS_PER_WORKER))
+                1, -(-len(singles) // (workers * _CHUNKS_PER_WORKER))
             )
             chunks = [
-                todo[j:j + chunk_size]
-                for j in range(0, len(todo), chunk_size)
+                singles[j:j + chunk_size]
+                for j in range(0, len(singles), chunk_size)
             ]
             futures = {
                 pool.submit(_run_chunk, fn, [payload[i] for i in chunk]):
-                    chunk
+                    ("chunk", chunk)
                 for chunk in chunks
             }
-            for fut, chunk in futures.items():
+            for group in fused_groups:
+                # One pooled task per fused group: the whole compatible
+                # sweep rides one dispatch + one vectorized pass.
+                fut = pool.submit(
+                    _run_fused, fn, [payload[i] for i in group]
+                )
+                futures[fut] = ("fused", group)
+            for fut, (kind, chunk) in futures.items():
                 try:
-                    chunk_results = fut.result(
+                    outcome = fut.result(
                         timeout=None if timeout is None
                         else timeout * len(chunk)
                     )
@@ -626,6 +748,12 @@ def run_grid(
                     # lands here and joins the serial retry pass.
                     failed.extend(chunk)
                     continue
+                if kind == "fused":
+                    elapsed, chunk_results = outcome
+                    _stats.fused_seconds += elapsed
+                    _stats.fused_points += len(chunk)
+                else:
+                    chunk_results = outcome
                 for i, r in zip(chunk, chunk_results):
                     results[i] = r
         finally:
@@ -637,17 +765,38 @@ def run_grid(
             session.close()
         for i in failed:
             # Serial retries take the original points — arrays inline,
-            # no shared-memory indirection to go wrong twice.
+            # no shared-memory indirection (nor a fused pass) to go
+            # wrong twice.
             _stats.retries += 1
             results[i] = fn(**points[i])
     else:
-        for i in todo:
+        for group in fused_groups:
+            try:
+                elapsed, group_results = _run_fused(fn, [points[i] for i in group])
+            except Exception:  # reprolint: disable=REPRO111 -- a broken fused pass must fall back per point, not kill the grid
+                for i in group:
+                    _stats.retries += 1
+                    results[i] = fn(**points[i])
+                continue
+            serial_fused += elapsed
+            _stats.fused_seconds += elapsed
+            _stats.fused_points += len(group)
+            for i, r in zip(group, group_results):
+                results[i] = r
+        for i in singles:
             results[i] = fn(**points[i])
 
     if enabled:
         for i in todo:
             _cache_store(keys[i], results[i])
-    _stats.pool_seconds += time.perf_counter() - t0  # reprolint: disable=REPRO102
+        for i, first in dup_of.items():
+            results[i] = results[first]
+    # In-process fused evaluation is its own wall-clock bucket; the
+    # remainder of this block (pool fan-out, retries, stores) stays in
+    # pool_seconds.
+    _stats.pool_seconds += (
+        time.perf_counter() - t0 - serial_fused  # reprolint: disable=REPRO102
+    )
     return results
 
 

@@ -22,7 +22,11 @@ the traffic engineering around those calls:
   and the distinct remainder is evaluated through a single
   :func:`~repro.experiments.runner.run_grid` call — one batched pass
   that inherits the runner's on-disk memo, fault tolerance and
-  (optionally) its process pool.
+  (optionally) its process pool.  Compatible cycle-engine sweep points
+  within that call additionally *fuse*: the runner dispatches them as
+  one vectorized :func:`~repro.simulator.cycle_grid.
+  simulate_scatter_grid` pass (bit-identical per point) instead of N
+  separate engine invocations.
 * **Two-level memoization** — an in-memory LRU in front of the
   experiment runner's on-disk memo cache.  Both are probed at
   admission, so a repeated question is answered without ever occupying
@@ -118,6 +122,79 @@ def evaluate_point(
         out["mean_wait"] = float(res.mean_wait)
         out["stalled_cycles"] = float(res.stalled_cycles)
     return out
+
+
+#: Engines whose per-point results the grid-fused pass reproduces
+#: bit-identically.  ``banksim`` is deliberately absent: it only agrees
+#: with the cycle engines under unbounded queues and no sections, so
+#: fusing it would change answers on exactly the machines where the
+#: engines differ.
+_FUSABLE_ENGINES = frozenset({"tick", "event", "batch"})
+
+
+class _EvaluatePointFuser:
+    """Grid-fusion adapter for :func:`evaluate_point` (the ``grid_fuse``
+    protocol of :func:`repro.experiments.runner.run_grid`).
+
+    ``key`` marks the sweep points whose simulations may share one
+    fused pass — cycle-engine evaluations of same-size patterns (the
+    micro-batcher's bread-and-butter flush: one pattern family swept
+    over seeds/machines/mappings).  ``run`` evaluates such a group with
+    a single :func:`~repro.simulator.cycle_grid.simulate_scatter_grid`
+    call and rebuilds each point's result dict exactly as
+    :func:`evaluate_point` would — same fields, same insertion order,
+    same float values (the grid pass is bit-identical per point) — so
+    cached and fused answers stay interchangeable.
+    """
+
+    @staticmethod
+    def key(point: Dict[str, Any]) -> Optional[Tuple[Any, ...]]:
+        """Compatibility key, or ``None`` to keep the point unfused."""
+        if point.get("op") not in ("simulate", "compare"):
+            return None
+        if point.get("engine") not in _FUSABLE_ENGINES:
+            return None
+        addr = point.get("addresses")
+        if not isinstance(addr, np.ndarray):
+            return None
+        return (point["op"], point["engine"], int(addr.size))
+
+    @staticmethod
+    def run(points: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Evaluate one compatible group through the fused grid pass."""
+        from ..simulator.cycle_grid import simulate_scatter_grid
+
+        addrs = [as_addresses(p["addresses"]) for p in points]
+        mappings = [
+            resolve_bank_map(p["bank_map_kind"], p["map_seed"])
+            for p in points
+        ]
+        sims = simulate_scatter_grid(
+            [p["machine"] for p in points], addrs, bank_map=mappings
+        )
+        results: List[Dict[str, Any]] = []
+        for p, addr, mapping, res in zip(points, addrs, mappings, sims):
+            out: Dict[str, Any] = {"n": int(addr.size)}
+            if p["op"] == "compare":
+                params = p["machine"].params()
+                out["contention"] = int(max_location_contention(addr))
+                out["bsp_time"] = float(predict_scatter_bsp(params, addr))
+                out["dxbsp_time"] = float(
+                    predict_scatter_dxbsp(params, addr, mapping)
+                )
+            out["simulated_time"] = float(res.time)
+            out["max_bank_load"] = int(res.max_bank_load)
+            out["max_wait"] = float(res.max_wait)
+            out["mean_wait"] = float(res.mean_wait)
+            out["stalled_cycles"] = float(res.stalled_cycles)
+            results.append(out)
+        return results
+
+
+#: The runner discovers the adapter on the point function itself, so
+#: every run_grid(evaluate_point, ...) caller — the service flush, the
+#: experiment sweeps, ad-hoc scripts — gets fusion without plumbing.
+evaluate_point.grid_fuse = _EvaluatePointFuser()  # type: ignore[attr-defined]
 
 
 @dataclasses.dataclass
@@ -275,6 +352,12 @@ class PredictionService:
         Worker processes for flush evaluation (forwarded to
         :func:`~repro.experiments.runner.run_grid`; 1 = evaluate in the
         dispatcher thread).
+    fuse:
+        Forwarded to :func:`~repro.experiments.runner.run_grid`:
+        ``None`` (default) routes compatible sweep flushes through the
+        fused grid pass (one vectorized evaluation per group of
+        same-size cycle-engine points — bit-identical per point);
+        ``False`` forces per-point evaluation.
 
     Use as a context manager (``with PredictionService() as svc:``) or
     call :meth:`close` to drain and stop the dispatcher.
@@ -289,6 +372,7 @@ class PredictionService:
         lru_size: int = 4096,
         disk_cache: Optional[bool] = None,
         parallel: int = 1,
+        fuse: Optional[bool] = None,
     ) -> None:
         if max_queue < 1:
             raise ParameterError(f"max_queue must be >= 1, got {max_queue}")
@@ -299,6 +383,7 @@ class PredictionService:
         self.lru_size = int(lru_size)
         self.disk_cache = disk_cache
         self.parallel = int(parallel)
+        self.fuse = fuse
         # The queue itself is unbounded; admission is bounded by the
         # in-flight counter below, which covers items waiting in open
         # micro-batch buckets too — capacity is only released when an
@@ -569,6 +654,7 @@ class PredictionService:
             results = runner.run_grid(
                 evaluate_point, unique,
                 parallel=self.parallel, cache=self.disk_cache,
+                fuse=self.fuse,
             )
         except Exception as exc:  # reprolint: disable=REPRO111 -- the service must answer 500 and stay up, whatever the evaluation raised
             with self._lock:

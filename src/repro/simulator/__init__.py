@@ -12,6 +12,7 @@ from .banksim import (
 from .butterfly import omega_ports, simulate_scatter_butterfly
 from .cycle import simulate_scatter_cycle
 from .cycle_batch import simulate_scatter_batch
+from .cycle_grid import simulate_scatter_grid
 from .dispatch import ENGINES, simulate_scatter_engine
 from .machine import (
     CRAY_C90,
@@ -54,6 +55,7 @@ __all__ = [
     "simulate_scatter_blocked",
     "simulate_scatter_cycle",
     "simulate_scatter_batch",
+    "simulate_scatter_grid",
     "ENGINES",
     "simulate_scatter_engine",
     "SanitizerError",

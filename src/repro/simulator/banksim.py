@@ -33,7 +33,7 @@ and is validated to agree with this module when queues are unbounded.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -55,6 +55,67 @@ __all__ = [
 ]
 
 
+def _rows_flatten(
+    arrivals: np.ndarray,
+    servers: np.ndarray,
+    init_free: Optional[np.ndarray],
+    what: str,
+) -> tuple:
+    """Validate one batched (rows, n) call and flatten it to a single
+    1-D problem by lifting each row's server ids into a disjoint range.
+
+    Returns ``(rows, n, flat_servers, flat_floors, n_srv)``.  Segments
+    of different rows can never share a lifted server id, so the 1-D
+    segmented-cummax kernel solves every row at once and each row's
+    answer is bit-identical to its own per-row call (the lexsort ties
+    break by flattened position, i.e. row-major input position, which
+    preserves each row's internal order).
+    """
+    if servers.ndim != 2 or arrivals.shape != servers.shape:
+        raise PatternError(
+            f"batched {what} requires matching 2-D (rows, n) "
+            "arrivals and servers"
+        )
+    rows, n = arrivals.shape
+    if n == 0:
+        return rows, n, None, None, 0
+    if servers.min() < 0:
+        raise PatternError("server ids must be >= 0")
+    if init_free is not None:
+        floors = np.asarray(init_free, dtype=np.float64)
+        if floors.ndim != 2 or floors.shape[0] != rows:
+            raise PatternError(
+                f"batched {what} requires init seeds of shape "
+                "(rows, n_servers)"
+            )
+        n_srv = floors.shape[1]
+        if int(servers.max()) >= n_srv:
+            raise PatternError("server ids outside the init seed width")
+        flat_floors = floors.ravel()
+    else:
+        n_srv = int(servers.max()) + 1
+        flat_floors = None
+    row_lift = np.arange(rows, dtype=np.int64)[:, None] * n_srv
+    flat_srv = (np.asarray(servers, dtype=np.int64) + row_lift).ravel()
+    return rows, n, flat_srv, flat_floors, n_srv
+
+
+def _per_request(value: Any, rows: int, n: int, name: str) -> Any:
+    """Broadcast a scalar / per-row (rows,) cost to the flattened grid.
+
+    Scalars pass through untouched (the 1-D kernel keeps its scalar
+    fast path); a per-row vector expands to one entry per request.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        return value
+    if arr.shape != (rows,):
+        raise SimulationError(
+            f"per-row {name} must have shape ({rows},), got {arr.shape}"
+        )
+    return np.broadcast_to(arr[:, None], (rows, n)).ravel()
+
+
 def fifo_service_times(
     arrivals: np.ndarray, servers: np.ndarray, gap: float,
     init_free: Optional[np.ndarray] = None,
@@ -65,34 +126,70 @@ def fifo_service_times(
     Parameters
     ----------
     arrivals:
-        float64 arrival time of each request.
+        float64 arrival time of each request.  May be a batched 2-D
+        ``(rows, n)`` array: each row is an independent grid point
+        (its own servers, its own seeds) and the whole grid is solved
+        in one vectorized pass, bit-identical per row to ``rows``
+        separate 1-D calls.
     servers:
-        Integer server (bank or section link) id of each request.
+        Integer server (bank or section link) id of each request
+        (same shape as ``arrivals``).
     gap:
         Minimum spacing between consecutive service starts at one server.
-        ``gap = 0`` means an unlimited server: start == arrival.
+        ``gap = 0`` means an unlimited server: start == arrival.  In
+        batched mode, also accepts a per-row ``(rows,)`` vector; a
+        per-request array is honoured as long as the gap is constant
+        within each server's segment (which per-row broadcasting
+        guarantees).
     init_free:
         Optional per-server floor on the first start (indexed by server
         id): the cycle at which a previously busy server becomes free
         again.  Lets the batch cycle engine re-enter the recurrence from
-        a mid-run machine state.  ``None`` means every server starts free.
+        a mid-run machine state.  ``None`` means every server starts
+        free.  In batched mode: shape ``(rows, n_servers)``, one seed
+        row per grid row.
 
     Returns
     -------
-    float64 start times, aligned with the input order.  Ties in arrival
-    time are broken by input position (the global issue order), matching
-    the cycle-accurate reference simulator.
+    float64 start times, aligned with the input order (and shape).  Ties
+    in arrival time are broken by input position (the global issue
+    order), matching the cycle-accurate reference simulator.
     """
     arrivals = np.asarray(arrivals, dtype=np.float64)
     servers = np.asarray(servers)
+    if arrivals.ndim == 2:
+        rows, n, flat_srv, flat_floors, _ = _rows_flatten(
+            arrivals, servers, init_free, "fifo_service_times"
+        )
+        if rows == 0 or n == 0:
+            return np.zeros((rows, n), dtype=np.float64)
+        flat = fifo_service_times(
+            arrivals.ravel(), flat_srv,
+            _per_request(gap, rows, n, "gap"),
+            init_free=flat_floors,
+        )
+        return flat.reshape(rows, n)
     if arrivals.shape != servers.shape or arrivals.ndim != 1:
         raise PatternError("arrivals and servers must be matching 1-D arrays")
     n = arrivals.size
     if n == 0:
         return np.zeros(0, dtype=np.float64)
-    if gap < 0:
-        raise SimulationError(f"service gap must be >= 0, got {gap}")
-    if gap == 0:
+    gaps = None  # per-request gaps (batched rows); scalar path stays scalar
+    if np.ndim(gap) > 0:
+        gaps = np.asarray(gap, dtype=np.float64)
+        if gaps.shape != arrivals.shape:
+            raise SimulationError(
+                "per-request gap must align with arrivals"
+            )
+        gap_max = float(gaps.max())
+        if float(gaps.min()) < 0:
+            raise SimulationError("service gap must be >= 0")
+    else:
+        gap_max = float(gap)
+        if gap < 0:
+            raise SimulationError(f"service gap must be >= 0, got {gap}")
+    if gap_max == 0:
+        # All gaps zero: unlimited servers, start == max(arrival, floor).
         if init_free is not None:
             return np.maximum(
                 arrivals, np.asarray(init_free, dtype=np.float64)[servers]
@@ -111,7 +208,12 @@ def fifo_service_times(
     first_of_seg = np.flatnonzero(seg_start)
     rank = idx - first_of_seg[seg_id]
 
-    adjusted = s_arr - rank * gap
+    # With per-request gaps the lift term becomes rank * (own segment's
+    # gap); constant within a segment, so the recurrence still telescopes
+    # to one cummax (and equals the scalar expression when all gaps agree,
+    # keeping the two paths bit-identical).
+    step = gap if gaps is None else gaps[order]
+    adjusted = s_arr - rank * step
     if init_free is not None:
         # Seed each segment head with its server's external floor: the
         # first start becomes max(arrival, floor) (rank 0, so adjusted
@@ -125,10 +227,10 @@ def fifo_service_times(
     # lifted above the previous one's value range, so the running max never
     # leaks across segments.  Exact for integer-valued times (span and
     # offsets stay far below 2^53).
-    span = float(adjusted.max() - adjusted.min()) + gap + 1.0
+    span = float(adjusted.max() - adjusted.min()) + gap_max + 1.0
     lifted = adjusted + seg_id * span
     running = np.maximum.accumulate(lifted) - seg_id * span
-    start_sorted = running + rank * gap
+    start_sorted = running + rank * step
 
     start = np.empty(n, dtype=np.float64)
     start[order] = start_sorted
@@ -159,20 +261,72 @@ def fifo_service_times_cached(
     addresses are non-negative), so a mid-run re-entry preserves hits
     across the seam.
 
-    Returns ``(start, cost)`` aligned with the input order.
+    Batched mode mirrors :func:`fifo_service_times`: 2-D ``(rows, n)``
+    arrivals/servers/addresses solve one independent grid point per
+    row (bit-identical per row to per-row calls), with ``miss_cost`` /
+    ``hit_cost`` optionally per-row ``(rows,)`` vectors and the init
+    seeds shaped ``(rows, n_servers)``.
+
+    Returns ``(start, cost)`` aligned with the input order (and shape).
     """
     arrivals = np.asarray(arrivals, dtype=np.float64)
     servers = np.asarray(servers)
     addresses = np.asarray(addresses)
+    if arrivals.ndim == 2:
+        if addresses.shape != arrivals.shape:
+            raise PatternError(
+                "batched fifo_service_times_cached requires matching "
+                "2-D (rows, n) addresses"
+            )
+        rows, n, flat_srv, flat_floors, n_srv = _rows_flatten(
+            arrivals, servers, init_free, "fifo_service_times_cached"
+        )
+        if rows == 0 or n == 0:
+            empty = np.zeros((rows, n), dtype=np.float64)
+            return empty, empty.copy()
+        flat_seeds = None
+        if init_addr is not None:
+            seeds = np.asarray(init_addr)
+            if seeds.shape != (rows, n_srv):
+                raise PatternError(
+                    "batched init_addr must be shaped (rows, n_servers)"
+                )
+            flat_seeds = seeds.ravel()
+        start, cost = fifo_service_times_cached(
+            arrivals.ravel(), flat_srv, addresses.ravel(),
+            _per_request(miss_cost, rows, n, "miss_cost"),
+            _per_request(hit_cost, rows, n, "hit_cost"),
+            init_free=flat_floors, init_addr=flat_seeds,
+        )
+        return start.reshape(rows, n), cost.reshape(rows, n)
     if not (arrivals.shape == servers.shape == addresses.shape) \
             or arrivals.ndim != 1:
         raise PatternError(
             "arrivals, servers and addresses must be matching 1-D arrays"
         )
-    if hit_cost <= 0 or miss_cost <= 0 or hit_cost > miss_cost:
-        raise SimulationError(
-            f"need 0 < hit_cost <= miss_cost, got {hit_cost}, {miss_cost}"
+    per_req = None  # (hit, miss) per-request costs (batched rows)
+    if np.ndim(hit_cost) > 0 or np.ndim(miss_cost) > 0:
+        hit_req = np.broadcast_to(
+            np.asarray(hit_cost, dtype=np.float64), arrivals.shape
         )
+        miss_req = np.broadcast_to(
+            np.asarray(miss_cost, dtype=np.float64), arrivals.shape
+        )
+        if arrivals.size and (
+            float(hit_req.min()) <= 0 or float(miss_req.min()) <= 0
+            or bool(np.any(hit_req > miss_req))
+        ):
+            raise SimulationError(
+                "need 0 < hit_cost <= miss_cost for every request"
+            )
+        per_req = (hit_req, miss_req)
+        miss_max = float(miss_req.max()) if arrivals.size else 0.0
+    else:
+        if hit_cost <= 0 or miss_cost <= 0 or hit_cost > miss_cost:
+            raise SimulationError(
+                f"need 0 < hit_cost <= miss_cost, got {hit_cost}, {miss_cost}"
+            )
+        miss_max = miss_cost
     n = arrivals.size
     if n == 0:
         empty = np.zeros(0, dtype=np.float64)
@@ -198,7 +352,10 @@ def fifo_service_times_cached(
         # Segment heads hit iff they match the seeded row buffer.
         seeds = np.asarray(init_addr)[s_srv[first_of_seg]]
         hit[first_of_seg] = s_addr[first_of_seg] == seeds
-    cost = np.where(hit, hit_cost, miss_cost)
+    if per_req is None:
+        cost = np.where(hit, hit_cost, miss_cost)
+    else:
+        cost = np.where(hit, per_req[0][order], per_req[1][order])
 
     # Segment-local prefix sums of the costs of *earlier* requests.
     csum = np.cumsum(cost)
@@ -214,7 +371,7 @@ def fifo_service_times_cached(
         adjusted[first_of_seg] = np.maximum(
             adjusted[first_of_seg], floors[s_srv[first_of_seg]]
         )
-    span = float(adjusted.max() - adjusted.min()) + miss_cost + 1.0
+    span = float(adjusted.max() - adjusted.min()) + miss_max + 1.0
     lifted = adjusted + seg_id * span
     running = np.maximum.accumulate(lifted) - seg_id * span
     start_sorted = running + gap_prefix

@@ -70,10 +70,27 @@ class TestRunManifest:
             bytes_shipped=1 << 20, shm_hits=3,
             pool_seconds=0.5, cache_seconds=0.125,
         )))
-        assert m.schema_version == SCHEMA_VERSION == 2
         assert (m.bytes_shipped, m.shm_hits) == (1 << 20, 3)
         assert (m.pool_seconds, m.cache_seconds) == (0.5, 0.125)
         validate_manifest(m.to_dict())
+
+    def test_v3_fusion_fields(self):
+        # Schema v3: grid-fusion accounting — collapsed duplicates,
+        # fused point count, fused wall-clock bucket.
+        m = RunManifest.from_outcome(_outcome(stats=GridStats(
+            points=9, cache_hits=1, cache_misses=6,
+            dedup_collapsed=2, fused_points=6, fused_seconds=0.25,
+        )))
+        assert m.schema_version == SCHEMA_VERSION == 3
+        assert (m.dedup_collapsed, m.fused_points) == (2, 6)
+        assert m.fused_seconds == 0.25
+        validate_manifest(m.to_dict())
+
+    def test_negative_fusion_counter_rejected(self):
+        data = RunManifest.from_outcome(_outcome()).to_dict()
+        data["fused_points"] = -1
+        with pytest.raises(ParameterError, match="'fused_points'"):
+            validate_manifest(data)
 
 
 class TestValidateManifest:

@@ -455,6 +455,152 @@ class TestCacheRobustness:
         assert second == ["tuple"]  # pre-fix: served "list" from cache
 
 
+_FUSED_RUNS = []
+
+
+class _TimesTenFuser:
+    """``grid_fuse`` adapter for :func:`_fusable` (one fused pass per
+    compatible group, per-point results identical to ``fn(**point)``)."""
+
+    @staticmethod
+    def key(point):
+        return point["group"]
+
+    @staticmethod
+    def run(points):
+        _FUSED_RUNS.append(len(points))
+        return [p["x"] * 10 for p in points]
+
+
+def _fusable(x, group="g"):
+    return x * 10
+
+
+_fusable.grid_fuse = _TimesTenFuser()
+
+
+class _BrokenFuser:
+    @staticmethod
+    def key(point):
+        return "g"
+
+    @staticmethod
+    def run(points):
+        raise RuntimeError("fused pass broke")
+
+
+def _fusable_broken(x):
+    return x - 1
+
+
+_fusable_broken.grid_fuse = _BrokenFuser()
+
+
+class TestGridFusion:
+    def test_serial_fused_matches_per_point(self):
+        runner.reset_grid_stats()
+        _FUSED_RUNS.clear()
+        points = [dict(x=i, group="g") for i in range(5)]
+        res = run_grid(_fusable, points, cache=False)
+        assert res == [i * 10 for i in range(5)]
+        assert _FUSED_RUNS == [5]  # one fused pass, not five calls
+        stats = runner.grid_stats()
+        assert stats.fused_points == 5
+        assert stats.fused_seconds > 0
+
+    def test_fuse_false_forces_per_point(self):
+        runner.reset_grid_stats()
+        _FUSED_RUNS.clear()
+        points = [dict(x=i, group="g") for i in range(4)]
+        res = run_grid(_fusable, points, cache=False, fuse=False)
+        assert res == [i * 10 for i in range(4)]
+        assert _FUSED_RUNS == []
+        assert runner.grid_stats().fused_points == 0
+
+    def test_incompatible_keys_split_groups_and_singles(self):
+        # Two fusable groups, one key=None point and one singleton key:
+        # only the >= 2 groups fuse, everything else runs per point.
+        runner.reset_grid_stats()
+        _FUSED_RUNS.clear()
+        points = [dict(x=0, group="a"), dict(x=1, group="b"),
+                  dict(x=2, group="a"), dict(x=3, group=None),
+                  dict(x=4, group="b"), dict(x=5, group="c")]
+        res = run_grid(_fusable, points, cache=False)
+        assert res == [0, 10, 20, 30, 40, 50]
+        assert sorted(_FUSED_RUNS) == [2, 2]
+        assert runner.grid_stats().fused_points == 4
+
+    def test_broken_fused_pass_falls_back_per_point(self):
+        runner.reset_grid_stats()
+        res = run_grid(_fusable_broken, [dict(x=i) for i in range(3)],
+                       cache=False)
+        assert res == [-1, 0, 1]
+        stats = runner.grid_stats()
+        assert stats.fused_points == 0
+        assert stats.retries == 3
+
+    def test_pooled_fused_dispatch(self):
+        # Two groups over two workers: each fused group is one pooled
+        # task (counted worker-side via the returned elapsed time).
+        runner.reset_grid_stats()
+        points = [dict(x=i, group="a" if i < 3 else "b")
+                  for i in range(6)]
+        res = run_grid(_fusable, points, parallel=2, cache=False)
+        assert res == [i * 10 for i in range(6)]
+        stats = runner.grid_stats()
+        assert stats.fused_points == 6
+        assert stats.fused_seconds > 0
+
+    def test_fused_results_cached_per_point(self):
+        # The fused pass must populate the same per-point memo entries
+        # the unfused path reads: fuse on, then fuse off, zero misses.
+        runner.reset_grid_stats()
+        points = [dict(x=i, group="g") for i in range(4)]
+        first = run_grid(_fusable, points)
+        assert runner.grid_stats().fused_points == 4
+        _FUSED_RUNS.clear()
+        second = run_grid(_fusable, points, fuse=False)
+        assert second == first
+        assert _FUSED_RUNS == []
+        stats = runner.grid_stats()
+        assert stats.cache_hits == 4
+        assert stats.cache_misses == 4
+
+
+class TestDedupe:
+    def test_duplicates_collapsed_with_cache(self):
+        _CALLS.clear()
+        runner.reset_grid_stats()
+        points = [dict(x=1), dict(x=1), dict(x=2), dict(x=1)]
+        res = run_grid(_counting, points)
+        assert res == [2, 2, 3, 2]
+        assert _CALLS == [1, 2]  # duplicates never executed
+        stats = runner.grid_stats()
+        assert stats.points == 4
+        assert stats.dedup_collapsed == 2
+        assert (stats.cache_hits, stats.cache_misses) == (0, 2)
+
+    def test_duplicate_of_cache_hit_collapsed(self):
+        run_grid(_counting, [dict(x=5)])
+        runner.reset_grid_stats()
+        res = run_grid(_counting, [dict(x=5), dict(x=5)])
+        assert res == [6, 6]
+        stats = runner.grid_stats()
+        # hits + misses + collapsed partitions the submission.
+        assert stats.cache_hits == 1
+        assert stats.dedup_collapsed == 1
+        assert stats.cache_misses == 0
+
+    def test_cache_off_disables_dedupe(self):
+        # Repeat points without a cache may be intentional timing
+        # probes: no keys are computed, every occurrence runs.
+        _CALLS.clear()
+        runner.reset_grid_stats()
+        run_grid(_counting, [dict(x=7), dict(x=7)], cache=False)
+        assert _CALLS == [7, 7]
+        assert runner.grid_stats().dedup_collapsed == 0
+
+
 class TestGridStats:
     def test_hits_misses_counted(self):
         runner.reset_grid_stats()

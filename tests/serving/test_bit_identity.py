@@ -153,6 +153,51 @@ def test_sweep_rows_match_direct_calls():
         assert row["simulated_time"] == float(direct.time)
 
 
+def test_fused_sweep_flush_is_bit_identical():
+    """A cycle-engine sweep flush rides the fused grid pass; forcing
+    ``fuse=False`` must give byte-identical responses the slow way."""
+    from repro.experiments import runner
+
+    values = [4, 64, 1024]
+    req = {
+        "op": "simulate", "machine": "toy", "engine": "batch",
+        "pattern": {"kind": "hotspot", "n": N},
+        "sweep": {"param": "k", "values": values},
+    }
+    runner.reset_grid_stats()
+    with _service() as svc:
+        fused = svc.call(req)
+    assert fused.ok
+    # Evidence the sweep actually took the fused path.
+    assert runner.grid_stats().fused_points >= len(values)
+    with _service(fuse=False) as svc:
+        unfused = svc.call(req)
+    assert unfused.ok
+    assert fused.result == unfused.result
+    machine = resolve_machine("toy")
+    for k, row in zip(values, fused.result["rows"]):
+        addr = hotspot(n=N, k=k, space=1 << 24, seed=1995)
+        direct = simulate_scatter_engine(machine, addr, None,
+                                         engine="batch")
+        assert row["simulated_time"] == float(direct.time)
+
+
+def test_banksim_sweep_never_fused():
+    """banksim only agrees with the cycle engines on restricted
+    machines, so its sweeps must stay on the per-point path."""
+    from repro.experiments import runner
+
+    runner.reset_grid_stats()
+    with _service() as svc:
+        resp = svc.call({
+            "op": "simulate", "machine": "toy",
+            "pattern": {"kind": "hotspot", "n": N},
+            "sweep": {"param": "k", "values": [4, 64, 1024]},
+        })
+    assert resp.ok
+    assert runner.grid_stats().fused_points == 0
+
+
 def test_json_round_trip_preserves_values():
     import json
 

@@ -93,3 +93,21 @@ class TestPerfGuard:
     def test_serving_bench_gates_hot_path(self):
         keys = {cur.name: keys for cur, _base, keys in perf_guard.BENCHES}
         assert "serving_seconds" in keys["BENCH_serving.json"]
+
+    def test_cycle_bench_gates_fused_grid_pass(self):
+        keys = {cur.name: keys for cur, _base, keys in perf_guard.BENCHES}
+        assert "grid_fused_seconds" in keys["BENCH_cycle_engine.json"]
+
+    def test_compare_skips_key_missing_from_current(self):
+        # A partial benchmark re-run rewrites the file without every
+        # gated key; the guard gates what is present.
+        base = {"benchmark": "cycle_engine", "machine": "Cray J90",
+                "n": 65536, "k": 65536, "telemetry": "off",
+                "event_seconds": 0.1, "grid_fused_seconds": 0.01}
+        current = {k: v for k, v in base.items()
+                   if k != "grid_fused_seconds"}
+        verdict = perf_guard.compare(
+            current, base, 2.0,
+            keys=("event_seconds", "grid_fused_seconds"))
+        assert verdict.startswith("ok")
+        assert "current run lacks grid_fused_seconds" in verdict

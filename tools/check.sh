@@ -9,8 +9,9 @@
 # pytest suite, the examples smoke run (every examples/*.py must
 # execute cleanly), then the opt-in perf-regression gate (which
 # compares the telemetry-off bench JSONs for the cycle engines, the
-# bank kernel and the serving hot path against their committed
-# baselines, when present).  Exits nonzero on the first failure.
+# fused whole-grid pass, the bank kernel and the serving hot path
+# against their committed baselines, when present).  Exits nonzero on
+# the first failure.
 
 set -e
 cd "$(dirname "$0")/.."

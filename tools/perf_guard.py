@@ -6,7 +6,8 @@ previous accepted runs stored next to them as ``*.prev.json``:
 
 * ``BENCH_cycle_engine.json`` (written by
   ``pytest benchmarks/test_perf_cycle_engine.py``) — gates the event
-  and batch cycle engines;
+  and batch cycle engines plus the fused whole-grid pass
+  (``grid_fused_seconds``);
 * ``BENCH_banksim.json`` (written by
   ``pytest benchmarks/test_perf_banksim.py``) — gates the segmented
   FIFO kernel and the closed-form scatter path;
@@ -45,7 +46,8 @@ BASELINE = ROOT / "BENCH_cycle_engine.prev.json"
 
 #: Every gated benchmark: (current file, baseline file, timing keys).
 BENCHES: Tuple[Tuple[pathlib.Path, pathlib.Path, Tuple[str, ...]], ...] = (
-    (CURRENT, BASELINE, ("event_seconds", "batch_seconds")),
+    (CURRENT, BASELINE,
+     ("event_seconds", "batch_seconds", "grid_fused_seconds")),
     (ROOT / "BENCH_banksim.json", ROOT / "BENCH_banksim.prev.json",
      ("kernel_seconds", "banksim_seconds")),
     (ROOT / "BENCH_serving.json", ROOT / "BENCH_serving.prev.json",
@@ -78,6 +80,12 @@ def compare(
                     f"{current.get(key)!r}); skipping comparison")
     verdicts = []
     for key in keys:
+        if key not in current:
+            # A partial re-run (e.g. only the engine benchmark, not the
+            # grid-fusion case) rewrites the file without every gated
+            # key; gate what is present instead of crashing.
+            verdicts.append(f"current run lacks {key}; skipped")
+            continue
         if key not in baseline:
             # A baseline predating this timing (e.g. seeded before the
             # batch engine existed) gates the keys it has; --update
