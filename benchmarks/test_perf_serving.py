@@ -1,12 +1,19 @@
 """Perf — the serving layer on a hot-spot dashboard workload (S1).
 
-Two measurements of :class:`repro.serving.PredictionService`:
+Three measurements of the serving tier:
 
 * **Hot-path throughput** — a small set of "dashboard" questions
   (hot-spot predict/compare queries on the J90) asked over and over,
   the workload the two-level cache exists for.  After one warm-up pass
   every answer comes from the in-memory LRU; the service must sustain
   >= 1k requests/second, with p50/p95 latency recorded.
+* **Sharded hot path** — the same dashboard workload through a
+  :class:`repro.serving.ShardRouter` with a warmed shared hot tier.
+  The router answers hot questions from one shared-memory slot lookup
+  on the request *digest* — no pattern materialisation, no 8 KB array
+  hash per request — and must beat the single-process hot path by
+  >= 5x even on a single-core host (the win is per-request work, not
+  parallelism).
 * **Occupancy vs latency knee** — distinct (uncacheable) requests
   offered at full speed while the latency watermark sweeps from
   sub-millisecond to tens of milliseconds.  Batch occupancy climbs
@@ -17,7 +24,8 @@ Two measurements of :class:`repro.serving.PredictionService`:
 Saves the paper-style table to ``benchmarks/results/perf_serving.txt``
 (referenced by the S1 section of EXPERIMENTS.md) and writes
 machine-readable numbers to ``BENCH_serving.json`` at the repo root for
-``tools/perf_guard.py``.
+``tools/perf_guard.py`` (both ``serving_seconds`` and
+``multi_serving_seconds`` are gated).
 """
 
 import json
@@ -26,13 +34,15 @@ import time
 
 from conftest import run_once
 
-from repro.serving import PredictionService, percentile
+from repro.serving import PredictionService, ShardRouter, percentile
 
 BENCH_JSON = pathlib.Path(__file__).parents[1] / "BENCH_serving.json"
 
 N = 1024
 HOT_QUERIES = 8
 HOT_REQUESTS = 4000
+WORKERS = 4
+MULTI_SPEEDUP_FLOOR = 5.0
 KNEE_REQUESTS = 256
 KNEE_FLUSH_MS = (0.25, 1.0, 4.0, 16.0)
 
@@ -81,6 +91,29 @@ def test_perf_serving(benchmark, save_result):
     )
     assert hot_stats.evaluations == HOT_QUERIES    # warm-up only
 
+    # --- sharded hot path --------------------------------------------
+    with ShardRouter(WORKERS, batch_size=32, flush_ms=1.0,
+                     deadline_ms=None, disk_cache=False) as router:
+        _serve_hot(router, HOT_QUERIES)            # warm the shared tier
+        t0 = time.perf_counter()
+        multi_responses = _serve_hot(router, HOT_REQUESTS)
+        multi_seconds = time.perf_counter() - t0
+        router_stats = router.stats()
+
+    assert all(r.cached for r in multi_responses), \
+        "sharded hot path missed the shared tier"
+    assert router_stats.hot_hits >= HOT_REQUESTS
+    multi_rps = HOT_REQUESTS / multi_seconds
+    speedup = multi_rps / rps
+    multi_latencies = [r.latency_ms for r in multi_responses]
+    multi_p50 = percentile(multi_latencies, 50.0)
+    multi_p95 = percentile(multi_latencies, 95.0)
+    assert multi_rps >= MULTI_SPEEDUP_FLOOR * rps, (
+        f"sharded hot path {multi_rps:.0f} req/s is under "
+        f"{MULTI_SPEEDUP_FLOOR}x the single-process {rps:.0f} req/s "
+        f"({multi_seconds:.3f}s for {HOT_REQUESTS} requests)"
+    )
+
     # --- occupancy vs latency knee -----------------------------------
     knee_rows = []
     for flush_ms in KNEE_FLUSH_MS:
@@ -108,6 +141,12 @@ def test_perf_serving(benchmark, save_result):
         f"  throughput {rps:>8.0f} req/s   "
         f"p50 {p50:.3f} ms   p95 {p95:.3f} ms",
         "",
+        f"sharded hot path: same workload, ShardRouter x{WORKERS}, "
+        f"shared tier warm",
+        f"  throughput {multi_rps:>8.0f} req/s   "
+        f"p50 {multi_p50:.3f} ms   p95 {multi_p95:.3f} ms   "
+        f"({speedup:.1f}x single-process)",
+        "",
         "occupancy vs latency knee "
         f"({KNEE_REQUESTS} distinct requests, batch_size=64, LRU off)",
         f"{'flush_ms':>9} {'occupancy':>10} {'p95_ms':>9}",
@@ -132,5 +171,10 @@ def test_perf_serving(benchmark, save_result):
         "rps": round(rps, 1),
         "p50_ms": round(p50, 4),
         "p95_ms": round(p95, 4),
+        "workers": WORKERS,
+        "multi_requests": HOT_REQUESTS,
+        "multi_serving_seconds": round(multi_seconds, 6),
+        "multi_rps": round(multi_rps, 1),
+        "speedup": round(speedup, 2),
         "batch_occupancy": round(occupancy, 2),
     }, indent=2) + "\n")

@@ -205,10 +205,13 @@ def validate_manifest(
                     "shm_hits", "dedup_collapsed", "fused_points",
                     "experiment_retries",
                     # serving-manifest counters share the nonneg check
-                    "received", "served", "shed", "expired", "failed",
-                    "invalid", "lru_hits", "disk_hits", "evaluations",
-                    "batches", "batched_requests", "max_batch",
-                    "queue_high_water"):
+                    "received", "served", "shed", "closed", "expired",
+                    "failed", "invalid", "lru_hits", "disk_hits",
+                    "evaluations", "batches", "batched_requests",
+                    "max_batch", "queue_high_water",
+                    # router-manifest counters (repro.serving.shard)
+                    "routed", "forwarded", "rebalanced", "hot_hits",
+                    "hot_puts", "workers"):
         if counter not in schema:
             continue
         if isinstance(data.get(counter), int) and data[counter] < 0:

@@ -82,6 +82,7 @@ __all__ = [
     "cache_fetch",
     "code_version",
     "clear_cache",
+    "shm_segment_name",
 ]
 
 #: Process-wide overrides set by :func:`configure` (e.g. from CLI flags).
@@ -399,6 +400,19 @@ _SHM_DIR = Path("/dev/shm")
 _shm_counter = itertools.count()
 
 
+def shm_segment_name(tag: str = "seg") -> str:
+    """Fresh shared-memory segment name under this package's prefix.
+
+    Every segment this repo creates — the runner's zero-copy array
+    shipping and the serving tier's shared hot cache — is named through
+    here, so :func:`clear_cache`'s orphan sweep (and a human looking at
+    ``/dev/shm``) covers all of them uniformly.  The name embeds the
+    creating pid and a process-wide counter, so it never collides within
+    a process tree.
+    """
+    return f"{_SHM_PREFIX}{tag}_{os.getpid()}_{next(_shm_counter)}"
+
+
 def _sweep_shm() -> int:
     """Remove orphaned shared-memory scratch segments; returns the count.
 
@@ -466,7 +480,7 @@ class _ShmSession:
             return handle
         contig = np.ascontiguousarray(arr)
         seg = shared_memory.SharedMemory(
-            name=f"{_SHM_PREFIX}{os.getpid()}_{next(_shm_counter)}",
+            name=shm_segment_name(),
             create=True,
             size=contig.nbytes,
         )
@@ -490,13 +504,52 @@ class _ShmSession:
 
 
 #: Worker-side attachment cache: one mapping per segment per worker
-#: process, kept alive for the pool's lifetime.
+#: process.  Entries whose segment the parent has since unlinked are
+#: evicted lazily by :func:`_evict_stale_attachments` — a long-lived
+#: worker (a serving shard, a reused pool process) must not pin every
+#: segment it ever mapped, because an mmap keeps the memory alive even
+#: after the unlink.
 _attached: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _evict_stale_attachments() -> int:
+    """Drop cached attachments whose segment the parent has unlinked.
+
+    Called on every attachment-cache miss (i.e. when a *new* pool's
+    segments start arriving — exactly the moment the previous pool's
+    segments have been unlinked).  A mapping still exported to a live
+    numpy view raises ``BufferError`` on close and is kept for the next
+    sweep; everything else is closed so the kernel can finally free the
+    unlinked pages.  Returns the number of entries evicted.  No-op on
+    platforms without a visible shm directory — there the liveness
+    probe (does the backing file still exist?) is unavailable, and the
+    pre-fix behaviour (cache for the process lifetime) is kept.
+    """
+    if not _SHM_DIR.is_dir():
+        return 0
+    evicted = 0
+    for name in list(_attached):
+        if (_SHM_DIR / name).exists():
+            continue  # parent still owns it; mapping stays hot
+        seg = _attached[name]
+        try:
+            seg.close()
+        except BufferError:  # reprolint: disable=REPRO112 -- a live view pins the mapping; entry stays for the next sweep
+            # A numpy view from an in-flight (or leaked) resolve still
+            # exports the buffer; closing now would invalidate it.
+            continue
+        del _attached[name]
+        evicted += 1
+    return evicted
 
 
 def _attach(handle: _ShmHandle) -> np.ndarray:
     seg = _attached.get(handle.name)
     if seg is None:
+        # A miss means a new publication round (new pool / new grid) is
+        # reaching this worker — sweep the previous rounds' unlinked
+        # segments before mapping more memory.
+        _evict_stale_attachments()
         # Attaching re-registers the name with the resource tracker.
         # Pool workers (fork and spawn both) inherit the parent's
         # tracker, whose registry is a set, so the re-registration is
@@ -504,9 +557,16 @@ def _attach(handle: _ShmHandle) -> np.ndarray:
         # no unregister dance needed worker-side.
         seg = shared_memory.SharedMemory(name=handle.name)
         _attached[handle.name] = seg
-    arr = np.ndarray(
-        handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf
-    )
+    # np.frombuffer keeps the memoryview as the view's base and holds
+    # its buffer export for the array's lifetime (np.ndarray(buffer=)
+    # would unwrap to the mmap and drop the export): an eviction sweep
+    # racing a live view gets a BufferError instead of unmapping the
+    # pages out from under it.
+    dtype = np.dtype(handle.dtype)
+    count = int(np.prod(handle.shape, dtype=np.int64)) \
+        if handle.shape else 1
+    arr = np.frombuffer(seg.buf, dtype=dtype, count=count) \
+        .reshape(handle.shape)
     # Read-only: grid points share these pages across workers, so a
     # mutating point function must fail loudly, not corrupt its peers.
     arr.setflags(write=False)

@@ -12,18 +12,33 @@ flushed on size/latency watermarks, duplicates collapsed onto single
 engine evaluations), an in-memory LRU in front of the experiment
 runner's on-disk memo, and a schema-checked metrics manifest.
 
-``python -m repro.serving`` exposes the same service as a
-line-delimited-JSON filter and an optional ``http.server`` endpoint;
-see docs/serving.md for the architecture and the capacity math.
+Scaling out, :class:`ShardRouter` shards the same service across N
+worker processes by canonical request key — shard-local LRU affinity,
+duplicate collapse, and a :class:`SharedHotTier` result cache in shared
+memory probed by every process — with responses bit-identical to one
+in-process service.  :class:`ServingFrontend` is the network front end
+for either backend: one ``selectors`` loop speaking HTTP and NDJSON on
+the same port.
+
+``python -m repro.serving`` exposes all of it: a line-delimited-JSON
+stdio filter by default, ``--http PORT --host ADDR`` for the socket
+endpoint, ``--workers N`` for the sharded tier; see docs/serving.md
+for the architecture and the capacity math.
 """
 
 from .batcher import MicroBatcher
+from .frontend import ServingFrontend
 from .metrics import (
+    ROUTER_MANIFEST_SCHEMA,
+    ROUTER_SCHEMA_VERSION,
     SERVING_MANIFEST_SCHEMA,
     SERVING_SCHEMA_VERSION,
+    RouterStats,
     ServingStats,
     metrics_table,
     percentile,
+    router_manifest,
+    router_metrics_table,
     serving_manifest,
     write_serving_manifest,
 )
@@ -41,11 +56,17 @@ from .request import (
     resolve_pattern,
 )
 from .service import PredictionService, Ticket, evaluate_point
+from .shard import RouterTicket, ShardRouter, SharedHotTier, route_digest
 
 __all__ = [
     "PredictionService",
     "Ticket",
     "evaluate_point",
+    "ShardRouter",
+    "RouterTicket",
+    "SharedHotTier",
+    "route_digest",
+    "ServingFrontend",
     "ServeRequest",
     "ServeResponse",
     "request_from_dict",
@@ -59,10 +80,15 @@ __all__ = [
     "STATUS_CODES",
     "MicroBatcher",
     "ServingStats",
+    "RouterStats",
     "SERVING_MANIFEST_SCHEMA",
     "SERVING_SCHEMA_VERSION",
+    "ROUTER_MANIFEST_SCHEMA",
+    "ROUTER_SCHEMA_VERSION",
     "percentile",
     "serving_manifest",
     "write_serving_manifest",
     "metrics_table",
+    "router_manifest",
+    "router_metrics_table",
 ]

@@ -1,4 +1,4 @@
-"""Command-line front end for the prediction service.
+"""Command-line front end for the prediction serving tier.
 
 Line-delimited JSON (the default): one request object per stdin line,
 one response object per stdout line, in submit order::
@@ -7,19 +7,25 @@ one response object per stdout line, in submit order::
            "pattern": {"kind": "hotspot", "n": 65536, "k": 4096}}' \
         | python -m repro.serving
 
-HTTP mode (stdlib ``http.server``; one-shot what-ifs, not a hardened
-frontend)::
+Network mode (a single-threaded ``selectors`` loop speaking HTTP *and*
+NDJSON on the same port, per connection)::
 
-    python -m repro.serving --http 8123
+    python -m repro.serving --http 8123 --host 0.0.0.0
     # POST /            a request object (or a list of them) as JSON
-    # GET  /metrics     the schema-checked serving metrics manifest
+    # GET  /metrics     the schema-checked metrics manifest
     # GET  /healthz     liveness probe
+    # ...or just pipe NDJSON lines over the socket.
 
-Service knobs (``--batch-size``, ``--flush-ms``, ``--max-queue``,
-``--deadline-ms``, ``--lru``, ``--parallel``, ``--no-disk-cache``)
-map one-to-one onto :class:`repro.serving.PredictionService`;
+``--workers N`` (N > 1) puts a :class:`repro.serving.ShardRouter` in
+front: N worker processes each hosting a
+:class:`~repro.serving.PredictionService`, sharded by request key over
+a shared-memory hot tier — same responses, multiplied hot-path
+throughput.  Service knobs (``--batch-size``, ``--flush-ms``,
+``--max-queue``, ``--deadline-ms``, ``--lru``, ``--parallel``,
+``--no-disk-cache``) map one-to-one onto the per-worker services;
 ``--metrics`` prints the metrics table to stderr on exit and
-``--manifest PATH`` writes the JSON manifest.
+``--manifest PATH`` writes the JSON manifest (the router variant when
+``--workers`` > 1).
 """
 
 from __future__ import annotations
@@ -27,15 +33,24 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
-from .metrics import metrics_table, serving_manifest, write_serving_manifest
+from .frontend import ServingFrontend
+from .metrics import (
+    metrics_table,
+    router_manifest,
+    router_metrics_table,
+    write_serving_manifest,
+)
 from .service import PredictionService
+from .shard import ShardRouter
+
+#: Either backend drives the CLI identically (same submit/serve/close).
+Backend = Union[PredictionService, ShardRouter]
 
 
-def _build_service(args: argparse.Namespace) -> PredictionService:
-    return PredictionService(
+def _build_backend(args: argparse.Namespace) -> Backend:
+    service_kwargs = dict(
         max_queue=args.max_queue,
         batch_size=args.batch_size,
         flush_ms=args.flush_ms,
@@ -44,9 +59,12 @@ def _build_service(args: argparse.Namespace) -> PredictionService:
         disk_cache=False if args.no_disk_cache else None,
         parallel=args.parallel,
     )
+    if args.workers > 1:
+        return ShardRouter(args.workers, **service_kwargs)
+    return PredictionService(**service_kwargs)
 
 
-def _run_ndjson(service: PredictionService, stream_in: Any,
+def _run_ndjson(service: Backend, stream_in: Any,
                 stream_out: Any) -> int:
     """Serve line-delimited JSON: responses stream out in submit order."""
     tickets = []
@@ -64,63 +82,16 @@ def _run_ndjson(service: PredictionService, stream_in: Any,
     return 0
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Request handler bridging HTTP to the in-process service."""
-
-    service: PredictionService  # set by _run_http
-
-    def log_message(self, fmt: str, *args: Any) -> None:
-        """Silence the default per-request stderr chatter."""
-
-    def _send(self, code: int, payload: Any) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Answer the metrics and liveness endpoints."""
-        if self.path == "/healthz":
-            self._send(200, {"status": "ok"})
-        elif self.path == "/metrics":
-            self._send(200, serving_manifest(self.service))
-        else:
-            self._send(404, {"error": f"unknown path {self.path!r}"})
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Answer one request object, or a list of them, posted as JSON."""
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            data = json.loads(self.rfile.read(length) or b"null")
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._send(400, {"error": f"bad JSON body: {exc}"})
-            return
-        if isinstance(data, list):
-            responses = self.service.serve(data)
-            worst = max((r.code for r in responses), default=200)
-            self._send(worst, [r.to_dict() for r in responses])
-        else:
-            response = self.service.call(data if isinstance(data, dict)
-                                         else {"op": str(data)})
-            self._send(response.code, response.to_dict())
-
-
-def _run_http(service: PredictionService, port: int) -> int:
-    """Serve HTTP until interrupted."""
-    handler = type("_BoundHandler", (_Handler,), {"service": service})
-    server = ThreadingHTTPServer(("127.0.0.1", port), handler)
-    host, bound_port = server.server_address[:2]
-    print(f"serving on http://{host}:{bound_port} "
-          "(POST / | GET /metrics | GET /healthz; Ctrl-C stops)",
+def _run_frontend(backend: Backend, host: str, port: int) -> int:
+    """Serve HTTP+NDJSON on a socket until interrupted; the frontend's
+    shutdown drains the backend before the last byte is written."""
+    frontend = ServingFrontend(backend, host=host, port=port)
+    bound_host, bound_port = frontend.address
+    print(f"serving on http://{bound_host}:{bound_port} "
+          "(POST / | GET /metrics | GET /healthz | raw NDJSON lines; "
+          "Ctrl-C stops)",
           file=sys.stderr)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # reprolint: disable=REPRO112 -- Ctrl-C is the documented stop; there is nothing to record
-        pass
-    finally:
-        server.server_close()
+    frontend.serve_forever()
     return 0
 
 
@@ -129,11 +100,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving",
         description="Micro-batching prediction/simulation service: "
-        "line-delimited JSON on stdin/stdout, or an HTTP endpoint.",
+        "line-delimited JSON on stdin/stdout, or an HTTP+NDJSON "
+        "socket endpoint, optionally sharded across worker processes.",
     )
     parser.add_argument("--http", type=int, default=None, metavar="PORT",
-                        help="serve HTTP on 127.0.0.1:PORT instead of "
+                        help="serve HTTP+NDJSON on HOST:PORT instead of "
                         "NDJSON on stdio (0 picks a free port)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --http "
+                        "(default 127.0.0.1; 0.0.0.0 for all interfaces)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the service across N worker "
+                        "processes (1 = in-process service)")
     parser.add_argument("--max-queue", type=int, default=1024,
                         help="admission queue capacity (work items)")
     parser.add_argument("--batch-size", type=int, default=32,
@@ -151,21 +129,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics table to stderr on exit")
     parser.add_argument("--manifest", default=None, metavar="PATH",
-                        help="write the serving metrics manifest JSON")
+                        help="write the metrics manifest JSON")
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
-    service = _build_service(args)
+    backend = _build_backend(args)
+    sharded = isinstance(backend, ShardRouter)
     try:
         if args.http is not None:
-            status = _run_http(service, args.http)
+            status = _run_frontend(backend, args.host, args.http)
         else:
-            status = _run_ndjson(service, sys.stdin, sys.stdout)
+            status = _run_ndjson(backend, sys.stdin, sys.stdout)
     finally:
-        service.close()
+        backend.close()
         if args.metrics:
-            print(metrics_table(service), file=sys.stderr)
+            table = router_metrics_table(backend) if sharded \
+                else metrics_table(backend)
+            print(table, file=sys.stderr)
         if args.manifest:
-            write_serving_manifest(service, args.manifest)
+            if sharded:
+                from pathlib import Path
+
+                data = router_manifest(backend)
+                path = Path(args.manifest)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(
+                    json.dumps(data, indent=2, sort_keys=True) + "\n"
+                )
+            else:
+                write_serving_manifest(backend, args.manifest)
     return status
 
 

@@ -26,16 +26,23 @@ from ..experiments.runner import code_version
 
 __all__ = [
     "ServingStats",
+    "RouterStats",
     "SERVING_MANIFEST_SCHEMA",
     "SERVING_SCHEMA_VERSION",
+    "ROUTER_MANIFEST_SCHEMA",
+    "ROUTER_SCHEMA_VERSION",
     "percentile",
     "serving_manifest",
     "write_serving_manifest",
     "metrics_table",
+    "router_manifest",
+    "router_metrics_table",
 ]
 
 #: Serving manifest format version; bump on incompatible field changes.
-SERVING_SCHEMA_VERSION = 1
+#: v2: ``closed`` (shutdown-time 503s) counted separately from ``shed``
+#: (load-shedding 429s).
+SERVING_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass
@@ -50,7 +57,13 @@ class ServingStats:
         Requests answered ``ok``.
     shed:
         Requests rejected by admission control (bounded queue full —
-        the 429 path).
+        the 429 path).  Shutdown rejections are *not* counted here;
+        they are ``closed``.
+    closed:
+        Requests caught by service shutdown (the 503 path) — submitted
+        while or after :meth:`~repro.serving.PredictionService.close`
+        drained the queue.  Separate from ``shed`` so a drain never
+        reads as load shedding.
     expired:
         Requests whose deadline lapsed while queued (the 504 path).
     failed:
@@ -78,6 +91,7 @@ class ServingStats:
     received: int = 0
     served: int = 0
     shed: int = 0
+    closed: int = 0
     expired: int = 0
     failed: int = 0
     invalid: int = 0
@@ -139,6 +153,7 @@ SERVING_MANIFEST_SCHEMA: Dict[str, type] = {
     "received": int,
     "served": int,
     "shed": int,
+    "closed": int,
     "expired": int,
     "failed": int,
     "invalid": int,
@@ -219,4 +234,135 @@ def metrics_table(service: Any, title: str = "serving metrics") -> str:
         if key not in ("schema_version", "service", "code_version",
                        "created_unix")
     ]
+    return format_table(("metric", "value"), rows, title=title)
+
+
+# ----------------------------------------------------------------------
+# router (sharded multi-worker tier)
+# ----------------------------------------------------------------------
+
+#: Router manifest format version; bump on incompatible field changes.
+ROUTER_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class RouterStats:
+    """Counters accumulated by one :class:`~repro.serving.ShardRouter`.
+
+    Attributes
+    ----------
+    received:
+        Requests submitted to the router (every outcome counts here).
+    hot_hits:
+        Requests the router answered straight from the shared hot tier
+        without forwarding to any shard.
+    routed:
+        Requests forwarded to a shard worker (``shard_routed`` in the
+        manifest breaks this down per shard).
+    forwarded:
+        Pipe messages sent to workers — ``routed / forwarded`` is the
+        mean requests-per-message batching the router achieved.
+    rebalanced:
+        Requests re-routed to a surviving shard after their home
+        shard's worker died (in-flight requests are resubmitted, later
+        requests remapped).
+    closed:
+        Requests answered ``closed`` (503) because they arrived during
+        or after :meth:`~repro.serving.ShardRouter.close`.
+    failed:
+        Requests the router itself had to fail (every live shard gone).
+    """
+
+    received: int = 0
+    hot_hits: int = 0
+    routed: int = 0
+    forwarded: int = 0
+    rebalanced: int = 0
+    closed: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (manifest/JSON export)."""
+        return dataclasses.asdict(self)
+
+
+#: Required fields and types of a router manifest.  Flat router-level
+#: counters plus two structured fields: ``shard_routed`` (requests per
+#: shard, index-aligned with the workers) and ``shards`` (each worker's
+#: own schema-checked serving manifest, collected at drain).
+ROUTER_MANIFEST_SCHEMA: Dict[str, type] = {
+    "schema_version": int,
+    "service": str,
+    "code_version": str,
+    "workers": int,
+    "received": int,
+    "hot_hits": int,
+    "routed": int,
+    "forwarded": int,
+    "rebalanced": int,
+    "closed": int,
+    "failed": int,
+    "hot_puts": int,
+    "shard_routed": list,
+    "shards": list,
+    "p50_ms": float,
+    "p95_ms": float,
+    "uptime_seconds": float,
+    "created_unix": float,
+}
+
+
+def router_manifest(router: Any) -> Dict[str, Any]:
+    """Flat, schema-checked metrics manifest for one router run.
+
+    ``router`` is a :class:`~repro.serving.ShardRouter`.  Worker-side
+    serving manifests appear under ``"shards"`` only once the router
+    has drained (workers report them as they exit); a live router
+    exports its own counters with an empty ``shards`` list.
+    """
+    stats = router.stats()
+    latencies = router.latencies_ms()
+    data: Dict[str, Any] = {
+        "schema_version": ROUTER_SCHEMA_VERSION,
+        "service": "repro.serving.ShardRouter",
+        "code_version": code_version(),
+        "workers": int(router.workers),
+        "hot_puts": int(router.hot_puts()),
+        "shard_routed": list(router.shard_routed()),
+        "shards": list(router.shard_manifests()),
+        "p50_ms": percentile(latencies, 50.0),
+        "p95_ms": percentile(latencies, 95.0),
+        "uptime_seconds": float(router.uptime_seconds()),
+        # Provenance timestamp of the manifest itself — never part of a
+        # result or a cache key.
+        "created_unix": time.time(),
+    }
+    data.update(stats.as_dict())
+    validate_manifest(
+        data,
+        schema=ROUTER_MANIFEST_SCHEMA,
+        expected_version=ROUTER_SCHEMA_VERSION,
+    )
+    return data
+
+
+def router_metrics_table(router: Any, title: str = "router metrics") -> str:
+    """Aligned plain-text router report: router counters first, then one
+    ``shard[i].metric`` row per collected worker counter."""
+    data = router_manifest(router)
+    rows: List[Any] = [
+        (key, data[key]) for key in sorted(data)
+        if key not in ("schema_version", "service", "code_version",
+                       "created_unix", "shards", "shard_routed")
+    ]
+    rows.extend(
+        (f"routed[{i}]", n) for i, n in enumerate(data["shard_routed"])
+    )
+    for i, shard in enumerate(data["shards"]):
+        rows.extend(
+            (f"shard[{i}].{key}", shard[key])
+            for key in ("received", "served", "lru_hits", "evaluations",
+                        "batches")
+            if key in shard
+        )
     return format_table(("metric", "value"), rows, title=title)

@@ -15,8 +15,8 @@ bit-identical to direct calls.
 A :class:`ServeResponse` carries the answer plus the serving metadata
 (status, cache provenance, the flush size the request rode in, queueing
 latency).  Statuses follow the HTTP idiom: 200 ok, 400 bad request,
-429 shed by admission control, 504 deadline exceeded, 500 evaluation
-failure.
+429 shed by admission control, 503 shut down mid-request, 504 deadline
+exceeded, 500 evaluation failure.
 """
 
 from __future__ import annotations
@@ -93,12 +93,17 @@ PATTERN_KINDS: Dict[str, Tuple[str, ...]] = {
     "zipf": ("n", "space", "alpha", "seed"),
 }
 
-#: status name -> HTTP-style numeric code.
+#: status name -> HTTP-style numeric code.  ``overloaded`` (429) is
+#: load shedding — retry later and the service will answer; ``closed``
+#: (503) is shutdown — the service is going away and a retry must go to
+#: another instance.  Conflating them (the pre-fix behaviour) made
+#: drain look like overload in every dashboard built on these codes.
 STATUS_CODES: Dict[str, int] = {
     "ok": 200,
     "bad-request": 400,
     "overloaded": 429,
     "error": 500,
+    "closed": 503,
     "deadline-exceeded": 504,
 }
 

@@ -229,6 +229,7 @@ class Ticket:
         self._batch = 0
         self._sweep_param = sweep_param
         self._sweep_values = list(sweep_values)
+        self._callbacks: List[Any] = []
         self.response: Optional[ServeResponse] = None
 
     @property
@@ -299,6 +300,22 @@ class Ticket:
             raise TimeoutError("request still pending")
         assert self.response is not None
         return self.response
+
+    def add_done_callback(self, fn: Any) -> None:
+        """Run ``fn(ticket)`` once the response is ready.
+
+        Fires immediately when the ticket already resolved; otherwise
+        from whichever thread finalizes it (the dispatcher, or a
+        submitter on the cache-hit path) — callbacks must be cheap and
+        must not block.  The non-blocking front end
+        (:mod:`repro.serving.frontend`) uses this to pump responses
+        back into its event loop without parking a thread per request.
+        """
+        with self._lock:
+            if self.response is None:
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
 
 class _LRU:
@@ -426,16 +443,19 @@ class PredictionService:
         self._closing.set()
         self._thread.join()
         # A submit racing the shutdown check may have queued after the
-        # dispatcher's final drain; resolve those as shed, never hang.
+        # dispatcher's final drain; resolve those as closed (503), never
+        # hang — and never as "overloaded": shutdown is not load
+        # shedding, and a client seeing 429 would retry against a
+        # service that is going away.
         while True:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
             with self._lock:
-                self._stats.shed += 1
+                self._stats.closed += 1
                 self._in_flight -= 1
-            item.ticket._fail("overloaded", "service closed")
+            item.ticket._fail("closed", "service closed")
 
     def submit(
         self, request: Union[ServeRequest, Dict[str, Any]]
@@ -562,8 +582,8 @@ class PredictionService:
                     continue
             if self._closing.is_set():
                 with self._lock:
-                    self._stats.shed += 1
-                ticket._fail("overloaded", "service is shutting down")
+                    self._stats.closed += 1
+                ticket._fail("closed", "service is shutting down")
                 break
             item = _WorkItem(ticket, slot, key, group, point, deadline)
             with self._lock:
@@ -677,9 +697,14 @@ class PredictionService:
 
     def _finalize(self, ticket: Ticket) -> None:
         latency_ms = (time.monotonic() - ticket.t_submit) * 1000.0
-        ticket.response = ticket._build_response(latency_ms)
+        response = ticket._build_response(latency_ms)
         with self._lock:
-            if ticket.response.ok:
+            if response.ok:
                 self._stats.served += 1
             self._latencies.append(latency_ms)
+        with ticket._lock:
+            ticket.response = response
+            callbacks, ticket._callbacks = ticket._callbacks, []
         ticket._event.set()
+        for fn in callbacks:
+            fn(ticket)

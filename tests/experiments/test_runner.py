@@ -243,6 +243,10 @@ class TestSharedMemoryShipping:
             assert not resolved["addresses"].flags.writeable
         finally:
             session.close()
+            # Drop the view before the cached attachment: a live
+            # frombuffer view holds the buffer export, so clearing the
+            # cache first would make the segment's close() raise.
+            resolved = None
             runner._attached.clear()
 
     def test_small_and_object_arrays_stay_inline(self):
@@ -284,6 +288,63 @@ class TestSharedMemoryShipping:
         # Normal exit unlinks every segment.
         if runner._SHM_DIR.is_dir():
             assert not list(runner._SHM_DIR.glob(runner._SHM_PREFIX + "*"))
+
+    def test_attach_cache_evicts_unlinked_segments(self):
+        """Regression: the worker-side attach cache must not grow one
+        entry per pool generation — entries whose parent segment was
+        unlinked are evicted on the next cache miss."""
+        import gc
+
+        arr = np.arange(self.BIG, dtype=np.int64)
+        session1 = runner._ShmSession()
+        adapted1 = session1.adapt({"addresses": arr})
+        stale_name = adapted1["addresses"].name
+        resolved1 = runner._resolve(adapted1)
+        assert stale_name in runner._attached
+        del resolved1
+        gc.collect()
+        session1.close()                      # parent unlinks generation 1
+        session2 = runner._ShmSession()
+        adapted2 = session2.adapt({"addresses": arr * 2})
+        try:
+            resolved2 = runner._resolve(adapted2)  # miss -> eviction sweep
+            assert stale_name not in runner._attached
+            assert adapted2["addresses"].name in runner._attached
+            np.testing.assert_array_equal(resolved2["addresses"], arr * 2)
+            del resolved2
+            gc.collect()
+        finally:
+            session2.close()
+            runner._evict_stale_attachments()
+            runner._attached.clear()
+
+    def test_attach_cache_keeps_entries_with_live_views(self):
+        """A stale entry whose buffer is still referenced (BufferError
+        on close) survives the sweep instead of crashing it."""
+        import gc
+
+        arr = np.arange(self.BIG, dtype=np.int64)
+        session1 = runner._ShmSession()
+        adapted1 = session1.adapt({"addresses": arr})
+        stale_name = adapted1["addresses"].name
+        resolved1 = runner._resolve(adapted1)   # view stays live
+        session1.close()                        # unlinked, but mapped
+        session2 = runner._ShmSession()
+        adapted2 = session2.adapt({"addresses": arr + 1})
+        try:
+            resolved2 = runner._resolve(adapted2)
+            assert stale_name in runner._attached   # pinned by the view
+            np.testing.assert_array_equal(resolved1["addresses"], arr)
+            np.testing.assert_array_equal(resolved2["addresses"], arr + 1)
+            del resolved1, resolved2
+            gc.collect()
+            # with the views gone the next sweep reclaims it
+            assert runner._evict_stale_attachments() >= 1
+            assert stale_name not in runner._attached
+        finally:
+            session2.close()
+            runner._evict_stale_attachments()
+            runner._attached.clear()
 
     def test_serial_grid_ships_nothing(self):
         runner.reset_grid_stats()

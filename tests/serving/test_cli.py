@@ -1,5 +1,6 @@
 """CLI front-end tests: the NDJSON filter (in-process and as a real
-subprocess) and the HTTP endpoint (in-process on an ephemeral port).
+subprocess) and the HTTP endpoint (the selector frontend, in-process
+on an ephemeral port).
 """
 
 import io
@@ -14,8 +15,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.serving import PredictionService
-from repro.serving.__main__ import _Handler, _run_ndjson, main
+from repro.serving import PredictionService, ServingFrontend
+from repro.serving.__main__ import _run_ndjson, main
 
 ROOT = Path(__file__).resolve().parents[2]
 
@@ -67,21 +68,46 @@ def test_ndjson_subprocess(tmp_path, isolated_cache):
     assert manifest["served"] == 2 and manifest["invalid"] == 1
 
 
+def test_ndjson_subprocess_sharded(tmp_path, isolated_cache):
+    """--workers 2 serves the same stdio contract through the router
+    and writes the router-variant manifest on exit."""
+    manifest_path = tmp_path / "router-manifest.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.serving", "--workers", "2",
+         "--no-disk-cache", "--flush-ms", "1",
+         "--manifest", str(manifest_path), "--metrics"],
+        input="\n".join(LINES) + "\n",
+        capture_output=True, text=True, timeout=240, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    responses = [json.loads(line) for line in proc.stdout.splitlines()]
+    assert [r["status"] for r in responses] == ["ok", "bad-request", "ok"]
+    assert "router metrics" in proc.stderr
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["service"] == "repro.serving.ShardRouter"
+    assert manifest["workers"] == 2
+    assert manifest["received"] == 3
+    assert len(manifest["shards"]) == 2
+    # every request was answered by exactly one shard
+    assert sum(s["received"] for s in manifest["shards"]) \
+        + manifest["hot_hits"] == 3
+
+
 @pytest.fixture()
 def http_server():
-    from http.server import ThreadingHTTPServer
-
-    with PredictionService(disk_cache=False, flush_ms=1.0) as svc:
-        handler = type("_BoundHandler", (_Handler,), {"service": svc})
-        server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
-            yield f"http://127.0.0.1:{server.server_address[1]}"
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join()
+    svc = PredictionService(disk_cache=False, flush_ms=1.0)
+    frontend = ServingFrontend(svc)
+    thread = threading.Thread(target=frontend.serve_forever, daemon=True)
+    thread.start()
+    host, port = frontend.address
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        frontend.shutdown()   # drains svc via backend.close()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
 
 
 def _post(url, payload):

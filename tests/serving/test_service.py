@@ -92,12 +92,16 @@ class TestAdmission:
         assert "engine exploded" in resp.error
         assert svc.stats().failed == 1
 
-    def test_submit_after_close_is_shed(self):
+    def test_submit_after_close_answers_closed_503(self):
         svc = PredictionService(disk_cache=False)
         svc.close()
         resp = svc.submit(_distinct(0)).result(timeout=5.0)
-        assert resp.status == "overloaded"
+        # Shutdown is its own status (503), not load shedding (429):
+        # a drained service was never "overloaded".
+        assert resp.status == "closed" and resp.code == 503
         svc.close()  # idempotent
+        stats = svc.stats()
+        assert stats.closed == 1 and stats.shed == 0
 
     def test_bad_max_queue_rejected(self):
         with pytest.raises(ParameterError):

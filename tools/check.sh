@@ -46,6 +46,13 @@ PYTHONPATH=src python -m pytest -x -q --ignore=tests/test_examples.py
 echo "== examples smoke =="
 PYTHONPATH=src python -m pytest -x -q tests/test_examples.py
 
+echo "== router smoke =="
+printf '%s\n' \
+    '{"op": "predict", "machine": "j90", "pattern": {"kind": "hotspot", "n": 1024, "k": 16}}' \
+    | PYTHONPATH=src python -m repro.serving --workers 2 --flush-ms 1 \
+    | grep -q '"status": "ok"'
+echo "router smoke: ok"
+
 echo "== perf guard =="
 if [ -f BENCH_cycle_engine.json ]; then
     PYTHONPATH=src python -m pytest -m perf_guard tests/test_perf_guard.py -q

@@ -51,7 +51,7 @@ BENCHES: Tuple[Tuple[pathlib.Path, pathlib.Path, Tuple[str, ...]], ...] = (
     (ROOT / "BENCH_banksim.json", ROOT / "BENCH_banksim.prev.json",
      ("kernel_seconds", "banksim_seconds")),
     (ROOT / "BENCH_serving.json", ROOT / "BENCH_serving.prev.json",
-     ("serving_seconds",)),
+     ("serving_seconds", "multi_serving_seconds")),
 )
 
 #: Keys that must match for two runs to be comparable.
