@@ -63,7 +63,9 @@ from concurrent.futures import (
 from contextlib import redirect_stdout
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 import numpy as np
 
@@ -307,12 +309,22 @@ def _feed(h: "hashlib._Hash", value: Any) -> None:
         h.update(repr(value).encode())
     elif isinstance(value, (int, float, np.integer, np.floating)):
         # One representation per numeric value regardless of numpy width.
-        h.update(repr(
-            # Exact integrality test on purpose: 3.0 and 3 must encode
-            # identically so numpy widths don't split memo entries.
-            int(value) if float(value) == int(value)  # reprolint: disable=REPRO103
-            else float(value)
-        ).encode())
+        try:
+            canon: Union[int, float] = (
+                # Exact integrality test on purpose: 3.0 and 3 must encode
+                # identically so numpy widths don't split memo entries.
+                int(value) if float(value) == int(value)  # reprolint: disable=REPRO103
+                else float(value)
+            )
+        except (OverflowError, ValueError):
+            # An int too large for float(), or a non-finite float for
+            # int(): only one of the two forms represents the value at
+            # all, so the cross-width collapse is moot — encode it
+            # directly instead of raising (request-derived values reach
+            # this hasher, and hashing must be total over them).
+            canon = int(value) if isinstance(value, (int, np.integer)) \
+                else float(value)
+        h.update(repr(canon).encode())
     else:
         h.update(b"pk:")
         h.update(pickle.dumps(value, protocol=4))

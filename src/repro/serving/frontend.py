@@ -42,7 +42,9 @@ import threading
 from collections import deque
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..errors import ParameterError
 from .metrics import router_manifest, serving_manifest
+from .request import STATUS_CODES, ServeResponse
 
 __all__ = ["ServingFrontend"]
 
@@ -79,6 +81,23 @@ class _Conn:
         #: Responses promised but not yet queued for writing — the
         #: connection may not close while this is non-zero.
         self.inflight = 0
+
+
+class _FailedTicket:
+    """Pre-resolved ticket for a submission the backend refused by
+    raising instead of answering.  Same surface as a real ticket
+    (``response`` plus ``add_done_callback``), so the response paths
+    need no special case."""
+
+    __slots__ = ("response",)
+
+    def __init__(self, response: ServeResponse) -> None:
+        self.response = response
+
+    def add_done_callback(
+        self, fn: Callable[["_FailedTicket"], None]
+    ) -> None:
+        fn(self)
 
 
 def _default_metrics(backend: Any) -> Callable[[], Dict[str, Any]]:
@@ -165,10 +184,13 @@ class ServingFrontend:
                         conn = self._conns.get(key.fileobj)  # type: ignore[call-overload]
                         if conn is None:
                             continue
-                        if events & selectors.EVENT_READ:
-                            self._on_readable(conn)
-                        if events & selectors.EVENT_WRITE:
-                            self._on_writable(conn)
+                        try:
+                            if events & selectors.EVENT_READ:
+                                self._on_readable(conn)
+                            if events & selectors.EVENT_WRITE:
+                                self._on_writable(conn)
+                        except Exception:  # reprolint: disable=REPRO111 -- a protocol bug on one connection must not take the shared loop (and every other connection) down
+                            self._close_conn(conn)
                 self._flush_completed()
         except KeyboardInterrupt:  # reprolint: disable=REPRO112 -- Ctrl-C is the documented stop; the drain below answers everything in flight
             pass
@@ -341,6 +363,29 @@ class ServingFrontend:
         elif conn.mode == "ndjson":
             self._parse_ndjson(conn)
 
+    # -- submission ----------------------------------------------------
+
+    def _safe_submit(self, data: Any) -> Any:
+        """``backend.submit`` that cannot raise.  The backend's contract
+        is to *answer* a bad request with a 400 ticket, but a request
+        engineered to blow up inside it (e.g. a numeric the key hasher
+        chokes on) must cost only that request a 400/500 — never unwind
+        the shared event loop and drop every connection, the containment
+        the old thread-per-connection server gave for free."""
+        try:
+            return self.backend.submit(data)
+        except ParameterError as exc:
+            status, error = "bad-request", str(exc)
+        except Exception as exc:  # reprolint: disable=REPRO111 -- any submit-time exception must be contained to this request
+            status, error = "error", f"{type(exc).__name__}: {exc}"
+        op = str(data.get("op", "")) if isinstance(data, dict) else ""
+        rid = data.get("request_id") if isinstance(data, dict) else None
+        return _FailedTicket(ServeResponse(
+            status=status, code=STATUS_CODES[status], op=op, engine="",
+            machine="", request_id=rid if isinstance(rid, str) else None,
+            error=error,
+        ))
+
     # -- NDJSON --------------------------------------------------------
 
     def _submit_ndjson(self, conn: _Conn, raw: bytes) -> None:
@@ -355,16 +400,19 @@ class ServingFrontend:
             data = {"op": f"<unparsable: {exc}>"}
         with self._lock:
             conn.inflight += 1
-        ticket = self.backend.submit(data)
+        ticket = self._safe_submit(data)
         conn.pending.append(ticket)
         ticket.add_done_callback(lambda _t, c=conn: self._ndjson_done(c))
 
     def _parse_ndjson(self, conn: _Conn) -> None:
-        while b"\n" in conn.inbuf:
-            line, _, rest = bytes(conn.inbuf).partition(b"\n")
-            conn.inbuf = bytearray(rest)
-            if line.strip():
-                self._submit_ndjson(conn, line.strip())
+        # One split per read pass: a burst of N buffered lines costs
+        # O(buffer), not the O(buffer * N) of re-copying per line.
+        if b"\n" in conn.inbuf:
+            *lines, tail = bytes(conn.inbuf).split(b"\n")
+            conn.inbuf = bytearray(tail)
+            for line in lines:
+                if line.strip():
+                    self._submit_ndjson(conn, line.strip())
         # EOF with a trailing unterminated line: treat it as a line.
         if conn.closing and conn.inbuf.strip():
             leftover = bytes(conn.inbuf).strip()
@@ -451,7 +499,7 @@ class ServingFrontend:
                 return
             with self._lock:
                 conn.inflight += 1
-            tickets = [self.backend.submit(
+            tickets = [self._safe_submit(
                 item if isinstance(item, dict) else {"op": str(item)}
             ) for item in data]
             state = {"left": len(tickets)}
@@ -474,7 +522,7 @@ class ServingFrontend:
                 else {"op": str(data)}
             with self._lock:
                 conn.inflight += 1
-            ticket = self.backend.submit(request)
+            ticket = self._safe_submit(request)
             ticket.add_done_callback(
                 lambda t, c=conn: self._http_complete(
                     c, t.response.code, t.response.to_dict()

@@ -751,19 +751,32 @@ class ShardRouter:
         """Forward entries to their shards in chunked pipe messages."""
         by_shard: Dict[int, List[Tuple[int, bytes, Any]]] = {}
         dead: List[Tuple[RouterTicket, Any]] = []
+        closed: List[Tuple[RouterTicket, Any]] = []
         with self._lock:
-            for ticket, digest, request in entries:
-                shard = self._shard_of(digest)
-                if shard is None:
-                    dead.append((ticket, request))
-                    continue
-                seq = next(self._seq)
-                self._pending[seq] = (ticket, digest, request, shard)
-                self._stats.routed += 1
-                self._shard_routed[shard] += 1
-                by_shard.setdefault(shard, []).append(
-                    (seq, digest, request)
-                )
+            # Re-check ``_closing`` under the lock: close() may have run
+            # to completion (readers joined, leftover sweep done) since
+            # the admission check, in which case an entry added to
+            # ``_pending`` now would never be resolved — there is no
+            # reader left to answer it or notice the dead pipe.  Entries
+            # that instead land in ``_pending`` *before* close() sets
+            # ``_closing`` are always covered by its leftover sweep.
+            if self._closing:
+                closed = [(t, req) for t, _digest, req in entries]
+            else:
+                for ticket, digest, request in entries:
+                    shard = self._shard_of(digest)
+                    if shard is None:
+                        dead.append((ticket, request))
+                        continue
+                    seq = next(self._seq)
+                    self._pending[seq] = (ticket, digest, request, shard)
+                    self._stats.routed += 1
+                    self._shard_routed[shard] += 1
+                    by_shard.setdefault(shard, []).append(
+                        (seq, digest, request)
+                    )
+        for ticket, request in closed:
+            self._fail(ticket, request, "closed", "router closed")
         for ticket, request in dead:
             self._fail(ticket, request, "error", "no live shard workers")
         for shard, items in by_shard.items():
@@ -828,8 +841,8 @@ class ShardRouter:
             for _seq, (ticket, _d, request, _s) in stranded:
                 self._fail(ticket, request, "closed", "router closed")
             return
-        with self._lock:
-            self._stats.rebalanced += len(stranded)
+        # ``rebalanced`` is counted once per request inside _shard_of
+        # (the home shard is dead now, so every resubmission remaps).
         self._dispatch(
             [(ticket, digest, request)
              for _seq, (ticket, digest, request, _s) in stranded]

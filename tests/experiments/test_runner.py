@@ -131,6 +131,18 @@ class TestCacheKey:
         assert cache_key(_square, {"x": np.int64(7)}) == \
             cache_key(_square, {"x": 7})
 
+    def test_extreme_numerics_hash_not_raise(self):
+        # Request-derived values reach this hasher: an int beyond float
+        # range (float() overflows) or a non-finite float (int() fails)
+        # must key, not raise — the serving tier hashes before it
+        # validates, and a hostile request must cost one 400, not a
+        # crashed server.
+        extremes = [10 ** 400, -(10 ** 400), float("inf"),
+                    float("-inf"), float("nan")]
+        keys = [cache_key(_square, {"x": v}) for v in extremes]
+        assert len(set(keys)) == len(extremes)
+        assert keys == [cache_key(_square, {"x": v}) for v in extremes]
+
     def test_code_version_in_key(self):
         key = cache_key(_square, {"x": 1})
         assert isinstance(code_version(), str) and len(code_version()) == 16

@@ -129,6 +129,61 @@ class TestProtocols:
         resp = _http_roundtrip(fe.address, raw)
         assert resp.startswith(b"HTTP/1.1 400")
 
+    def test_huge_numeric_request_cannot_kill_the_loop(self, frontend):
+        """Regression: ``map_seed=10**400`` used to raise OverflowError
+        inside the key hasher, unwind serve_forever, and drop every
+        connection.  It must cost exactly one response line, and the
+        server must keep answering afterwards."""
+        fe, _service, _thread = frontend
+        hostile = dict(_request(0), map_seed=10 ** 400)
+        with socket.create_connection(fe.address) as sock:
+            sock.settimeout(60)
+            with sock.makefile("rb") as reader:
+                sock.sendall(json.dumps(hostile).encode() + b"\n")
+                first = json.loads(reader.readline())
+                sock.sendall(json.dumps(_request(1)).encode() + b"\n")
+                second = json.loads(reader.readline())
+        # The hostile request gets *an* answer (any status) ...
+        assert "status" in first
+        # ... and the loop survived to serve the next request.
+        assert second["request_id"] == "r1"
+        assert second["status"] == "ok"
+
+    def test_submit_exception_contained_to_request(self):
+        """A backend that raises out of submit() (instead of answering,
+        its normal contract) yields a 500-status response for that
+        request; the loop and later connections keep working."""
+
+        class _BoobyTrap:
+            def submit(self, data):
+                raise RuntimeError("kaboom")
+
+            def close(self):
+                pass
+
+        fe = ServingFrontend(_BoobyTrap(), metrics=lambda: {})
+        thread = threading.Thread(target=fe.serve_forever, daemon=True)
+        thread.start()
+        try:
+            for i in range(2):  # second connection proves the loop lives
+                with socket.create_connection(fe.address) as sock:
+                    sock.sendall(json.dumps(_request(i)).encode() + b"\n")
+                    sock.shutdown(socket.SHUT_WR)
+                    lines = _recv_all(sock).splitlines()
+                resp = json.loads(lines[0])
+                assert resp["status"] == "error"
+                assert resp["code"] == 500
+                assert "kaboom" in resp["error"]
+                assert resp["request_id"] == f"r{i}"
+            raw = (b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+            assert _http_roundtrip(fe.address, raw).startswith(
+                b"HTTP/1.1 500"
+            )
+        finally:
+            fe.shutdown()
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+
     def test_router_backend_serves_router_metrics(self):
         router = ShardRouter(2, flush_ms=1.0, deadline_ms=None,
                              disk_cache=False)

@@ -17,6 +17,7 @@ import pytest
 from repro.errors import ParameterError
 from repro.serving import (
     PredictionService,
+    RouterTicket,
     ServeRequest,
     ShardRouter,
     SharedHotTier,
@@ -238,6 +239,56 @@ class TestRouterLifecycle:
             replay = router.serve(REQUESTS[:4], timeout=120)
             assert _canon(replay) == _canon(first)
             assert router.stats().rebalanced > 0
+        finally:
+            router.close()
+
+    def test_dispatch_racing_close_still_resolves(self):
+        """Regression: a submission that passed the admission check just
+        before close() ran to completion used to land in ``_pending``
+        with every reader already joined — nobody left to resolve it,
+        so ``result()`` hung forever.  ``_dispatch`` now re-checks
+        ``_closing`` under the lock and fails such tickets as closed."""
+        router = ShardRouter(2, **_service_kwargs())
+        router.close()
+        request = dict(REQUESTS[0])
+        ticket = RouterTicket(None)
+        router._dispatch([(ticket, route_digest(request), request)])
+        resp = ticket.result(timeout=30)
+        assert resp.status == "closed" and resp.code == 503
+        assert not router._pending
+
+    def test_stranded_requests_count_rebalanced_once(self):
+        """Regression: a stranded in-flight request used to bump
+        ``rebalanced`` twice — once in bulk at worker exit, then again
+        when its resubmission remapped past the dead home shard."""
+        router = ShardRouter(2, hot_tier_slots=0, **_service_kwargs())
+        try:
+            request = next(
+                req for req in (
+                    {"op": "predict", "machine": "toy",
+                     "pattern": {"kind": "hotspot", "n": N, "k": k}}
+                    for k in range(2, 130)
+                )
+                if int.from_bytes(route_digest(req)[:8], "big") % 2 == 0
+            )
+            victim = router._procs[0]
+            victim.terminate()
+            victim.join(timeout=30)
+            deadline = time.monotonic() + 30
+            while router.live_workers() > 1:
+                assert time.monotonic() < deadline, "EOF never noticed"
+                time.sleep(0.02)
+            # Plant one in-flight entry homed on the dead shard, then
+            # replay the reader's exit path deterministically.
+            ticket = RouterTicket(None)
+            with router._lock:
+                seq = next(router._seq)
+                router._pending[seq] = \
+                    (ticket, route_digest(request), request, 0)
+            before = router.stats().rebalanced
+            router._on_worker_exit(0)
+            assert ticket.result(timeout=60).ok
+            assert router.stats().rebalanced - before == 1
         finally:
             router.close()
 
