@@ -1,0 +1,106 @@
+"""Bench S2 figure — streamed-vs-one-shot parity on the 64K hot spot.
+
+The Experiment-1 trace (64K scatter, k = 4096 requests on one hot
+address, J90) replayed as a *stream*: 16 chunks of 4K addresses through
+a :class:`repro.simulator.stream.StreamSimulator`.  At every prefix the
+streamed result must equal a one-shot event-engine run of the same
+addresses **exactly** — that is the parity table — while the rolling
+(d,x)-BSP prediction for the prefix tracks the streamed simulation as
+the hot spot accumulates past the knee.
+
+A second pass streams the *concentrated* variant — the same 4096 hot
+requests packed into the middle of the trace instead of shuffled
+through it — where the per-chunk delta-time sparkline shows the
+contention wave arriving and passing, the view only a streaming
+consumer has.
+
+Writes ``benchmarks/results/fig_stream_parity.txt`` (the table plus a
+per-chunk delta-time sparkline), referenced by EXPERIMENTS.md §S2.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import Series, series_panel
+from repro.core import predict_scatter_dxbsp
+from repro.simulator import CRAY_J90, StreamSimulator, simulate_scatter_engine
+from repro.workloads import hotspot
+
+N = 64 * 1024
+K = 4096
+CHUNK = 4096
+SPACE = 1 << 20
+
+
+def _concentrated(trace):
+    """The same multiset of addresses with the hot burst mid-trace."""
+    hot = trace == np.bincount(trace).argmax()
+    background = trace[~hot]
+    half = background.size // 2
+    return np.concatenate(
+        [background[:half], trace[hot], background[half:]])
+
+
+def _stream(trace):
+    """Stream ``trace``; return per-prefix rolling numbers."""
+    sim = StreamSimulator(CRAY_J90, max_chunk=CHUNK)
+    rows = []
+    for lo in range(0, N, CHUNK):
+        up = sim.feed(trace[lo:lo + CHUNK])
+        rows.append((up.n, up.delta_time, up.result.time,
+                     predict_scatter_dxbsp(CRAY_J90.params(), trace[:up.n])))
+    return rows
+
+
+def _stream_prefixes():
+    trace = hotspot(N, K, SPACE, seed=1995)
+    return trace, _stream(trace)
+
+
+def test_fig_stream_parity(benchmark, save_result):
+    trace, rows = run_once(benchmark, _stream_prefixes)
+
+    # Parity: the streamed prefix equals the one-shot event engine
+    # bit for bit, at every one of the 16 prefixes.
+    one_shot = []
+    for n, _delta, streamed, _dx in rows:
+        res = simulate_scatter_engine(CRAY_J90, trace[:n], engine="event")
+        assert streamed == res.time, f"prefix n={n} diverged"
+        one_shot.append(res.time)
+
+    ns = np.array([r[0] for r in rows], dtype=float)
+    streamed = np.array([r[2] for r in rows])
+    dx = np.array([r[3] for r in rows])
+    # The rolling prediction tracks the streamed simulation through the
+    # knee (loose bound; E1 measures the tight one on full scatters).
+    assert np.allclose(dx, streamed, rtol=0.3)
+
+    s = Series(name=f"fig_stream_parity (Cray J90, n={N}, k={K}, "
+                    f"chunk={CHUNK})",
+               x_label="prefix n", x=ns)
+    s.add("dxbsp(prefix)", dx)
+    s.add("streamed", streamed)
+    s.add("one-shot", np.array(one_shot))
+
+    # Concentrated variant: same addresses, hot burst mid-trace.  The
+    # end-to-end totals agree with the shuffled run only approximately
+    # (arrival order matters inside a superstep), but each prefix is
+    # still exactly the one-shot result — spot-check the last one.
+    burst_rows = _stream(_concentrated(trace))
+    final = simulate_scatter_engine(
+        CRAY_J90, _concentrated(trace), engine="event")
+    assert burst_rows[-1][2] == final.time
+
+    deltas = Series(name="per-chunk delta_time, hot burst mid-trace "
+                         "(the rolling view a stream consumer gets)",
+                    x_label="chunk",
+                    x=np.arange(len(burst_rows), dtype=float))
+    deltas.add("delta", np.array([r[1] for r in burst_rows]))
+
+    save_result("fig_stream_parity",
+                s.format() + "\n\n" + series_panel(deltas) + "\n\n"
+                "reading: streamed == one-shot at every prefix (exact), "
+                "and the rolling (d,x)-BSP prediction rides the same "
+                "curve.  With the burst packed mid-trace the per-chunk "
+                "deltas surface the contention wave as it arrives — "
+                "the one-shot engines only ever see the total.")

@@ -1,0 +1,150 @@
+"""Perf — streaming simulation of an unbounded trace (S2).
+
+Two measurements of the chunked streaming path:
+
+* **Sustained streaming throughput** — a :class:`repro.simulator.
+  stream.StreamSimulator` fed a 5M-address uniform trace on the J90 in
+  64K-address chunks, telemetry off.  Chunks are generated on the fly
+  (the whole trace never exists in memory), and ``tracemalloc`` tracks
+  the allocation peak: the point of streaming is that peak memory is a
+  function of the chunk budget, not the trace length, so the peak must
+  stay under the kernel's working-set bound (a couple dozen chunk-sized
+  temporaries) while the trace is 80x one chunk.
+* **Served stream sessions** — a shorter prefix of the same trace
+  pushed through a :class:`repro.serving.PredictionService` ``stream``
+  session (open / 8 chunks / close), measuring the per-chunk JSON
+  round-trip overhead on top of the raw simulator.
+
+Saves the paper-style summary to ``benchmarks/results/perf_stream.txt``
+(referenced by EXPERIMENTS.md) and writes machine-readable numbers to
+``BENCH_stream.json`` at the repo root for ``tools/perf_guard.py``
+(``stream_seconds`` is gated).
+"""
+
+import json
+import pathlib
+import time
+import tracemalloc
+
+import numpy as np
+from conftest import run_once
+
+from repro.serving import PredictionService
+from repro.simulator import CRAY_J90, StreamSimulator
+
+BENCH_JSON = pathlib.Path(__file__).parents[1] / "BENCH_stream.json"
+
+CHUNK = 65536
+N_CHUNKS = 80
+N_TOTAL = CHUNK * N_CHUNKS
+SPACE = 1 << 24
+
+#: Allocation-peak budget: the batch kernel keeps a bounded working set
+#: of chunk-sized temporaries (sort, cummax, per-bank folds) — about a
+#: dozen arrays of CHUNK int64/float64 — independent of trace length.
+PEAK_BUDGET_BYTES = 24 * CHUNK * 8
+
+
+def _chunks(seed=7):
+    rng = np.random.default_rng(seed)
+    for _ in range(N_CHUNKS):
+        yield rng.integers(0, SPACE, size=CHUNK, dtype=np.int64)
+
+
+def _stream_trace():
+    sim = StreamSimulator(CRAY_J90, max_chunk=CHUNK)
+    for block in _chunks():
+        update = sim.feed(block)
+    return sim, update
+
+
+def test_perf_stream(benchmark, save_result):
+    # --- sustained simulator throughput under tracemalloc ------------
+    # One throwaway chunk first so numpy's internal buffers and the
+    # import-time allocations stay out of the measured peak.
+    warmup = StreamSimulator(CRAY_J90, max_chunk=CHUNK)
+    warmup.feed(next(_chunks()))
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    sim, last = _stream_trace()
+    stream_seconds = time.perf_counter() - t0
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert last.n == N_TOTAL
+    trace_bytes = N_TOTAL * 8
+    assert peak < PEAK_BUDGET_BYTES, (
+        f"streaming allocation peak {peak} bytes exceeds the chunk "
+        f"working-set budget {PEAK_BUDGET_BYTES} (trace: {trace_bytes})"
+    )
+    assert peak < trace_bytes / 4, (
+        f"allocation peak {peak} bytes scales with the {trace_bytes}-byte "
+        "trace — the stream is accumulating, not streaming"
+    )
+    chunks_per_second = N_CHUNKS / stream_seconds
+    addresses_per_second = N_TOTAL / stream_seconds
+
+    run_once(benchmark, _stream_trace)
+
+    # --- serving overhead per chunk (a shorter session: the JSON
+    # round-trip, not the kernel, is what this measures) ---------------
+    n_served = 8
+    served_blocks = [
+        block for _i, block in zip(range(n_served), _chunks())
+    ]
+    with PredictionService(flush_ms=1.0, deadline_ms=None,
+                           disk_cache=False) as svc:
+        assert svc.call({"op": "stream", "action": "open",
+                         "stream_id": "bench", "machine": "j90"},
+                        timeout=300).ok
+        t0 = time.perf_counter()
+        for block in served_blocks:
+            resp = svc.call({"op": "stream", "action": "chunk",
+                             "stream_id": "bench",
+                             "addresses": block.tolist()}, timeout=300)
+            assert resp.ok
+        fin = svc.call({"op": "stream", "action": "close",
+                        "stream_id": "bench"}, timeout=300)
+        served_seconds = time.perf_counter() - t0
+    assert fin.ok and fin.result["n"] == n_served * CHUNK
+    reference = StreamSimulator(CRAY_J90, max_chunk=CHUNK)
+    for block in served_blocks:
+        reference.feed(block)
+    assert fin.result["simulated_time"] == float(reference.result().time), \
+        "served session diverged from the raw streaming simulator"
+
+    lines = [
+        f"streaming performance (uniform trace, Cray J90, "
+        f"n={N_TOTAL}, chunk={CHUNK})",
+        "",
+        f"simulator: {N_CHUNKS} chunks in {stream_seconds:.3f} s  "
+        f"({chunks_per_second:.1f} chunks/s, "
+        f"{addresses_per_second / 1e6:.2f} M addr/s)",
+        f"  allocation peak {peak / 1e6:.2f} MB  "
+        f"(budget {PEAK_BUDGET_BYTES / 1e6:.2f} MB, "
+        f"trace {trace_bytes / 1e6:.2f} MB — peak is chunk-bound)",
+        "",
+        f"served session: open + {n_served} chunks + close in "
+        f"{served_seconds:.3f} s  "
+        f"({served_seconds / n_served * 1000:.1f} ms/chunk round-trip)",
+        "",
+        "reading: the streamed prefix result is bit-identical to the "
+        "one-shot engines at every chunk, while peak memory tracks the "
+        "chunk budget, not the trace length.",
+    ]
+    save_result("perf_stream", "\n".join(lines))
+
+    BENCH_JSON.write_text(json.dumps({
+        "benchmark": "stream",
+        "machine": "Cray J90",
+        "n": N_TOTAL,
+        "telemetry": "off",
+        "chunk": CHUNK,
+        "chunks": N_CHUNKS,
+        "stream_seconds": round(stream_seconds, 6),
+        "chunks_per_second": round(chunks_per_second, 2),
+        "addresses_per_second": round(addresses_per_second, 1),
+        "peak_traced_bytes": int(peak),
+        "peak_budget_bytes": PEAK_BUDGET_BYTES,
+        "served_seconds": round(served_seconds, 6),
+    }, indent=2) + "\n")

@@ -82,6 +82,7 @@ __all__ = [
     "cache_dir",
     "cache_key",
     "cache_fetch",
+    "cache_store",
     "code_version",
     "clear_cache",
     "shm_segment_name",
@@ -363,6 +364,24 @@ def cache_fetch(
     if hit is _MISS:
         return False, None
     return True, hit
+
+
+def cache_store(fn: Callable, kwargs: Dict[str, Any], value: Any) -> bool:
+    """Write ``value`` into the memo as the result of ``fn(**kwargs)``.
+
+    The write side of :func:`cache_fetch`, keyed identically (code
+    version + function identity + canonicalized arguments), so state a
+    caller persists here is found by any later session probing the same
+    point.  The streaming simulator uses this to checkpoint streamed
+    prefixes (:func:`repro.simulator.stream.stream_checkpoint`) under
+    the same memo semantics as every experiment grid point.  Returns
+    ``False`` without writing while caching is disabled (same switches
+    as :func:`run_grid`); the write itself is best-effort and atomic.
+    """
+    if not _cache_enabled(None):
+        return False
+    _cache_store(cache_key(fn, kwargs), value)
+    return True
 
 
 def _cache_load(key: str) -> Any:

@@ -10,7 +10,11 @@ admission queue with deadline/shed backpressure, micro-batching of
 compatible requests (grouped by machine + engine + bank mapping,
 flushed on size/latency watermarks, duplicates collapsed onto single
 engine evaluations), an in-memory LRU in front of the experiment
-runner's on-disk memo, and a schema-checked metrics manifest.
+runner's on-disk memo, and a schema-checked metrics manifest.  The
+``stream`` op opens named :class:`~repro.simulator.stream.
+StreamSimulator` sessions and feeds them chunk by chunk — unbounded
+traces served under a bounded memory footprint, with per-session
+windowed backpressure (docs/streaming.md).
 
 Scaling out, :class:`ShardRouter` shards the same service across N
 worker processes by canonical request key — shard-local LRU affinity,
@@ -48,6 +52,7 @@ from .request import (
     OPS,
     PATTERN_KINDS,
     STATUS_CODES,
+    STREAM_ACTIONS,
     ServeRequest,
     ServeResponse,
     request_from_dict,
@@ -76,6 +81,7 @@ __all__ = [
     "MACHINES",
     "BANK_MAPS",
     "OPS",
+    "STREAM_ACTIONS",
     "PATTERN_KINDS",
     "STATUS_CODES",
     "MicroBatcher",

@@ -7,6 +7,12 @@ one response object per stdout line, in submit order::
            "pattern": {"kind": "hotspot", "n": 65536, "k": 4096}}' \
         | python -m repro.serving
 
+Streaming a trace too large to send at once (``op": "stream"``; see
+docs/streaming.md): ``action": "open"`` names a session, each
+``"chunk"`` line feeds it one block of addresses and is answered with
+the rolling prefix result, ``"close"`` returns the final result —
+bit-identical to simulating the concatenated trace in one shot.
+
 Network mode (a single-threaded ``selectors`` loop speaking HTTP *and*
 NDJSON on the same port, per connection)::
 
@@ -58,6 +64,8 @@ def _build_backend(args: argparse.Namespace) -> Backend:
         lru_size=args.lru,
         disk_cache=False if args.no_disk_cache else None,
         parallel=args.parallel,
+        max_streams=args.max_streams,
+        stream_window=args.stream_window,
     )
     if args.workers > 1:
         return ShardRouter(args.workers, **service_kwargs)
@@ -126,6 +134,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="worker processes per flush (run_grid pool)")
     parser.add_argument("--no-disk-cache", action="store_true",
                         help="skip the on-disk memo cache")
+    parser.add_argument("--max-streams", type=int, default=8,
+                        help="open stream sessions allowed at once "
+                        "(op='stream'; 0 disables streaming)")
+    parser.add_argument("--stream-window", type=int, default=8,
+                        help="in-flight chunks allowed per stream "
+                        "session before shedding (429)")
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics table to stderr on exit")
     parser.add_argument("--manifest", default=None, metavar="PATH",

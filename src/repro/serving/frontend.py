@@ -59,6 +59,14 @@ _RECV_BYTES = 65536
 #: dropped (backpressure for the single-threaded loop).
 _MAX_BUFFER = 16 * 1024 * 1024
 
+#: Per-connection read gate: once this many responses are owed, the
+#: loop stops reading the connection until the backend catches up, so a
+#: fast writer's bytes back up in the kernel socket buffer (and block
+#: the client) instead of accumulating on this process's heap.  This is
+#: what lets a multi-gigabyte streamed NDJSON trace pass through the
+#: frontend under a bounded memory footprint — see docs/streaming.md.
+_MAX_INFLIGHT = 256
+
 
 class _Conn:
     """Per-connection state: buffers, protocol mode, in-order pending."""
@@ -267,11 +275,16 @@ class ServingFrontend:
     def _interest(self, conn: _Conn) -> None:
         """(Loop thread.)  Point the selector at what the connection
         needs now; close it once nothing remains — no reads coming, no
-        bytes to write, no responses still owed."""
+        bytes to write, no responses still owed.  Reads pause while the
+        connection is owed ``_MAX_INFLIGHT`` responses (backpressure);
+        the completion wake-up re-arms them through
+        :meth:`_flush_completed`."""
         if conn.sock not in self._conns:
             return
+        with self._lock:
+            gated = conn.inflight >= _MAX_INFLIGHT
         events = 0
-        if not conn.closing:
+        if not conn.closing and not gated:
             events |= selectors.EVENT_READ
         if conn.outbuf:
             events |= selectors.EVENT_WRITE

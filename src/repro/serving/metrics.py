@@ -41,8 +41,10 @@ __all__ = [
 
 #: Serving manifest format version; bump on incompatible field changes.
 #: v2: ``closed`` (shutdown-time 503s) counted separately from ``shed``
-#: (load-shedding 429s).
-SERVING_SCHEMA_VERSION = 2
+#: (load-shedding 429s).  v3: stream-session counters
+#: (``streams_opened`` / ``stream_chunks`` / ``streams_closed``) and the
+#: session limits (``max_streams`` / ``stream_window``).
+SERVING_SCHEMA_VERSION = 3
 
 
 @dataclasses.dataclass
@@ -86,6 +88,12 @@ class ServingStats:
         Largest single flush.
     queue_high_water:
         Deepest the admission queue ever got.
+    streams_opened / stream_chunks / streams_closed:
+        Stream sessions opened, chunks fed into them, and sessions
+        retired by an explicit ``close`` (a session dropped by service
+        shutdown or a stream error is opened-but-not-closed).  Shed
+        chunks (session window full) and refused opens (``max_streams``
+        reached) count under ``shed``.
     """
 
     received: int = 0
@@ -102,6 +110,9 @@ class ServingStats:
     batched_requests: int = 0
     max_batch: int = 0
     queue_high_water: int = 0
+    streams_opened: int = 0
+    stream_chunks: int = 0
+    streams_closed: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (manifest/JSON export)."""
@@ -164,6 +175,11 @@ SERVING_MANIFEST_SCHEMA: Dict[str, type] = {
     "batched_requests": int,
     "max_batch": int,
     "queue_high_water": int,
+    "streams_opened": int,
+    "stream_chunks": int,
+    "streams_closed": int,
+    "max_streams": int,
+    "stream_window": int,
     "mean_occupancy": float,
     "cache_hit_ratio": float,
     "p50_ms": float,
@@ -194,6 +210,8 @@ def serving_manifest(service: Any) -> Dict[str, Any]:
         "deadline_ms": float(service.deadline_ms or 0.0),
         "lru_size": int(service.lru_size),
         "parallel": int(service.parallel),
+        "max_streams": int(service.max_streams),
+        "stream_window": int(service.stream_window),
         "mean_occupancy": float(stats.mean_occupancy),
         "cache_hit_ratio": float(stats.cache_hit_ratio),
         "p50_ms": percentile(latencies, 50.0),

@@ -2,11 +2,15 @@
 
 A :class:`ServeRequest` names everything needed to answer one question
 about one machine — the operation (``predict`` / ``simulate`` /
-``compare``), the machine (preset name or parameter overrides), the
-access pattern (generator spec or explicit addresses), the simulator
-engine and the bank mapping — in plain JSON-able data, so the same
-request travels unchanged through the in-process API, the NDJSON CLI
-and the HTTP endpoint.  The resolvers in this module turn the specs
+``compare``, or the session verb ``stream``), the machine (preset name
+or parameter overrides), the access pattern (generator spec or explicit
+addresses), the simulator engine and the bank mapping — in plain
+JSON-able data, so the same request travels unchanged through the
+in-process API, the NDJSON CLI and the HTTP endpoint.  ``stream``
+requests additionally carry an ``action`` (``open``/``chunk``/``close``)
+and a client-chosen ``stream_id``; a session's chunks are answered with
+rolling prefix results, bit-identical to one-shot simulation of the
+concatenated trace (docs/streaming.md).  The resolvers in this module turn the specs
 into the library's own objects (:class:`MachineConfig`, address arrays,
 :class:`BankMap` instances); the service then calls the ordinary
 library entry points on them, which is what makes serving answers
@@ -57,6 +61,7 @@ __all__ = [
     "MACHINES",
     "BANK_MAPS",
     "OPS",
+    "STREAM_ACTIONS",
     "PATTERN_KINDS",
     "STATUS_CODES",
     "request_from_dict",
@@ -80,8 +85,16 @@ MACHINES: Dict[str, MachineConfig] = {
 #: given; the rest are the paper's randomized families).
 BANK_MAPS = ("interleave", "random", "h1", "h2", "h3")
 
-#: Operations the service answers.
-OPS = ("predict", "simulate", "compare")
+#: Operations the service answers.  ``stream`` is the session-oriented
+#: one: ``action="open"`` creates a named incremental simulation,
+#: ``action="chunk"`` feeds it one block of addresses (answered with the
+#: rolling prefix result), ``action="close"`` retires it and returns the
+#: final result — bit-identical to simulating the concatenated trace in
+#: one shot (see docs/streaming.md).
+OPS = ("predict", "simulate", "compare", "stream")
+
+#: Stream-session verbs carried by ``ServeRequest.action``.
+STREAM_ACTIONS = ("open", "chunk", "close")
 
 #: Pattern-generator kinds and their spec fields (beyond ``kind``).
 PATTERN_KINDS: Dict[str, Tuple[str, ...]] = {
@@ -144,6 +157,12 @@ class ServeRequest:
         answered ``deadline-exceeded`` instead of evaluated.
     request_id:
         Opaque client tag echoed in the response.
+    action:
+        Stream verb (``op == "stream"`` only): ``"open"`` /
+        ``"chunk"`` / ``"close"`` per :data:`STREAM_ACTIONS`.
+    stream_id:
+        Client-chosen session name (``op == "stream"`` only); every
+        request of one session must carry the same id.
     """
 
     op: str = "compare"
@@ -156,6 +175,8 @@ class ServeRequest:
     sweep: Optional[Dict[str, Any]] = None
     deadline_ms: Optional[float] = None
     request_id: Optional[str] = None
+    action: Optional[str] = None
+    stream_id: Optional[str] = None
 
     def validate(self) -> None:
         """Raise :class:`ParameterError` on any out-of-range field."""
@@ -171,6 +192,14 @@ class ServeRequest:
             raise ParameterError(
                 f"unknown bank_map {self.bank_map!r}; "
                 f"choose one of {BANK_MAPS}"
+            )
+        if self.op == "stream":
+            self._validate_stream()
+            return
+        if self.action is not None or self.stream_id is not None:
+            raise ParameterError(
+                "action= / stream_id= are stream-session fields; "
+                "they need op='stream'"
             )
         if (self.pattern is None) == (self.addresses is None):
             raise ParameterError(
@@ -192,6 +221,40 @@ class ServeRequest:
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ParameterError(
                 f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+
+    def _validate_stream(self) -> None:
+        """Stream-op branch of :meth:`validate`: every action needs a
+        session id; ``chunk`` carries exactly one address payload, the
+        control verbs carry none; sweeps and deadlines are refused
+        (a session is ordered state, not a batchable question)."""
+        if self.action not in STREAM_ACTIONS:
+            raise ParameterError(
+                f"stream action must be one of {STREAM_ACTIONS}, "
+                f"got {self.action!r}"
+            )
+        if not isinstance(self.stream_id, str) or not self.stream_id:
+            raise ParameterError(
+                "stream requests need a nonempty string stream_id"
+            )
+        if self.sweep is not None:
+            raise ParameterError("stream requests do not take sweep=")
+        if self.deadline_ms is not None:
+            raise ParameterError(
+                "stream requests do not take deadline_ms= (chunks are "
+                "ordered session state; expiring one would desync the "
+                "stream)"
+            )
+        if self.action == "chunk":
+            if (self.pattern is None) == (self.addresses is None):
+                raise ParameterError(
+                    "a stream chunk carries exactly one of pattern= / "
+                    "addresses="
+                )
+        elif self.pattern is not None or self.addresses is not None:
+            raise ParameterError(
+                f"stream {self.action!r} takes neither pattern= nor "
+                "addresses="
             )
 
 

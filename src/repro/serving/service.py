@@ -35,6 +35,19 @@ the traffic engineering around those calls:
   work item, which makes cached and freshly-evaluated answers
   interchangeable by construction.
 
+* **Stream sessions** — the ``stream`` op opens a named
+  :class:`~repro.simulator.stream.StreamSimulator` session, feeds it
+  address chunks in order and retires it with a final result that is
+  bit-identical to simulating the whole concatenated trace at once.
+  Chunks ride the same FIFO queue as batched work (one dispatcher
+  thread keeps a session's chunks ordered for free) but bypass the
+  batcher and both caches — a chunk answer depends on everything fed
+  before it, so it is never a cacheable question.  Backpressure is
+  per-session: at most ``stream_window`` chunks may be in flight per
+  stream (the queued-memory bound is ``stream_window`` × chunk bytes),
+  and at most ``max_streams`` sessions may be open; either limit
+  overrunning sheds with ``overloaded`` (429).  See docs/streaming.md.
+
 One dispatcher thread drives the batcher; evaluation happens in that
 thread (or in the runner's process pool when ``parallel > 1``).  All
 public methods are thread-safe.
@@ -58,6 +71,7 @@ from ..errors import ParameterError
 from ..experiments import runner
 from ..simulator.dispatch import simulate_scatter_engine
 from ..simulator.machine import MachineConfig
+from ..simulator.stream import StreamSimulator
 from .metrics import ServingStats
 from .batcher import MicroBatcher
 from .request import (
@@ -209,6 +223,34 @@ class _WorkItem:
     deadline: Optional[float]  # absolute monotonic instant, or None
 
 
+@dataclasses.dataclass
+class _StreamSession:
+    """One open stream: its incremental simulator plus the session-local
+    admission state.  ``window`` counts chunks admitted but not yet
+    answered (the per-stream backpressure bound); ``closing`` flips at
+    ``close`` admission so chunks racing a queued close are refused
+    up front instead of arriving at a retired session."""
+
+    sim: StreamSimulator
+    machine_name: str
+    window: int = 0
+    closing: bool = False
+
+
+@dataclasses.dataclass
+class _StreamItem:
+    """One queued stream step (``chunk`` or ``close``).  Rides the same
+    FIFO queue as :class:`_WorkItem` — the single dispatcher thread is
+    what keeps a session's steps ordered — but is evaluated immediately
+    instead of entering the batcher, and never counts against the
+    ``max_queue`` admission bound (its bound is the session window)."""
+
+    ticket: "Ticket"
+    stream_id: str
+    action: str
+    addresses: Optional[np.ndarray]
+
+
 class Ticket:
     """Handle for one submitted request; ``result()`` blocks for the
     :class:`~repro.serving.request.ServeResponse`."""
@@ -230,6 +272,9 @@ class Ticket:
         self._sweep_param = sweep_param
         self._sweep_values = list(sweep_values)
         self._callbacks: List[Any] = []
+        #: Set by stream admission: the session's machine name (chunk
+        #: and close requests do not carry a machine field themselves).
+        self.machine_name: Optional[str] = None
         self.response: Optional[ServeResponse] = None
 
     @property
@@ -262,11 +307,12 @@ class Ticket:
 
     def _build_response(self, latency_ms: float) -> ServeResponse:
         req = self.request
-        machine_name = ""
-        try:
-            machine_name = resolve_machine(req.machine).name
-        except ParameterError:
-            machine_name = str(req.machine)
+        machine_name = self.machine_name
+        if machine_name is None:
+            try:
+                machine_name = resolve_machine(req.machine).name
+            except ParameterError:
+                machine_name = str(req.machine)
         result: Optional[Dict[str, Any]] = None
         if self._status == "ok":
             if self._sweep_param is None:
@@ -283,7 +329,9 @@ class Ticket:
             status=self._status,
             code=STATUS_CODES[self._status],
             op=req.op,
-            engine=req.engine,
+            # A stream session is answered by the incremental simulator,
+            # whatever engine= the request carried.
+            engine="stream" if req.op == "stream" else req.engine,
             machine=machine_name,
             request_id=req.request_id,
             result=result,
@@ -375,6 +423,14 @@ class PredictionService:
         fused grid pass (one vectorized evaluation per group of
         same-size cycle-engine points — bit-identical per point);
         ``False`` forces per-point evaluation.
+    max_streams:
+        Open stream sessions allowed at once; an ``open`` past the
+        limit is shed (429).
+    stream_window:
+        Chunks one stream may have in flight (admitted, not yet
+        answered); a chunk past the window is shed (429).  This is the
+        streaming memory bound: the service never holds more than
+        ``stream_window`` unprocessed chunks per session.
 
     Use as a context manager (``with PredictionService() as svc:``) or
     call :meth:`close` to drain and stop the dispatcher.
@@ -390,9 +446,19 @@ class PredictionService:
         disk_cache: Optional[bool] = None,
         parallel: int = 1,
         fuse: Optional[bool] = None,
+        max_streams: int = 8,
+        stream_window: int = 8,
     ) -> None:
         if max_queue < 1:
             raise ParameterError(f"max_queue must be >= 1, got {max_queue}")
+        if max_streams < 0:
+            raise ParameterError(
+                f"max_streams must be >= 0, got {max_streams}"
+            )
+        if stream_window < 1:
+            raise ParameterError(
+                f"stream_window must be >= 1, got {stream_window}"
+            )
         self.max_queue = int(max_queue)
         self.batch_size = int(batch_size)
         self.flush_ms = float(flush_ms)
@@ -401,12 +467,16 @@ class PredictionService:
         self.disk_cache = disk_cache
         self.parallel = int(parallel)
         self.fuse = fuse
+        self.max_streams = int(max_streams)
+        self.stream_window = int(stream_window)
+        self._streams: Dict[str, _StreamSession] = {}
         # The queue itself is unbounded; admission is bounded by the
         # in-flight counter below, which covers items waiting in open
         # micro-batch buckets too — capacity is only released when an
         # item is actually resolved, so backpressure cannot leak into
         # the batcher.
-        self._queue: "queue.Queue[_WorkItem]" = queue.Queue()
+        self._queue: "queue.Queue[Union[_WorkItem, _StreamItem]]" = \
+            queue.Queue()
         self._in_flight = 0
         self._batcher = MicroBatcher(
             batch_size=self.batch_size,
@@ -454,8 +524,13 @@ class PredictionService:
                 break
             with self._lock:
                 self._stats.closed += 1
-                self._in_flight -= 1
+                if not isinstance(item, _StreamItem):
+                    self._in_flight -= 1
             item.ticket._fail("closed", "service closed")
+        # Sessions still open lost their service; drop them (their
+        # admitted chunks all resolved above or in the drain).
+        with self._lock:
+            self._streams.clear()
 
     def submit(
         self, request: Union[ServeRequest, Dict[str, Any]]
@@ -532,6 +607,8 @@ class PredictionService:
         return None
 
     def _admit(self, req: ServeRequest) -> Ticket:
+        if req.op == "stream":
+            return self._admit_stream(req)
         machine = resolve_machine(req.machine)
         if req.sweep is not None:
             pairs = _sweep_points(req)
@@ -606,6 +683,181 @@ class PredictionService:
         return ticket
 
     # ------------------------------------------------------------------
+    # stream sessions
+    # ------------------------------------------------------------------
+
+    def _admit_stream(self, req: ServeRequest) -> Ticket:
+        """Admit one stream request.  ``open`` is synchronous — the
+        session must exist before the caller's next chunk is admitted —
+        while ``chunk``/``close`` ride the FIFO queue, so the single
+        dispatcher thread applies them in submit order.  A
+        :class:`ParameterError` raised here (bad machine/pattern, a
+        machine the streaming simulator refuses) is answered 400 by
+        :meth:`submit`."""
+        assert req.stream_id is not None
+        sid = req.stream_id
+        ticket = Ticket(self, req, 1, None, ())
+        if self._closing.is_set():
+            with self._lock:
+                self._stats.closed += 1
+            ticket._fail("closed", "service is shutting down")
+            return ticket
+        if req.action == "open":
+            machine = resolve_machine(req.machine)
+            mapping = resolve_bank_map(req.bank_map, req.map_seed)
+            # The streaming simulator refuses what it cannot chunk
+            # exactly (combining, block assignment, sections) — that
+            # refusal propagates as this request's 400.
+            sim = StreamSimulator(machine, bank_map=mapping)
+            session = _StreamSession(sim=sim, machine_name=machine.name)
+            with self._lock:
+                if sid in self._streams:
+                    state = "dup"
+                elif len(self._streams) >= self.max_streams:
+                    self._stats.shed += 1
+                    state = "full"
+                else:
+                    self._streams[sid] = session
+                    self._stats.streams_opened += 1
+                    state = "ok"
+            if state == "dup":
+                ticket._fail(
+                    "bad-request", f"stream {sid!r} is already open"
+                )
+            elif state == "full":
+                ticket._fail(
+                    "overloaded",
+                    f"open stream limit reached ({self.max_streams}); "
+                    "close a session or retry later",
+                )
+            else:
+                ticket._complete(0, {
+                    "stream_id": sid,
+                    "machine": session.machine_name,
+                    "n": 0,
+                    "stream_window": self.stream_window,
+                }, cached=False, batch=0)
+            return ticket
+        if req.action == "chunk":
+            addr = resolve_pattern(req.pattern, req.addresses)
+            with self._lock:
+                session = self._streams.get(sid)
+                unknown = session is None or session.closing
+                full = (
+                    not unknown
+                    and session.window >= self.stream_window  # type: ignore[union-attr]
+                )
+                if full:
+                    self._stats.shed += 1
+                if not unknown and not full:
+                    assert session is not None
+                    session.window += 1
+                    self._stats.stream_chunks += 1
+                    ticket.machine_name = session.machine_name
+            if unknown:
+                ticket._fail(
+                    "bad-request",
+                    f"unknown stream {sid!r} (not open on this worker — "
+                    "a restart drops sessions; reopen and refeed)",
+                )
+            elif full:
+                ticket._fail(
+                    "overloaded",
+                    f"stream {sid!r} window full ({self.stream_window} "
+                    "chunks in flight); wait for outstanding chunk "
+                    "responses before feeding more",
+                )
+            else:
+                self._queue.put_nowait(
+                    _StreamItem(ticket, sid, "chunk", addr)
+                )
+            return ticket
+        # close
+        with self._lock:
+            session = self._streams.get(sid)
+            unknown = session is None or session.closing
+            if not unknown:
+                assert session is not None
+                session.closing = True
+                ticket.machine_name = session.machine_name
+        if unknown:
+            ticket._fail(
+                "bad-request",
+                f"unknown stream {sid!r} (not open on this worker — "
+                "a restart drops sessions; reopen and refeed)",
+            )
+        else:
+            self._queue.put_nowait(_StreamItem(ticket, sid, "close", None))
+        return ticket
+
+    def _stream_step(self, item: _StreamItem) -> None:
+        """(Dispatcher thread.)  Apply one queued stream step: a chunk
+        feeds the session's simulator and answers with the rolling
+        prefix result; a close answers with the final result (saving a
+        resume checkpoint into the runner memo when the disk cache is
+        on) and retires the session.  A step that raises kills its
+        session — the carry state is unknown after a failed feed, and a
+        desynced stream must refuse further chunks rather than answer
+        them wrongly."""
+        with self._lock:
+            session = self._streams.get(item.stream_id)
+        if session is None:
+            # The session died (an earlier step failed) after this one
+            # was admitted.
+            item.ticket._fail(
+                "bad-request",
+                f"stream {item.stream_id!r} is gone; reopen and refeed",
+            )
+            return
+        try:
+            if item.action == "chunk":
+                assert item.addresses is not None
+                update = session.sim.feed(item.addresses)
+                res = update.result
+                out = {
+                    "stream_id": item.stream_id,
+                    "chunk_index": int(update.chunk_index),
+                    "chunk_n": int(update.chunk_n),
+                    "n": int(update.n),
+                    "simulated_time": float(res.time),
+                    "delta_time": float(update.delta_time),
+                    "max_bank_load": int(res.max_bank_load),
+                    "max_wait": float(res.max_wait),
+                    "mean_wait": float(res.mean_wait),
+                    "stalled_cycles": float(res.stalled_cycles),
+                    "prefix_digest": session.sim.prefix_digest,
+                }
+            else:
+                res = session.sim.result()
+                checkpoint = None
+                if self.disk_cache is not False:
+                    checkpoint = session.sim.save_checkpoint()
+                out = {
+                    "stream_id": item.stream_id,
+                    "n": int(session.sim.n),
+                    "simulated_time": float(res.time),
+                    "max_bank_load": int(res.max_bank_load),
+                    "max_wait": float(res.max_wait),
+                    "mean_wait": float(res.mean_wait),
+                    "stalled_cycles": float(res.stalled_cycles),
+                    "prefix_digest": session.sim.prefix_digest,
+                    "checkpoint": checkpoint is not None,
+                }
+                with self._lock:
+                    self._streams.pop(item.stream_id, None)
+                    self._stats.streams_closed += 1
+        except Exception as exc:  # reprolint: disable=REPRO111 -- a failed step must answer 500 and kill only its session, never the shared dispatcher
+            with self._lock:
+                self._streams.pop(item.stream_id, None)
+                self._stats.failed += 1
+            item.ticket._fail("error", f"stream step failed: {exc}")
+            return
+        if item.action == "chunk":
+            with self._lock:
+                session.window -= 1
+        item.ticket._complete(0, out, cached=False, batch=0)
+
+    # ------------------------------------------------------------------
     # dispatch + flush
     # ------------------------------------------------------------------
 
@@ -616,22 +868,28 @@ class PredictionService:
             if wait is None:
                 wait = _IDLE_POLL_S
             try:
-                item: Optional[_WorkItem] = self._queue.get(
-                    timeout=max(wait, 0.0005)
-                )
+                item: Optional[Union[_WorkItem, _StreamItem]] = \
+                    self._queue.get(timeout=max(wait, 0.0005))
             except queue.Empty:
                 item = None
             if item is not None:
                 now = time.monotonic()
-                self._batcher.add(item.group, item, now)
+                if isinstance(item, _StreamItem):
+                    self._stream_step(item)
+                else:
+                    self._batcher.add(item.group, item, now)
                 # Opportunistic drain: everything already queued joins
-                # this batching round without another poll cycle.
+                # this batching round without another poll cycle (stream
+                # steps are applied in place, keeping session order).
                 while True:
                     try:
                         nxt = self._queue.get_nowait()
                     except queue.Empty:
                         break
-                    self._batcher.add(nxt.group, nxt, now)
+                    if isinstance(nxt, _StreamItem):
+                        self._stream_step(nxt)
+                    else:
+                        self._batcher.add(nxt.group, nxt, now)
             for items in self._batcher.take_due(time.monotonic()):
                 self._flush(items)
             if self._closing.is_set() and self._queue.empty():

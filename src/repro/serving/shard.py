@@ -29,6 +29,14 @@ service *out* without changing what it computes:
   requests on a detour: the router re-routes them (and all later
   requests for that shard) to the surviving shards and counts the
   event in :class:`~repro.serving.metrics.RouterStats.rebalanced`.
+* **Stream affinity** — ``op == "stream"`` requests route by session
+  identity alone (the ``stream_id``), so every chunk of a stream
+  reaches the shard holding its
+  :class:`~repro.simulator.stream.StreamSimulator` state, and they
+  bypass the hot tier on both sides (a chunk's answer is positional,
+  never replayable).  A worker death mid-stream drops the session:
+  rerouted chunks are answered ``bad-request`` with a reopen hint, the
+  router itself stays up (docs/streaming.md).
 
 Responses are **bit-identical** to a single-process service for any
 request mix — every evaluation still happens inside a stock
@@ -99,8 +107,26 @@ _ROUTE_FIELDS: Tuple[Tuple[str, Any], ...] = (
 )
 
 #: Version tag of the routing/hot-tier key encoding; bump on any change
-#: to ``_ROUTE_FIELDS`` or the payload layout.
-_ROUTE_VERSION = 1
+#: to ``_ROUTE_FIELDS`` or the payload layout.  v2: stream requests
+#: route by session identity alone.
+_ROUTE_VERSION = 2
+
+#: What routes a stream request: the session, nothing else.  Every
+#: ``open``/``chunk``/``close`` of one session must land on the same
+#: shard (the session state lives there), and chunks must route
+#: identically whatever payload they carry — so ``action``, ``pattern``
+#: and ``addresses`` are all deliberately absent.
+_STREAM_ROUTE_FIELDS: Tuple[Tuple[str, Any], ...] = (
+    ("op", "compare"),
+    ("stream_id", None),
+)
+
+
+def _is_stream(request: Union[ServeRequest, Dict[str, Any]]) -> bool:
+    """True for a stream-session request (dict or dataclass form)."""
+    if isinstance(request, ServeRequest):
+        return request.op == "stream"
+    return isinstance(request, dict) and request.get("op") == "stream"
 
 
 def route_digest(request: Union[ServeRequest, Dict[str, Any]]) -> bytes:
@@ -110,15 +136,20 @@ def route_digest(request: Union[ServeRequest, Dict[str, Any]]) -> bytes:
     machine, pattern/addresses, engine, bank map, seed, sweep), so the
     router sends them to the same shard and the hot tier may answer one
     with the other's result.  Envelope fields (``request_id``,
-    ``deadline_ms``) are excluded.  Built on the runner's canonical
-    argument encoder and stamped with the package code version, the same
-    provenance rule as the memo cache — a code change can never replay a
-    stale hot-tier entry across process generations.
+    ``deadline_ms``) are excluded.  Stream requests digest by session
+    identity only (:data:`_STREAM_ROUTE_FIELDS`): a session's chunks
+    must all reach the shard holding its state, and their answers are
+    never hot-tier material — a chunk's result depends on everything
+    fed before it, not on the request alone.  Built on the runner's
+    canonical argument encoder and stamped with the package code
+    version, the same provenance rule as the memo cache — a code change
+    can never replay a stale hot-tier entry across process generations.
     """
+    spec = _STREAM_ROUTE_FIELDS if _is_stream(request) else _ROUTE_FIELDS
     if isinstance(request, ServeRequest):
-        fields = {name: getattr(request, name) for name, _ in _ROUTE_FIELDS}
+        fields = {name: getattr(request, name) for name, _ in spec}
     elif isinstance(request, dict):
-        fields = {name: request.get(name, d) for name, d in _ROUTE_FIELDS}
+        fields = {name: request.get(name, d) for name, d in spec}
     else:
         raise ParameterError(
             f"request must be a dict or ServeRequest, "
@@ -369,7 +400,15 @@ def _worker_main(
             hot: List[Tuple[int, Dict[str, Any]]] = []
             misses: List[Tuple[int, bytes, Any]] = []
             for seq, digest, request in entries:
-                payload = tier.get(digest) if tier is not None else None
+                # Stream steps never touch the tier: their digest is the
+                # session, not the question, and their answers are
+                # positional — replaying one would answer the wrong
+                # prefix.
+                payload = (
+                    tier.get(digest)
+                    if tier is not None and not _is_stream(request)
+                    else None
+                )
                 if payload is not None:
                     hot.append(
                         (seq, _hot_response(payload, request, 0.0)
@@ -387,7 +426,8 @@ def _worker_main(
                 done = []
                 for seq, digest, ticket in tickets:
                     response = ticket.result()
-                    if tier is not None and response.ok:
+                    if tier is not None and response.ok \
+                            and response.engine != "stream":
                         tier.put(digest, _payload_of(response))
                     done.append((seq, response.to_dict()))
                 conn.send(("done", done))
@@ -728,7 +768,8 @@ class ShardRouter:
             if closing:
                 self._fail(ticket, request, "closed", "router closed")
                 continue
-            if self.router_probe and self._tier is not None:
+            if self.router_probe and self._tier is not None \
+                    and not _is_stream(request):
                 payload = self._tier.get(digest)
                 if payload is not None:
                     with self._lock:

@@ -33,6 +33,13 @@ from .sanitize import (
     set_sanitize,
 )
 from .stats import SimResult, SimTelemetry
+from .stream import (
+    DEFAULT_CHUNK,
+    StreamSimulator,
+    StreamUpdate,
+    simulate_scatter_stream,
+    stream_checkpoint,
+)
 from .trace import ProgramSimResult, simulate_program
 
 __all__ = [
@@ -56,6 +63,11 @@ __all__ = [
     "simulate_scatter_cycle",
     "simulate_scatter_batch",
     "simulate_scatter_grid",
+    "DEFAULT_CHUNK",
+    "StreamSimulator",
+    "StreamUpdate",
+    "simulate_scatter_stream",
+    "stream_checkpoint",
     "ENGINES",
     "simulate_scatter_engine",
     "SanitizerError",

@@ -48,17 +48,36 @@ def simulate_scatter_engine(
     (``machine.queue_capacity``).  The result is exactly what the named
     engine returns — this wrapper adds dispatch, never arithmetic — so
     it is bit-identical to calling the engine directly.
+
+    ``"stream"`` consumes the addresses in bounded-memory chunks
+    through :func:`~repro.simulator.stream.simulate_scatter_stream`
+    and returns the final prefix result — bit-identical to the other
+    engines, but subject to the streaming restrictions (no combining,
+    no ``block`` assignment).  It is deliberately not in
+    :data:`ENGINES`: it is a mode over the engines, not a fifth
+    arithmetic.
     """
     if engine == "banksim":
         return simulate_scatter(
             machine, addresses, bank_map, assignment=assignment,
             telemetry=telemetry, sanitize=sanitize,
         )
+    if engine == "stream":
+        from .stream import simulate_scatter_stream
+        update = None
+        for update in simulate_scatter_stream(
+            machine, addresses, bank_map, assignment=assignment,
+            telemetry=telemetry, sanitize=sanitize,
+        ):
+            pass
+        assert update is not None  # the generator always yields
+        return update.result
     if engine in ENGINES:
         return simulate_scatter_cycle(
             machine, addresses, bank_map, assignment=assignment,
             engine=engine, telemetry=telemetry, sanitize=sanitize,
         )
     raise ParameterError(
-        f"unknown engine {engine!r}; choose one of {ENGINES}"
+        f"unknown engine {engine!r}; choose one of {ENGINES} "
+        "(or 'stream' for the chunked bounded-memory mode)"
     )

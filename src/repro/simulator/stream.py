@@ -1,0 +1,1056 @@
+"""Streaming simulation of unbounded address traces.
+
+Every other entry point in :mod:`repro.simulator` needs the whole
+address vector in memory at once.  This module simulates the same
+machine over a *stream* of address blocks under a hard memory bound,
+bit-identical on every prefix to the one-shot engines — the
+bulk-synchronous *pseudo-streaming* recipe of arXiv 1608.07200 applied
+to the (d,x)-BSP bank model.
+
+How a chunk resumes where the last one stopped
+----------------------------------------------
+
+Round-robin dealing gives request ``i`` to processor ``i % p`` with
+scheduled issue cycle ``(i // p) * g``, so arrivals are nondecreasing in
+global order and each bank serves its requests in exactly that order.
+All the state one chunk hands the next is therefore tiny and per-bank:
+
+* ``init_free`` — the cycle each bank becomes free (the FIFO floor the
+  segmented-cummax kernel seeds its recurrence with), and
+* ``init_addr`` — each bank's row-buffer address under the bank-cache
+  extension (``-1`` = cold).
+
+Unbounded machines project every chunk straight through the batch
+kernels of :mod:`repro.simulator.banksim` carrying those seeds: the
+stall certificate of the batch engine holds *vacuously* when
+``queue_capacity is None``, so the projection is the exact bounded run.
+Bounded machines are the certificate-miss case by construction — a
+contiguous stream essentially never settles before the horizon — so
+their chunks run through :class:`_StreamWorld`, a pausable port of the
+event engine that stops at the *horizon* ``(n_fed // p) * g`` (the
+scheduled issue cycle of the first request not yet fed; any cycle
+before it can only involve fed requests, so processing it early is
+safe and exact).  Prefix results for a paused world come from draining
+a clone, never the live world.
+
+Memory bound
+------------
+
+With telemetry off on an unbounded machine the simulator holds O(chunk
++ n_banks) memory regardless of trace length: the per-bank seeds, the
+rolling accumulators, and one chunk of addresses.  Telemetry adds the
+pending-event set for the queue high-water sweep and bounded queues add
+the event world's outstanding requests — both grow only with genuine
+backlog (never beyond what the one-shot engine would hold).
+
+Restrictions
+------------
+
+Streaming refuses what cannot be chunked exactly: combining (duplicate
+groups would split across chunk boundaries), ``block`` assignment (it
+needs the total trace length up front), sectioned machines and
+non-integer machine times (both inherited from the cycle simulator).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+from .._util import as_addresses
+from ..core.contention import BankMap
+from ..errors import ParameterError, PatternError, SimulationError
+from .banksim import (
+    _queue_high_water,
+    fifo_service_times,
+    fifo_service_times_cached,
+)
+from .cycle import _require_int
+from .machine import MachineConfig, require_machine
+from .request import Assignment
+from .sanitize import check_superstep, sanitize_enabled
+from .stats import SimResult, SimTelemetry
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "StreamUpdate",
+    "StreamSimulator",
+    "simulate_scatter_stream",
+    "stream_checkpoint",
+]
+
+#: Default number of addresses consumed per internal chunk (the memory
+#: budget knob: peak working-set scales with this, not the trace).
+DEFAULT_CHUNK = 65536
+
+#: The rolling prefix digest hashes fixed-size address blocks so it is
+#: invariant to how the trace was chunked (8192 int64 addresses).
+_DIGEST_BLOCK_BYTES = 8192 * 8
+
+_DIGEST_SEED = hashlib.sha256(b"repro-stream-prefix-v1").digest()
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """Incremental result yielded after each fed block.
+
+    Attributes
+    ----------
+    chunk_index:
+        0-based index of the block that produced this update.
+    chunk_n:
+        Addresses in that block (0 for an empty feed).
+    n:
+        Total addresses consumed so far.
+    result:
+        Full :class:`~repro.simulator.stats.SimResult` for the prefix —
+        bit-identical to running a one-shot engine on the first ``n``
+        addresses.
+    delta_time:
+        Rolling completion-time increase contributed by this block.
+    delta_wait:
+        Bank-wait cycles added by this block (exact integer, not the
+        rounded ``mean_wait * n`` difference).
+    conserved:
+        ``True``: the per-prefix conservation invariant (every consumed
+        request served by exactly one bank) was checked and held.  A
+        violation raises instead of yielding.
+    """
+
+    chunk_index: int
+    chunk_n: int
+    n: int
+    result: SimResult
+    delta_time: float
+    delta_wait: int
+    conserved: bool
+
+
+class _StreamAcc:
+    """Rolling result aggregates, shared by both chunk paths.
+
+    The array-backed telemetry counters are allocated only when
+    telemetry or sanitize asked for them, mirroring the one-shot
+    engines' opt-in accounting."""
+
+    __slots__ = ("bank_served", "total_wait", "max_wait", "stalled",
+                 "last_finish", "completed", "busy", "q_high",
+                 "proc_stalls")
+
+    def __init__(self, n_banks: int, p: int, counters: bool) -> None:
+        self.bank_served = np.zeros(n_banks, dtype=np.int64)
+        self.total_wait = 0
+        self.max_wait = 0
+        self.stalled = 0
+        self.last_finish = 0
+        self.completed = 0
+        self.busy: Optional[np.ndarray] = (
+            np.zeros(n_banks, dtype=np.float64) if counters else None
+        )
+        self.q_high: Optional[np.ndarray] = (
+            np.zeros(n_banks, dtype=np.int64) if counters else None
+        )
+        self.proc_stalls: Optional[np.ndarray] = (
+            np.zeros(p, dtype=np.int64) if counters else None
+        )
+
+    def clone(self) -> "_StreamAcc":
+        c = _StreamAcc.__new__(_StreamAcc)
+        c.bank_served = self.bank_served.copy()
+        c.total_wait = self.total_wait
+        c.max_wait = self.max_wait
+        c.stalled = self.stalled
+        c.last_finish = self.last_finish
+        c.completed = self.completed
+        c.busy = None if self.busy is None else self.busy.copy()
+        c.q_high = None if self.q_high is None else self.q_high.copy()
+        c.proc_stalls = (
+            None if self.proc_stalls is None else self.proc_stalls.copy()
+        )
+        return c
+
+
+class _StreamWorld:
+    """Pausable port of the event engine for bounded-queue streams.
+
+    The cycle body is kept verbatim from
+    :class:`repro.simulator.cycle_batch._Scalar` (that is what makes
+    the stream bit-identical); the differences are that requests are
+    *fed* incrementally and that :meth:`run` pauses at an exclusive
+    horizon ``t_limit`` — the scheduled issue cycle of the first
+    request not yet fed — instead of always draining.  ``self.t`` is
+    always the next unprocessed cycle.
+    """
+
+    __slots__ = ("p", "n_banks", "g", "d", "latency", "hit_delay",
+                 "capacity", "proc_reqs", "queues", "bank_free_at",
+                 "bank_last_addr", "next_issue", "in_flight",
+                 "issue_heap", "bank_heap", "blocked", "seq", "queued",
+                 "t")
+
+    def __init__(self, p: int, n_banks: int, g: int, d: int, latency: int,
+                 hit_delay: Optional[int], capacity: Optional[int]) -> None:
+        self.p = p
+        self.n_banks = n_banks
+        self.g = g
+        self.d = d
+        self.latency = latency
+        self.hit_delay = hit_delay
+        self.capacity = capacity
+        self.proc_reqs: List[Deque[Tuple[int, int]]] = [
+            deque() for _ in range(p)
+        ]
+        self.queues: List[Deque[Tuple[int, int]]] = [
+            deque() for _ in range(n_banks)
+        ]
+        self.bank_free_at: List[int] = [0] * n_banks
+        self.bank_last_addr: List[Optional[int]] = [None] * n_banks
+        self.next_issue: List[int] = [0] * p
+        self.in_flight: List[Tuple[int, int, int, int]] = []
+        self.issue_heap: List[Tuple[int, int]] = []
+        self.bank_heap: List[Tuple[int, int]] = []
+        self.blocked: List[int] = []
+        self.seq = 0
+        self.queued = 0
+        self.t = 0
+
+    def feed(self, proc: np.ndarray, banks: np.ndarray,
+             addresses: np.ndarray) -> None:
+        """Append one chunk of requests to the per-processor streams.
+
+        An issue event is (re)scheduled only on an empty -> nonempty
+        deque transition; ``next_issue[q]`` is then never in the past
+        (it is >= the new head's scheduled issue, which is >= every
+        horizon this world has paused at)."""
+        heappush = heapq.heappush
+        proc_reqs = self.proc_reqs
+        for i in range(proc.size):
+            q = int(proc[i])
+            dq = proc_reqs[q]
+            if not dq:
+                heappush(self.issue_heap, (self.next_issue[q], q))
+            dq.append((int(banks[i]), int(addresses[i])))
+
+    def run(self, acc: _StreamAcc, n_target: int, t_limit: Optional[int],
+            max_cycles: int) -> bool:
+        """Step until ``n_target`` requests completed (``True``) or the
+        horizon ``t_limit`` is reached (``False``; ``None`` = drain).
+
+        Jumps are clamped to the horizon so the closed-form blocked
+        stall accrual telescopes exactly across pauses."""
+        heappush, heappop = heapq.heappush, heapq.heappop
+        capacity = self.capacity
+        proc_reqs = self.proc_reqs
+        queues = self.queues
+        bank_free_at = self.bank_free_at
+        bank_last_addr = self.bank_last_addr
+        next_issue = self.next_issue
+        in_flight = self.in_flight
+        issue_heap = self.issue_heap
+        bank_heap = self.bank_heap
+        blocked = self.blocked
+        busy = acc.busy
+        q_high = acc.q_high
+        proc_stalls = acc.proc_stalls
+        t = self.t
+        while True:
+            if acc.completed >= n_target:
+                self.t = t
+                self.blocked = blocked
+                return True
+            if t_limit is not None and t >= t_limit:
+                self.t = t
+                self.blocked = blocked
+                return False
+            if t > max_cycles:
+                raise SimulationError(
+                    f"cycle simulator exceeded {max_cycles} cycles with "
+                    f"{n_target - acc.completed} requests outstanding "
+                    f"and {acc.stalled} issue stalls accrued (deadlock "
+                    f"or runaway; queue_capacity={capacity})"
+                )
+
+            # 1. Processors issue, in processor-id order.
+            ready: List[int] = []
+            while issue_heap and issue_heap[0][0] <= t:
+                ready.append(heappop(issue_heap)[1])
+            if blocked:
+                ready.extend(blocked)
+                blocked = []
+            ready.sort()
+            for q in ready:
+                bank, req_addr = proc_reqs[q][0]
+                if capacity is not None and len(queues[bank]) >= capacity:
+                    acc.stalled += 1
+                    if proc_stalls is not None:
+                        proc_stalls[q] += 1
+                    blocked.append(q)
+                    continue  # retry next cycle; next_issue unchanged
+                proc_reqs[q].popleft()
+                heappush(
+                    in_flight, (t + self.latency, self.seq, bank, req_addr)
+                )
+                self.seq += 1
+                next_issue[q] = t + self.g
+                if proc_reqs[q]:
+                    heappush(issue_heap, (t + self.g, q))
+
+            # 2. Deliver arrivals due this cycle.
+            while in_flight and in_flight[0][0] <= t:
+                arr, _, bank, req_addr = heappop(in_flight)
+                queues[bank].append((arr, req_addr))
+                self.queued += 1
+                if q_high is not None and len(queues[bank]) > q_high[bank]:
+                    q_high[bank] = len(queues[bank])
+                if len(queues[bank]) == 1:
+                    heappush(bank_heap, (max(bank_free_at[bank], t), bank))
+
+            # 3. Banks start service.
+            served_any = False
+            while bank_heap and bank_heap[0][0] <= t:
+                _, bank = heappop(bank_heap)
+                if not queues[bank]:
+                    continue  # stale entry; rescheduled on next arrival
+                if bank_free_at[bank] > t:
+                    heappush(bank_heap, (bank_free_at[bank], bank))
+                    continue
+                arr, req_addr = queues[bank].popleft()
+                self.queued -= 1
+                wait = t - arr
+                acc.total_wait += wait
+                if wait > acc.max_wait:
+                    acc.max_wait = wait
+                cost = self.d
+                if self.hit_delay is not None \
+                        and bank_last_addr[bank] == req_addr:
+                    cost = self.hit_delay
+                bank_last_addr[bank] = req_addr
+                bank_free_at[bank] = t + cost
+                acc.bank_served[bank] += 1
+                if busy is not None:
+                    busy[bank] += cost
+                if t + cost > acc.last_finish:
+                    acc.last_finish = t + cost
+                acc.completed += 1
+                served_any = True
+                if queues[bank]:
+                    heappush(bank_heap, (t + cost, bank))
+
+            if acc.completed >= n_target:
+                # The serving cycle t mutated nothing beyond the served
+                # requests; t + 1 is the next unprocessed cycle, and
+                # every future feed schedules at >= the horizon > t.
+                self.t = t + 1
+                self.blocked = blocked
+                return True
+
+            # Jump to the next cycle where anything can change.
+            t_next = max_cycles + 1
+            if issue_heap and issue_heap[0][0] < t_next:
+                t_next = issue_heap[0][0]
+            if in_flight and in_flight[0][0] < t_next:
+                t_next = in_flight[0][0]
+            if bank_heap and bank_heap[0][0] < t_next:
+                t_next = bank_heap[0][0]
+            if blocked and served_any and t + 1 < t_next:
+                t_next = t + 1  # freed queue space: blocked issues may go
+            if t_limit is not None and t_next > t_limit:
+                t_next = t_limit
+            if t_next <= t:
+                raise SimulationError(
+                    "stream event world scheduled a non-advancing event "
+                    f"(t={t}, t_next={t_next}); this is a bug"
+                )
+            if blocked:
+                acc.stalled += len(blocked) * (t_next - t - 1)
+                if proc_stalls is not None:
+                    for q in blocked:
+                        proc_stalls[q] += t_next - t - 1
+            t = t_next
+
+    def clone(self) -> "_StreamWorld":
+        w = _StreamWorld.__new__(_StreamWorld)
+        w.p = self.p
+        w.n_banks = self.n_banks
+        w.g = self.g
+        w.d = self.d
+        w.latency = self.latency
+        w.hit_delay = self.hit_delay
+        w.capacity = self.capacity
+        w.proc_reqs = [deque(dq) for dq in self.proc_reqs]
+        w.queues = [deque(dq) for dq in self.queues]
+        w.bank_free_at = list(self.bank_free_at)
+        w.bank_last_addr = list(self.bank_last_addr)
+        w.next_issue = list(self.next_issue)
+        w.in_flight = list(self.in_flight)
+        w.issue_heap = list(self.issue_heap)
+        w.bank_heap = list(self.bank_heap)
+        w.blocked = list(self.blocked)
+        w.seq = self.seq
+        w.queued = self.queued
+        w.t = self.t
+        return w
+
+    def state(self) -> Dict[str, Any]:
+        """Machine state as plain picklable structures."""
+        return {
+            "proc_reqs": [list(dq) for dq in self.proc_reqs],
+            "queues": [list(dq) for dq in self.queues],
+            "bank_free_at": list(self.bank_free_at),
+            "bank_last_addr": list(self.bank_last_addr),
+            "next_issue": list(self.next_issue),
+            "in_flight": list(self.in_flight),
+            "issue_heap": list(self.issue_heap),
+            "bank_heap": list(self.bank_heap),
+            "blocked": list(self.blocked),
+            "seq": self.seq,
+            "queued": self.queued,
+            "t": self.t,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state` output (heaps keep their heap order)."""
+        self.proc_reqs = [
+            deque(tuple(r) for r in dq) for dq in state["proc_reqs"]
+        ]
+        self.queues = [
+            deque(tuple(r) for r in dq) for dq in state["queues"]
+        ]
+        self.bank_free_at = list(state["bank_free_at"])
+        self.bank_last_addr = list(state["bank_last_addr"])
+        self.next_issue = list(state["next_issue"])
+        self.in_flight = [tuple(e) for e in state["in_flight"]]
+        self.issue_heap = [tuple(e) for e in state["issue_heap"]]
+        self.bank_heap = [tuple(e) for e in state["bank_heap"]]
+        self.blocked = list(state["blocked"])
+        self.seq = int(state["seq"])
+        self.queued = int(state["queued"])
+        self.t = int(state["t"])
+
+
+class StreamSimulator:
+    """Incrementally simulate one scatter over a stream of address blocks.
+
+    Feed address blocks of any size with :meth:`feed`; each feed returns
+    a :class:`StreamUpdate` whose ``result`` is bit-identical to running
+    a one-shot engine over every address consumed so far.  Blocks larger
+    than ``max_chunk`` are consumed in ``max_chunk`` pieces, so peak
+    working-set memory is bounded by ``max_chunk`` regardless of block
+    or trace size.
+
+    Parameters
+    ----------
+    machine:
+        Machine to simulate.  Sections, combining and non-integer times
+        are refused (see the module docstring).
+    bank_map:
+        Optional address -> bank mapping.  Must be stateless and
+        elementwise (it is applied per chunk); ``None`` uses the default
+        ``address % n_banks`` interleave.
+    assignment:
+        Only ``"round_robin"`` streams: ``"block"`` assignment needs the
+        total trace length up front.
+    telemetry:
+        Collect :class:`~repro.simulator.stats.SimTelemetry` counters on
+        every prefix result.
+    sanitize:
+        Check the conservation invariants of
+        :mod:`repro.simulator.sanitize` on every prefix result (``None``
+        defers to the process default / ``REPRO_SANITIZE``).
+    max_chunk:
+        Memory budget, in addresses, for one internal chunk.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        bank_map: Optional[BankMap] = None,
+        assignment: Assignment = "round_robin",
+        telemetry: bool = False,
+        sanitize: Optional[bool] = None,
+        max_chunk: int = DEFAULT_CHUNK,
+    ) -> None:
+        require_machine(machine, "StreamSimulator")
+        if machine.n_sections > 1 and machine.section_gap > 0:
+            raise ParameterError(
+                "the streaming simulator does not model network sections; "
+                "use simulate_scatter (or disable section_gap) for "
+                "sectioned machines"
+            )
+        if machine.combining:
+            raise ParameterError(
+                "the streaming simulator does not support combining: "
+                "duplicate groups would split across chunk boundaries"
+            )
+        if assignment != "round_robin":
+            raise ParameterError(
+                "streaming requires assignment='round_robin': block "
+                "assignment needs the total trace length up front"
+            )
+        if max_chunk < 1:
+            raise ParameterError(
+                f"max_chunk must be >= 1, got {max_chunk!r}"
+            )
+        g = _require_int("g", machine.g)
+        d = _require_int("d", machine.d)
+        latency = _require_int("latency", machine.latency)
+        L = _require_int("L", machine.L)
+        hit_delay = (
+            _require_int("cache_hit_delay", machine.cache_hit_delay)
+            if machine.cache_hit_delay is not None
+            else None
+        )
+        if d < 1 or g < 1 or (hit_delay is not None and hit_delay < 1):
+            raise ParameterError(
+                "cycle simulator requires integer g, d, cache_hit_delay >= 1"
+            )
+        self._machine = machine
+        self._bank_map = bank_map
+        self._p = machine.p
+        self._n_banks = machine.n_banks
+        self._g = g
+        self._d = d
+        self._latency = latency
+        self._L = L
+        self._hit_delay = hit_delay
+        self._capacity = machine.queue_capacity
+        self._telemetry = bool(telemetry)
+        self._sanitize = sanitize_enabled(sanitize)
+        self._max_chunk = int(max_chunk)
+        counters = self._telemetry or self._sanitize
+        self._acc = _StreamAcc(self._n_banks, self._p, counters)
+        self._n = 0
+        self._chunk_index = 0
+        self._last_time = float(L)
+        self._last_wait = 0
+        # Per-bank carry state for the vectorized projection path.
+        self._floors = np.zeros(self._n_banks, dtype=np.float64)
+        self._last_addr: Optional[np.ndarray] = (
+            np.full(self._n_banks, -1, dtype=np.int64)
+            if hit_delay is not None else None
+        )
+        # Pending events for the chunked queue-high-water sweep: every
+        # request whose service start lies at or past the last horizon
+        # may still overlap a future chunk's arrivals.
+        self._pend_arrival = np.zeros(0, dtype=np.float64)
+        self._pend_start = np.zeros(0, dtype=np.float64)
+        self._pend_bank = np.zeros(0, dtype=np.int64)
+        # Bounded queues miss the stall certificate by construction (a
+        # contiguous stream does not settle before the horizon), so
+        # they run in the exact pausable event world instead.
+        self._world: Optional[_StreamWorld] = (
+            _StreamWorld(self._p, self._n_banks, g, d, latency, hit_delay,
+                         self._capacity)
+            if self._capacity is not None else None
+        )
+        self._digest_chain = _DIGEST_SEED
+        self._digest_tail = b""
+
+    @property
+    def n(self) -> int:
+        """Total addresses consumed so far."""
+        return self._n
+
+    @property
+    def machine(self) -> MachineConfig:
+        """The machine being simulated."""
+        return self._machine
+
+    @property
+    def prefix_digest(self) -> str:
+        """Chunking-invariant SHA-256 over every address consumed.
+
+        Two simulators that consumed the same address sequence report
+        the same digest no matter how the sequence was split into
+        feeds; used as the checkpoint identity."""
+        return hashlib.sha256(
+            self._digest_chain + self._digest_tail
+        ).hexdigest()
+
+    def feed(self, addresses: ArrayLike) -> StreamUpdate:
+        """Consume one block of addresses and return the prefix update.
+
+        The block is consumed in ``max_chunk`` pieces; the returned
+        :class:`StreamUpdate` carries the full prefix result plus the
+        deltas this block contributed.  An empty block is legal and
+        returns the unchanged prefix."""
+        addr = as_addresses(addresses)
+        chunk_n = int(addr.size)
+        lo = 0
+        while lo < chunk_n:
+            self._consume(addr[lo:lo + self._max_chunk])
+            lo += self._max_chunk
+        self._absorb_digest(addr)
+        result, total_wait = self._prefix()
+        if result.n != self._n or int(result.bank_loads.sum()) != self._n:
+            raise SimulationError(
+                f"stream conservation violated: consumed {self._n} "
+                f"requests but the prefix result accounts for "
+                f"{int(result.bank_loads.sum())} (n={result.n})"
+            )
+        update = StreamUpdate(
+            chunk_index=self._chunk_index,
+            chunk_n=chunk_n,
+            n=self._n,
+            result=result,
+            delta_time=result.time - self._last_time,
+            delta_wait=total_wait - self._last_wait,
+            conserved=True,
+        )
+        self._chunk_index += 1
+        self._last_time = result.time
+        self._last_wait = total_wait
+        return update
+
+    def result(self) -> SimResult:
+        """One-shot-identical :class:`SimResult` for the current prefix."""
+        return self._prefix()[0]
+
+    # -- chunk consumption -------------------------------------------------
+
+    def _banks_for(self, chunk: np.ndarray) -> np.ndarray:
+        if self._bank_map is None:
+            return (chunk % self._n_banks).astype(np.int64)
+        banks = np.asarray(
+            self._bank_map(chunk, self._n_banks)
+        ).astype(np.int64)
+        if banks.shape != chunk.shape:
+            raise PatternError(
+                "bank_map must return one bank per address"
+            )
+        if banks.size and (
+            int(banks.min()) < 0 or int(banks.max()) >= self._n_banks
+        ):
+            raise PatternError(
+                f"bank_map produced banks outside [0, {self._n_banks})"
+            )
+        return banks
+
+    def _consume(self, chunk: np.ndarray) -> None:
+        """Fold one <= max_chunk piece into the rolling simulation."""
+        m = int(chunk.size)
+        idx = np.arange(self._n, self._n + m, dtype=np.int64)
+        banks = self._banks_for(chunk)
+        if self._world is None:
+            # Unbounded queues: the stall certificate holds vacuously,
+            # so the seeded projection is the exact run.
+            issue = (idx // self._p).astype(np.float64) * float(self._g)
+            self._commit_projection(chunk, banks, issue)
+        else:
+            # Certificate miss: exact event world up to the horizon —
+            # the scheduled issue cycle of the first unfed request.
+            proc = (idx % self._p).astype(np.int64)
+            self._world.feed(proc, banks, chunk)
+            n_fed = self._n + m
+            self._world.run(
+                self._acc, n_fed, (n_fed // self._p) * self._g,
+                self._bound(n_fed),
+            )
+        self._n += m
+
+    def _commit_projection(
+        self, chunk: np.ndarray, banks: np.ndarray, issue: np.ndarray
+    ) -> None:
+        """Project one chunk through the seeded batch kernels and fold
+        it into the accumulators (the batch engine's commit, carrying
+        ``init_free``/``init_addr`` across chunks)."""
+        acc = self._acc
+        m = int(chunk.size)
+        arrival = issue + float(self._latency)
+        cost: Optional[np.ndarray]
+        if self._last_addr is not None:
+            assert self._hit_delay is not None
+            start, cost = fifo_service_times_cached(
+                arrival, banks, chunk, float(self._d),
+                float(self._hit_delay),
+                init_free=self._floors, init_addr=self._last_addr,
+            )
+        else:
+            start = fifo_service_times(
+                arrival, banks, float(self._d), init_free=self._floors
+            )
+            cost = None
+
+        # Runaway parity with the one-shot engines' max_cycles bound,
+        # recomputed for the cumulative prefix.
+        bound = self._bound(self._n + m)
+        if int(start.max()) > bound:
+            done = acc.completed + int((start <= bound).sum())
+            raise SimulationError(
+                f"cycle simulator exceeded {bound} cycles with "
+                f"{self._n + m - done} requests outstanding and "
+                f"{acc.stalled} issue stalls accrued (deadlock or "
+                f"runaway; queue_capacity={self._capacity})"
+            )
+
+        waits = start - arrival
+        acc.total_wait += int(waits.sum())
+        w = int(waits.max())
+        if w > acc.max_wait:
+            acc.max_wait = w
+        finish = start + (cost if cost is not None else float(self._d))
+        f = int(finish.max())
+        if f > acc.last_finish:
+            acc.last_finish = f
+        acc.bank_served += np.bincount(banks, minlength=self._n_banks)
+        acc.completed += m
+        if acc.busy is not None and acc.q_high is not None:
+            per_cost = (
+                cost if cost is not None else np.full(m, float(self._d))
+            )
+            acc.busy += np.bincount(
+                banks, weights=per_cost, minlength=self._n_banks
+            )
+            # Queue depths can straddle chunk seams, so sweep the union
+            # of this chunk with the still-pending events, then keep
+            # only those that may overlap the next chunk (service start
+            # at or past the new horizon; settled events can never be
+            # part of a future maximum).
+            events_arrival = np.concatenate([self._pend_arrival, arrival])
+            events_start = np.concatenate([self._pend_start, start])
+            events_bank = np.concatenate([self._pend_bank, banks])
+            np.maximum(
+                acc.q_high,
+                _queue_high_water(
+                    events_arrival, events_start, events_bank,
+                    self._n_banks,
+                ),
+                out=acc.q_high,
+            )
+            t_cut = float(((self._n + m) // self._p) * self._g)
+            keep = events_start >= t_cut
+            self._pend_arrival = events_arrival[keep]
+            self._pend_start = events_start[keep]
+            self._pend_bank = events_bank[keep]
+        # Carry state: per-bank FIFO order equals array order here, and
+        # finishes are nondecreasing per bank, so fancy assignment's
+        # last-occurrence-wins leaves each touched bank's free-at floor
+        # (and row buffer) at its final served request.
+        self._floors[banks] = finish
+        if self._last_addr is not None:
+            self._last_addr[banks] = chunk
+
+    def _bound(self, n: int) -> int:
+        """The one-shot engines' runaway ceiling for an ``n``-request run."""
+        bound = n * self._d + n * self._g + self._latency + 1000
+        if self._capacity is not None:
+            bound += (n // self._capacity + 1) * (self._latency + self._g + 2)
+        return int(bound)
+
+    # -- prefix results ----------------------------------------------------
+
+    def _zero_telemetry(self) -> SimTelemetry:
+        return SimTelemetry(
+            bank_busy=np.zeros(self._n_banks, dtype=np.float64),
+            queue_high_water=np.zeros(self._n_banks, dtype=np.int64),
+            stall_breakdown={
+                "bank_wait": 0.0,
+                "link_wait": 0.0,
+                "issue_backpressure": 0.0,
+            },
+            proc_stalls=np.zeros(self._p, dtype=np.int64),
+            makespan=0.0,
+        )
+
+    def _prefix(self) -> Tuple[SimResult, int]:
+        """Prefix result plus the exact integer total bank wait."""
+        if self._n == 0:
+            result = SimResult(
+                time=float(self._L), n=0,
+                bank_loads=np.zeros(self._n_banks, dtype=np.int64),
+                machine_name=self._machine.name,
+                telemetry=(
+                    self._zero_telemetry() if self._telemetry else None
+                ),
+            )
+            if self._sanitize:
+                check_superstep(
+                    self._machine, result, engine="stream", h_p=0,
+                    n_survivors=0,
+                )
+            return result, 0
+        acc = self._acc
+        if self._world is not None and acc.completed < self._n:
+            # Requests are still in flight behind the horizon: drain a
+            # clone to completion (exactly the one-shot suffix for the
+            # fed prefix).  The live world never runs past the horizon.
+            acc = acc.clone()
+            self._world.clone().run(acc, self._n, None,
+                                    self._bound(self._n))
+        return self._snapshot(acc), int(acc.total_wait)
+
+    def _snapshot(self, acc: _StreamAcc) -> SimResult:
+        """Freeze accumulators into a one-shot-identical result."""
+        n = self._n
+        tele: Optional[SimTelemetry] = None
+        if self._telemetry:
+            assert acc.busy is not None and acc.q_high is not None \
+                and acc.proc_stalls is not None
+            tele = SimTelemetry(
+                bank_busy=acc.busy.copy(),
+                queue_high_water=acc.q_high.copy(),
+                stall_breakdown={
+                    "bank_wait": float(acc.total_wait),
+                    "link_wait": 0.0,
+                    "issue_backpressure": float(acc.stalled),
+                },
+                proc_stalls=acc.proc_stalls.copy(),
+                makespan=float(acc.last_finish),
+            )
+        result = SimResult(
+            time=float(acc.last_finish + self._L),
+            n=n,
+            bank_loads=acc.bank_served.copy(),
+            max_wait=float(acc.max_wait),
+            mean_wait=float(acc.total_wait / n),
+            stalled_cycles=float(acc.stalled),
+            machine_name=self._machine.name,
+            telemetry=tele,
+        )
+        if self._sanitize:
+            assert acc.busy is not None and acc.q_high is not None
+            check_superstep(
+                self._machine, result,
+                engine="stream",
+                h_p=-(-n // self._p),
+                n_survivors=n,
+                bank_busy=acc.busy,
+                queue_high_water=acc.q_high,
+            )
+        return result
+
+    # -- rolling digest ----------------------------------------------------
+
+    def _absorb_digest(self, addr: np.ndarray) -> None:
+        data = self._digest_tail + addr.tobytes()
+        chain = self._digest_chain
+        nblk = len(data) // _DIGEST_BLOCK_BYTES
+        for i in range(nblk):
+            block = data[i * _DIGEST_BLOCK_BYTES:(i + 1) * _DIGEST_BLOCK_BYTES]
+            chain = hashlib.sha256(chain + block).digest()
+        self._digest_chain = chain
+        self._digest_tail = data[nblk * _DIGEST_BLOCK_BYTES:]
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """Complete resumable state as plain picklable structures."""
+        acc = self._acc
+        return {
+            "version": 1,
+            "n": self._n,
+            "chunk_index": self._chunk_index,
+            "last_time": self._last_time,
+            "last_wait": self._last_wait,
+            "digest_chain": self._digest_chain,
+            "digest_tail": self._digest_tail,
+            "acc": {
+                "bank_served": acc.bank_served.copy(),
+                "total_wait": acc.total_wait,
+                "max_wait": acc.max_wait,
+                "stalled": acc.stalled,
+                "last_finish": acc.last_finish,
+                "completed": acc.completed,
+                "busy": None if acc.busy is None else acc.busy.copy(),
+                "q_high": None if acc.q_high is None else acc.q_high.copy(),
+                "proc_stalls": (
+                    None if acc.proc_stalls is None
+                    else acc.proc_stalls.copy()
+                ),
+            },
+            "floors": self._floors.copy(),
+            "last_addr": (
+                None if self._last_addr is None else self._last_addr.copy()
+            ),
+            "pend": (
+                self._pend_arrival.copy(),
+                self._pend_start.copy(),
+                self._pend_bank.copy(),
+            ),
+            "world": None if self._world is None else self._world.state(),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state` output into this *fresh* simulator.
+
+        The simulator must have consumed nothing yet and must have been
+        constructed with the same machine/telemetry configuration the
+        checkpoint was taken under."""
+        if state.get("version") != 1:
+            raise ParameterError(
+                f"unsupported stream checkpoint version "
+                f"{state.get('version')!r}"
+            )
+        if self._n != 0:
+            raise ParameterError(
+                "load_state requires a fresh StreamSimulator (it has "
+                f"already consumed {self._n} addresses)"
+            )
+        acc_state = state["acc"]
+        if (state["world"] is None) != (self._world is None) \
+                or (state["last_addr"] is None) != (self._last_addr is None) \
+                or (acc_state["busy"] is None) != (self._acc.busy is None):
+            raise ParameterError(
+                "stream checkpoint was taken under a different "
+                "machine/telemetry configuration"
+            )
+        self._n = int(state["n"])
+        self._chunk_index = int(state["chunk_index"])
+        self._last_time = float(state["last_time"])
+        self._last_wait = int(state["last_wait"])
+        self._digest_chain = bytes(state["digest_chain"])
+        self._digest_tail = bytes(state["digest_tail"])
+        acc = self._acc
+        acc.bank_served = acc_state["bank_served"].copy()
+        acc.total_wait = int(acc_state["total_wait"])
+        acc.max_wait = int(acc_state["max_wait"])
+        acc.stalled = int(acc_state["stalled"])
+        acc.last_finish = int(acc_state["last_finish"])
+        acc.completed = int(acc_state["completed"])
+        if acc_state["busy"] is not None:
+            acc.busy = acc_state["busy"].copy()
+            acc.q_high = acc_state["q_high"].copy()
+            acc.proc_stalls = acc_state["proc_stalls"].copy()
+        self._floors = state["floors"].copy()
+        if state["last_addr"] is not None:
+            self._last_addr = state["last_addr"].copy()
+        pend_arrival, pend_start, pend_bank = state["pend"]
+        self._pend_arrival = pend_arrival.copy()
+        self._pend_start = pend_start.copy()
+        self._pend_bank = pend_bank.copy()
+        if state["world"] is not None:
+            assert self._world is not None
+            self._world.load_state(state["world"])
+
+    def _checkpoint_kwargs(
+        self, prefix_digest: str, n: int
+    ) -> Dict[str, Any]:
+        return {
+            "machine": self._machine,
+            "bank_map": self._bank_map,
+            "assignment": "round_robin",
+            "telemetry": self._telemetry,
+            "sanitize_counters": self._acc.busy is not None,
+            "prefix_digest": prefix_digest,
+            "n": n,
+        }
+
+    def save_checkpoint(self) -> Optional[str]:
+        """Persist the current state under the experiment runner's memo.
+
+        Keyed by :func:`stream_checkpoint` with the prefix digest, so a
+        later session streaming the same trace prefix (under the same
+        machine/telemetry configuration) can resume instead of
+        recomputing.  Returns the prefix digest, or ``None`` when the
+        runner cache is disabled."""
+        from ..experiments import runner
+
+        digest = self.prefix_digest
+        kwargs = self._checkpoint_kwargs(digest, self._n)
+        if runner.cache_store(stream_checkpoint, kwargs, self.state()):
+            return digest
+        return None
+
+    def resume_from_checkpoint(self, prefix_digest: str, n: int) -> bool:
+        """Restore a :meth:`save_checkpoint` state into this fresh
+        simulator; returns whether the memo held one for that prefix."""
+        from ..experiments import runner
+
+        hit, state = runner.cache_fetch(
+            stream_checkpoint, self._checkpoint_kwargs(prefix_digest, n)
+        )
+        if not hit:
+            return False
+        self.load_state(state)
+        return True
+
+
+def stream_checkpoint(
+    machine: MachineConfig,
+    bank_map: Optional[BankMap],
+    assignment: Assignment,
+    telemetry: bool,
+    sanitize_counters: bool,
+    prefix_digest: str,
+    n: int,
+) -> Dict[str, Any]:
+    """Cache-key carrier for streamed-prefix checkpoints.
+
+    :meth:`StreamSimulator.save_checkpoint` stores simulator state in
+    the experiment runner's memo under ``cache_key(stream_checkpoint,
+    kwargs)`` — the same keying (code version, canonicalized arguments)
+    every memoized experiment uses — so streamed prefixes share the
+    runner's cache semantics.  The function itself is never evaluated.
+    """
+    raise SimulationError(
+        "stream_checkpoint is a cache-key carrier and is never called"
+    )
+
+
+def _iter_blocks(
+    addresses: Union[ArrayLike, Iterable[ArrayLike]],
+    chunk_size: int,
+) -> Iterator[np.ndarray]:
+    """Normalize a trace (array-like or iterable of blocks) to blocks."""
+    if isinstance(addresses, (np.ndarray, list, tuple, range)):
+        addr = as_addresses(addresses)
+        if addr.size == 0:
+            yield addr
+            return
+        for lo in range(0, int(addr.size), chunk_size):
+            yield addr[lo:lo + chunk_size]
+        return
+    empty = True
+    for block in addresses:
+        empty = False
+        yield as_addresses(block)
+    if empty:
+        yield np.zeros(0, dtype=np.int64)
+
+
+def simulate_scatter_stream(
+    machine: MachineConfig,
+    addresses: Union[ArrayLike, Iterable[ArrayLike]],
+    bank_map: Optional[BankMap] = None,
+    assignment: Assignment = "round_robin",
+    telemetry: bool = False,
+    sanitize: Optional[bool] = None,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> Iterator[StreamUpdate]:
+    """Simulate one scatter incrementally, yielding per-chunk updates.
+
+    ``addresses`` may be an address array (consumed in ``chunk_size``
+    pieces) or any iterable of address blocks — including a generator
+    over a trace that never fits in memory.  Every yielded
+    :class:`StreamUpdate` carries the prefix :class:`SimResult`,
+    bit-identical to the one-shot engines on the addresses consumed so
+    far; the last update is the whole-trace result.  At least one
+    update is always yielded (an empty trace yields the empty result).
+
+    This is a generator: argument validation happens on the first
+    ``next()``, not at call time.  See :class:`StreamSimulator` for the
+    restrictions (no combining, no sections, round-robin only) and the
+    memory bound.
+    """
+    sim = StreamSimulator(
+        machine, bank_map, assignment=assignment, telemetry=telemetry,
+        sanitize=sanitize, max_chunk=chunk_size,
+    )
+    for block in _iter_blocks(addresses, chunk_size):
+        yield sim.feed(block)

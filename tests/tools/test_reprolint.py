@@ -516,6 +516,62 @@ class TestPublicDocstring:
         assert lint(code, select=["REPRO113"]) == []
 
 
+class TestUnboundedConcat:
+    STREAM_PATH = "src/repro/simulator/stream.py"
+
+    def test_flags_self_concatenate(self):
+        code = (
+            "import numpy as np\n"
+            "def absorb(self, chunk):\n"
+            "    self.seen = np.concatenate([self.seen, chunk])\n"
+        )
+        findings = lint(code, rel=self.STREAM_PATH, select=["REPRO114"])
+        assert rule_ids(findings) == ["REPRO114"]
+        assert "self.seen" in findings[0].message
+
+    def test_flags_np_append_accumulation(self):
+        code = (
+            "import numpy as np\n"
+            "def absorb(trace, chunk):\n"
+            "    trace = np.append(trace, chunk)\n"
+            "    return trace\n"
+        )
+        findings = lint(code, rel="src/repro/serving/service.py",
+                        select=["REPRO114"])
+        assert rule_ids(findings) == ["REPRO114"]
+
+    def test_passes_bounded_union(self):
+        # Concatenating two *other* arrays into a fresh name (and
+        # pruning before reassigning) is the sanctioned pattern.
+        code = (
+            "import numpy as np\n"
+            "def sweep(self, arrival):\n"
+            "    events = np.concatenate([self.pend, arrival])\n"
+            "    keep = events >= self.cut\n"
+            "    self.pend = events[keep]\n"
+        )
+        assert lint(code, rel=self.STREAM_PATH, select=["REPRO114"]) == []
+
+    def test_out_of_scope_path_passes(self):
+        code = (
+            "import numpy as np\n"
+            "def grow(xs, x):\n"
+            "    xs = np.concatenate([xs, x])\n"
+            "    return xs\n"
+        )
+        assert lint(code, rel="src/repro/analysis/tables.py",
+                    select=["REPRO114"]) == []
+
+    def test_line_suppression_works(self):
+        code = (
+            "import numpy as np\n"
+            "def absorb(self, chunk):\n"
+            "    self.seen = np.concatenate([self.seen, chunk])"
+            "  # reprolint: disable=REPRO114 -- bounded by max_chunk\n"
+        )
+        assert lint(code, rel=self.STREAM_PATH, select=["REPRO114"]) == []
+
+
 class TestSuppressions:
     def test_line_pragma_suppresses(self):
         code = (

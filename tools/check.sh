@@ -7,7 +7,8 @@
 # both are optional in the reproduction image), the docs-freshness
 # check (docs/api.md must match the live public surface), the tier-1
 # pytest suite, the examples smoke run (every examples/*.py must
-# execute cleanly), then the opt-in perf-regression gate (which
+# execute cleanly), the router and streaming-session smoke runs
+# through the NDJSON CLI, then the opt-in perf-regression gate (which
 # compares the telemetry-off bench JSONs for the cycle engines, the
 # fused whole-grid pass, the bank kernel and the serving hot path
 # against their committed baselines, when present).  Exits nonzero on
@@ -52,6 +53,15 @@ printf '%s\n' \
     | PYTHONPATH=src python -m repro.serving --workers 2 --flush-ms 1 \
     | grep -q '"status": "ok"'
 echo "router smoke: ok"
+
+echo "== streaming smoke =="
+printf '%s\n' \
+    '{"op": "stream", "action": "open", "stream_id": "smoke", "machine": "j90"}' \
+    '{"op": "stream", "action": "chunk", "stream_id": "smoke", "pattern": {"kind": "hotspot", "n": 4096, "k": 512}}' \
+    '{"op": "stream", "action": "close", "stream_id": "smoke"}' \
+    | PYTHONPATH=src python -m repro.serving --flush-ms 1 \
+    | grep -c '"status": "ok"' | grep -qx 3
+echo "streaming smoke: ok"
 
 echo "== perf guard =="
 if [ -f BENCH_cycle_engine.json ]; then

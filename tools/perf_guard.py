@@ -13,7 +13,10 @@ previous accepted runs stored next to them as ``*.prev.json``:
   FIFO kernel and the closed-form scatter path;
 * ``BENCH_serving.json`` (written by
   ``pytest benchmarks/test_perf_serving.py``) — gates the prediction
-  service's cached hot path.
+  service's cached hot path;
+* ``BENCH_stream.json`` (written by
+  ``pytest benchmarks/test_perf_stream.py``) — gates the chunked
+  streaming simulator's sustained throughput.
 
 Exits nonzero if any gated timing slowed down by more than the allowed
 factor (default 2x) on the same workload.
@@ -52,6 +55,8 @@ BENCHES: Tuple[Tuple[pathlib.Path, pathlib.Path, Tuple[str, ...]], ...] = (
      ("kernel_seconds", "banksim_seconds")),
     (ROOT / "BENCH_serving.json", ROOT / "BENCH_serving.prev.json",
      ("serving_seconds", "multi_serving_seconds")),
+    (ROOT / "BENCH_stream.json", ROOT / "BENCH_stream.prev.json",
+     ("stream_seconds",)),
 )
 
 #: Keys that must match for two runs to be comparable.

@@ -30,6 +30,9 @@ REPRO111  broad-except          no bare/over-broad except without re-raise
 REPRO112  silent-handler        no except handler that only passes
 REPRO113  public-docstring      every public function/class in src/repro/
                                 documents its contract with a docstring
+REPRO114  unbounded-concat      streaming paths never accumulate into an
+                                array they concatenate onto (O(n^2) growth
+                                breaks the chunk memory bound)
 ========  ====================  ==========================================
 
 Every rule is suppressible per line with ``# reprolint: disable=ID`` —
@@ -515,7 +518,8 @@ class EngineParityRule(Rule):
         ("sanitize", "None"),
     )
     #: Engine-specific parameters allowed in addition to the canon.
-    ALLOWED_EXTRAS = {"superstep_size", "max_cycles", "engine"}
+    ALLOWED_EXTRAS = {"superstep_size", "max_cycles", "engine",
+                      "chunk_size"}
     #: entry point -> file glob it must live in.
     ENTRY_POINTS = {
         "simulate_scatter": "src/repro/simulator/banksim.py",
@@ -525,6 +529,7 @@ class EngineParityRule(Rule):
         "simulate_scatter_batch": "src/repro/simulator/cycle_batch.py",
         "simulate_scatter_grid": "src/repro/simulator/cycle_grid.py",
         "simulate_scatter_engine": "src/repro/simulator/dispatch.py",
+        "simulate_scatter_stream": "src/repro/simulator/stream.py",
     }
 
     @staticmethod
@@ -722,3 +727,76 @@ class PublicDocstringRule(Rule):
 
     def check(self, f: SourceFile) -> Iterator[Finding]:
         yield from self._scan(f, f.tree.body, "")
+
+
+@register
+class UnboundedConcatRule(Rule):
+    """Flag self-accumulating array concatenation on streaming paths.
+
+    The streaming tier's whole point is a peak-memory bound set by the
+    chunk budget, not the trace.  ``x = np.concatenate([x, chunk])``
+    (and friends) silently re-grows an unbounded array chunk by chunk —
+    O(trace) memory and O(n^2) copying — which is exactly the failure
+    mode streaming exists to rule out.  Keep per-chunk arrays bounded:
+    fold chunks into fixed-size accumulators, or prune before you
+    concatenate (and suppress with the justification for why the
+    retained set is bounded).
+    """
+
+    id = "REPRO114"
+    name = "unbounded-concat"
+    description = (
+        "streaming-path assignment concatenates an array onto itself "
+        "(unbounded accumulation breaks the chunk memory bound); fold "
+        "into bounded accumulators instead"
+    )
+    #: The bounded-memory streaming tier: the incremental simulator and
+    #: the serving layer that pumps unbounded NDJSON traces through it.
+    paths = (
+        "src/repro/simulator/stream.py",
+        "src/repro/serving/*",
+        "src/repro/serving/**",
+    )
+
+    _GROWERS = {
+        "numpy.concatenate", "numpy.append", "numpy.hstack",
+        "numpy.vstack", "numpy.r_",
+    }
+
+    def check(self, f: SourceFile) -> Iterator[Finding]:
+        aliases = qualified_names(f.tree)
+        for node in ast.walk(f.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign,
+                                     ast.AnnAssign)):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            if call_name(value.func, aliases) not in self._GROWERS:
+                continue
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            target_srcs = {
+                ast.unparse(t) for t in targets
+                if isinstance(t, (ast.Name, ast.Attribute))
+            }
+            if not target_srcs:
+                continue
+            arg_nodes = list(value.args) + [kw.value for kw in value.keywords]
+            for arg in arg_nodes:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, (ast.Name, ast.Attribute)) \
+                            and ast.unparse(sub) in target_srcs:
+                        yield self.finding(
+                            f, node,
+                            f"`{ast.unparse(sub)}` is concatenated onto "
+                            "itself on a streaming path — this "
+                            "accumulates without bound; fold chunks "
+                            "into a bounded accumulator",
+                        )
+                        break
+                else:
+                    continue
+                break
